@@ -1,0 +1,22 @@
+//! Regenerates Figure 10 (M/M/1 router saturation over T1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prins_bench::fig10_router_saturation;
+use prins_queueing::figures::{paper_rates, router_queueing_vs_rate, BytesPerWrite};
+use prins_queueing::NodalDelay;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig10_router_saturation(None));
+    let techniques = BytesPerWrite::paper_defaults();
+    let rates = paper_rates();
+    c.bench_function("fig10/mm1_t1/all_series", |b| {
+        b.iter(|| router_queueing_vs_rate(NodalDelay::t1(), &techniques, &rates))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

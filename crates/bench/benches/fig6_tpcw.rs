@@ -1,0 +1,24 @@
+//! Regenerates Figure 6 of the paper and times the underlying measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prins_bench::{fig6_tpcw, measure_traffic, TrafficConfig};
+use prins_block::BlockSize;
+use prins_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated figure once; appears in the bench log.
+    println!("{}", fig6_tpcw(40, false).expect("figure generation"));
+    c.bench_function("fig6_tpcw/measure_traffic/8KB", |b| {
+        b.iter(|| {
+            measure_traffic(Workload::TpcwMysql, &TrafficConfig::smoke(BlockSize::kb8()))
+                .expect("measurement")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figure 8 (closed-network response time over T1) and
+//! times the exact MVA solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prins_bench::fig8_response_t1;
+use prins_queueing::{Mva, NodalDelay};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig8_response_t1(None));
+    let s = NodalDelay::t1().service_time(8192.0);
+    let mva = Mva::new(0.1, vec![s, s]);
+    c.bench_function("fig8/mva_t1/solve_pop100", |b| b.iter(|| mva.solve(100)));
+    c.bench_function("fig8/mva_t1/full_curve", |b| {
+        b.iter(|| mva.response_curve(100))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Figure 9 (closed-network response time over T3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prins_bench::fig9_response_t3;
+use prins_queueing::{Mva, NodalDelay};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig9_response_t3(None));
+    let s = NodalDelay::t3().service_time(8192.0);
+    let mva = Mva::new(0.1, vec![s, s]);
+    c.bench_function("fig9/mva_t3/solve_pop100", |b| b.iter(|| mva.solve(100)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

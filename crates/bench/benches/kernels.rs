@@ -1,0 +1,100 @@
+//! Micro-kernels: the primitive operations every PRINS write exercises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prins_compress::{Codec, Lzss, Rle};
+use prins_iscsi::{Opcode, Pdu};
+use prins_parity::{forward_parity, SparseCodec};
+use rand::{Rng as _, RngExt, SeedableRng};
+
+fn sample_images(bs: usize, change: f64) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut old = vec![0u8; bs];
+    rng.fill_bytes(&mut old);
+    let mut new = old.clone();
+    let changed = (((bs as f64) * change) as usize).min(bs);
+    let at = if changed >= bs {
+        0
+    } else {
+        rng.random_range(0..bs - changed)
+    };
+    for b in &mut new[at..at + changed] {
+        *b = rng.random();
+    }
+    (old, new)
+}
+
+fn bench_xor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/xor");
+    for bs in [4096usize, 8192, 65536] {
+        let (old, new) = sample_images(bs, 0.1);
+        group.throughput(Throughput::Bytes(bs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, _| {
+            b.iter(|| forward_parity(&old, &new))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/sparse_codec");
+    let codec = SparseCodec::default();
+    for change in [0.05, 0.20] {
+        let (old, new) = sample_images(8192, change);
+        let parity = forward_parity(&old, &new);
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{:.0}%", change * 100.0)),
+            &parity,
+            |b, p| b.iter(|| codec.encode(p).to_bytes()),
+        );
+        let bytes = codec.encode(&parity).to_bytes();
+        group.bench_with_input(
+            BenchmarkId::new("decode+apply", format!("{:.0}%", change * 100.0)),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let sp = codec.decode(bytes, 8192).unwrap();
+                    let mut block = old.clone();
+                    sp.apply_to(&mut block);
+                    block
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/compression");
+    let (_, page) = sample_images(8192, 1.0);
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("lzss/random_8KB", |b| {
+        b.iter(|| Lzss::default().compress(&page))
+    });
+    let text: Vec<u8> = b"select ol_amount from order_line where ol_w_id = 3; "
+        .iter()
+        .cycle()
+        .take(8192)
+        .copied()
+        .collect();
+    group.bench_function("lzss/text_8KB", |b| {
+        b.iter(|| Lzss::default().compress(&text))
+    });
+    group.bench_function("rle/text_8KB", |b| b.iter(|| Rle.compress(&text)));
+    group.finish();
+}
+
+fn bench_pdu(c: &mut Criterion) {
+    let pdu = Pdu::with_data(Opcode::ScsiCommand, vec![0xabu8; 8192]);
+    let bytes = pdu.to_bytes();
+    c.bench_function("kernels/pdu/encode_8KB", |b| b.iter(|| pdu.to_bytes()));
+    c.bench_function("kernels/pdu/decode_8KB", |b| {
+        b.iter(|| Pdu::from_bytes(&bytes).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_xor, bench_sparse_codec, bench_compression, bench_pdu
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Command-line harness printing every paper figure.
+//!
+//! ```text
+//! figures all                 # every figure at default ops
+//! figures fig4 --ops 400      # one figure, more transactions
+//! figures fig8                # queueing figures (fed by a measured run)
+//! figures overhead writerate  # the §4/§3.3 scalar measurements
+//! figures --smoke all         # tiny databases (CI-friendly)
+//! ```
+
+use std::process::ExitCode;
+
+use prins_bench::{
+    fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw, fig7_fs_micro,
+    fig8_response_t1, fig9_response_t3, measure_traffic, overhead_experiment,
+    write_rate_experiment, TrafficConfig,
+};
+use prins_block::BlockSize;
+use prins_workloads::Workload;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ops: usize = 200;
+    let mut bench_scale = true;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ops" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => ops = v,
+                None => {
+                    eprintln!("--ops needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--smoke" => bench_scale = false,
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+    let mut ran_any = false;
+
+    let result = (|| -> Result<(), Box<dyn std::error::Error>> {
+        if want("fig4") {
+            ran_any = true;
+            println!("{}", fig4_tpcc_oracle(ops, bench_scale)?);
+        }
+        if want("fig5") {
+            ran_any = true;
+            println!("{}", fig5_tpcc_postgres(ops, bench_scale)?);
+        }
+        if want("fig6") {
+            ran_any = true;
+            println!("{}", fig6_tpcw(ops, bench_scale)?);
+        }
+        if want("fig7") {
+            ran_any = true;
+            println!("{}", fig7_fs_micro(ops.min(10), bench_scale)?);
+        }
+        if want("fig8") || want("fig9") || want("fig10") {
+            ran_any = true;
+            // Feed the queueing model with measured 8 KB TPC-C traffic.
+            let mut config = if bench_scale {
+                TrafficConfig::bench(BlockSize::kb8(), ops)
+            } else {
+                TrafficConfig::smoke(BlockSize::kb8())
+            };
+            config.ops = ops;
+            let m = measure_traffic(Workload::TpccOracle, &config)?;
+            println!(
+                "(service times from measured TPC-C traffic at 8KB: \
+                 traditional {:.0} B/write, compressed {:.0} B/write, prins {:.0} B/write)\n",
+                m.traffic(prins_repl::ReplicationMode::Traditional).mean_payload(),
+                m.traffic(prins_repl::ReplicationMode::Compressed).mean_payload(),
+                m.traffic(prins_repl::ReplicationMode::Prins).mean_payload(),
+            );
+            if want("fig8") {
+                println!("{}", fig8_response_t1(Some(&m)));
+            }
+            if want("fig9") {
+                println!("{}", fig9_response_t3(Some(&m)));
+            }
+            if want("fig10") {
+                println!("{}", fig10_router_saturation(Some(&m)));
+            }
+        }
+        if want("overhead") {
+            ran_any = true;
+            println!("{}\n", overhead_experiment(5_000, BlockSize::kb8())?);
+        }
+        if want("writerate") {
+            ran_any = true;
+            println!("{}\n", write_rate_experiment(ops)?);
+        }
+        Ok(())
+    })();
+
+    if let Err(e) = result {
+        eprintln!("figure generation failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !ran_any {
+        eprintln!(
+            "unknown figure selection {wanted:?}; try: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead writerate"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,38 @@
+//! Measurement harness regenerating every table and figure of the PRINS
+//! paper's evaluation (§4).
+//!
+//! The heart of the harness is [`measure_traffic`]: it runs one workload
+//! at one block size, streams every block write through the three
+//! replication strategies (plus the PRINS+LZSS ablation), and accumulates
+//! the payload and wire bytes each strategy would put on the network —
+//! exactly the quantity Figures 4–7 plot. [`figures`] assembles those
+//! measurements (and the queueing models of `prins-queueing`) into the
+//! paper's figures; the `figures` binary prints them.
+//!
+//! # Example
+//!
+//! ```
+//! use prins_bench::{measure_traffic, TrafficConfig};
+//! use prins_block::BlockSize;
+//! use prins_repl::ReplicationMode;
+//! use prins_workloads::Workload;
+//!
+//! let m = measure_traffic(
+//!     Workload::TpccOracle,
+//!     &TrafficConfig::smoke(BlockSize::kb8()),
+//! )
+//! .expect("measurement runs");
+//! let trad = m.payload_bytes(ReplicationMode::Traditional);
+//! let prins = m.payload_bytes(ReplicationMode::Prins);
+//! assert!(prins * 2 < trad, "PRINS must beat traditional");
+//! ```
+
+mod figures;
+mod traffic;
+
+pub use figures::{
+    fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw, fig7_fs_micro,
+    fig8_response_t1, fig9_response_t3, overhead_experiment, write_rate_experiment, FigureTable,
+    OverheadReport, WriteRateReport,
+};
+pub use traffic::{measure_traffic, ModeTraffic, TrafficConfig, TrafficMeasurement};

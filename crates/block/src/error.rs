@@ -1,0 +1,121 @@
+//! Error type shared by all block devices.
+
+use std::fmt;
+use std::io;
+
+use crate::Lba;
+
+/// Errors returned by [`BlockDevice`](crate::BlockDevice) operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BlockError {
+    /// The requested block size is not a power of two in the supported
+    /// range.
+    InvalidBlockSize {
+        /// The rejected size in bytes.
+        bytes: u32,
+    },
+    /// An address past the end of the device was used.
+    OutOfRange {
+        /// The offending address.
+        lba: Lba,
+        /// Device capacity in blocks.
+        num_blocks: u64,
+    },
+    /// A buffer whose length does not match the device block size was
+    /// supplied.
+    BufferSize {
+        /// Required length in bytes.
+        expected: usize,
+        /// Supplied length in bytes.
+        actual: usize,
+    },
+    /// An injected or real I/O failure.
+    Io(io::Error),
+    /// A device (or RAID member) is offline / failed.
+    DeviceFailed {
+        /// Human-readable identification of the failed device.
+        device: String,
+    },
+    /// Data corruption was detected (e.g. by a RAID scrub or checksum).
+    Corruption {
+        /// Address at which the corruption was found.
+        lba: Lba,
+        /// Description of what failed to verify.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::InvalidBlockSize { bytes } => {
+                write!(
+                    f,
+                    "invalid block size {bytes}: must be a power of two in [512, 1048576]"
+                )
+            }
+            BlockError::OutOfRange { lba, num_blocks } => {
+                write!(f, "lba {lba} out of range: device has {num_blocks} blocks")
+            }
+            BlockError::BufferSize { expected, actual } => {
+                write!(f, "buffer length {actual} does not match block size {expected}")
+            }
+            BlockError::Io(e) => write!(f, "i/o error: {e}"),
+            BlockError::DeviceFailed { device } => write!(f, "device failed: {device}"),
+            BlockError::Corruption { lba, detail } => {
+                write!(f, "corruption at lba {lba}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BlockError {
+    fn from(e: io::Error) -> Self {
+        BlockError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = BlockError::OutOfRange {
+            lba: Lba(12),
+            num_blocks: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("12"));
+        assert!(msg.contains("10"));
+
+        let e = BlockError::BufferSize {
+            expected: 4096,
+            actual: 512,
+        };
+        assert!(e.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let e = BlockError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BlockError>();
+    }
+}

@@ -1,0 +1,226 @@
+//! Fault-injecting device wrapper for failure and recovery tests.
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+use crate::{BlockDevice, BlockError, Geometry, Lba, Result};
+
+/// The kind of failure a [`FaultDevice`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Every read fails (media unreadable).
+    FailReads,
+    /// Every write fails (media write-protected / dead).
+    FailWrites,
+    /// All I/O fails (device offline) — what a RAID rebuild test wants.
+    FailAll,
+    /// Reads succeed but return silently corrupted data (bit flips), which
+    /// a scrub must detect.
+    CorruptReads,
+}
+
+/// Declarative description of which operations should fail.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    kind: Option<FaultKind>,
+    bad_lbas: HashSet<u64>,
+    /// Fail after this many more operations (countdown), if set.
+    fuse: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that never fails.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// A plan that fails according to `kind` for every LBA.
+    pub fn always(kind: FaultKind) -> Self {
+        Self {
+            kind: Some(kind),
+            ..Self::default()
+        }
+    }
+
+    /// Restricts the failure to the given addresses (e.g. a bad-sector
+    /// scenario). No restriction means all addresses fail.
+    pub fn only_lbas<I: IntoIterator<Item = Lba>>(mut self, lbas: I) -> Self {
+        self.bad_lbas = lbas.into_iter().map(|l| l.index()).collect();
+        self
+    }
+
+    /// Arms a fuse: the device stays healthy for `ops` more operations and
+    /// then starts failing. Models a disk dying mid-run.
+    pub fn after_ops(mut self, ops: u64) -> Self {
+        self.fuse = Some(ops);
+        self
+    }
+
+    fn applies_to(&self, lba: Lba) -> bool {
+        self.bad_lbas.is_empty() || self.bad_lbas.contains(&lba.index())
+    }
+}
+
+/// A [`BlockDevice`] wrapper that injects failures per a [`FaultPlan`].
+///
+/// # Example
+///
+/// ```
+/// use prins_block::{BlockDevice, BlockSize, FaultDevice, FaultKind, FaultPlan, Lba, MemDevice};
+///
+/// let dev = FaultDevice::new(MemDevice::new(BlockSize::kb4(), 4));
+/// dev.set_plan(FaultPlan::always(FaultKind::FailAll));
+/// assert!(dev.read_block_vec(Lba(0)).is_err());
+/// dev.set_plan(FaultPlan::healthy());
+/// assert!(dev.read_block_vec(Lba(0)).is_ok());
+/// ```
+pub struct FaultDevice<D> {
+    inner: D,
+    plan: Mutex<FaultPlan>,
+}
+
+impl<D: BlockDevice> FaultDevice<D> {
+    /// Wraps `inner` with a healthy plan.
+    pub fn new(inner: D) -> Self {
+        Self {
+            inner,
+            plan: Mutex::new(FaultPlan::healthy()),
+        }
+    }
+
+    /// Replaces the active fault plan.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
+    }
+
+    /// Gives access to the wrapped device (bypasses fault injection).
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Decides whether the next operation at `lba` should fail with
+    /// `kind`-relevant behaviour. Burns the fuse if armed.
+    fn check(&self, lba: Lba, is_read: bool) -> Result<Option<FaultKind>> {
+        let mut plan = self.plan.lock();
+        if let Some(fuse) = plan.fuse.as_mut() {
+            if *fuse > 0 {
+                *fuse -= 1;
+                return Ok(None);
+            }
+        }
+        let Some(kind) = plan.kind else {
+            return Ok(None);
+        };
+        if !plan.applies_to(lba) {
+            return Ok(None);
+        }
+        let fails = match kind {
+            FaultKind::FailReads => is_read,
+            FaultKind::FailWrites => !is_read,
+            FaultKind::FailAll => true,
+            FaultKind::CorruptReads => return Ok(if is_read { Some(kind) } else { None }),
+        };
+        if fails {
+            Err(BlockError::DeviceFailed {
+                device: format!("fault injection ({kind:?}) at lba {lba}"),
+            })
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
+    fn geometry(&self) -> Geometry {
+        self.inner.geometry()
+    }
+
+    fn read_block(&self, lba: Lba, buf: &mut [u8]) -> Result<()> {
+        let kind = self.check(lba, true)?;
+        self.inner.read_block(lba, buf)?;
+        if kind == Some(FaultKind::CorruptReads) {
+            // Flip a deterministic bit so scrubs can detect the damage.
+            let idx = (lba.index() as usize) % buf.len();
+            buf[idx] ^= 0x80;
+        }
+        Ok(())
+    }
+
+    fn write_block(&self, lba: Lba, buf: &[u8]) -> Result<()> {
+        self.check(lba, false)?;
+        self.inner.write_block(lba, buf)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<D: BlockDevice> std::fmt::Debug for FaultDevice<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultDevice")
+            .field("geometry", &self.geometry())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockSize, MemDevice};
+
+    fn dev() -> FaultDevice<MemDevice> {
+        FaultDevice::new(MemDevice::new(BlockSize::kb4(), 8))
+    }
+
+    #[test]
+    fn healthy_plan_passes_through() {
+        let d = dev();
+        d.write_block(Lba(1), &vec![1u8; 4096]).unwrap();
+        assert_eq!(d.read_block_vec(Lba(1)).unwrap(), vec![1u8; 4096]);
+    }
+
+    #[test]
+    fn fail_reads_only_blocks_reads() {
+        let d = dev();
+        d.set_plan(FaultPlan::always(FaultKind::FailReads));
+        assert!(d.write_block(Lba(0), &vec![0u8; 4096]).is_ok());
+        assert!(d.read_block_vec(Lba(0)).is_err());
+    }
+
+    #[test]
+    fn fail_writes_only_blocks_writes() {
+        let d = dev();
+        d.set_plan(FaultPlan::always(FaultKind::FailWrites));
+        assert!(d.write_block(Lba(0), &vec![0u8; 4096]).is_err());
+        assert!(d.read_block_vec(Lba(0)).is_ok());
+    }
+
+    #[test]
+    fn scoped_lbas_limit_the_blast_radius() {
+        let d = dev();
+        d.set_plan(FaultPlan::always(FaultKind::FailAll).only_lbas([Lba(3)]));
+        assert!(d.read_block_vec(Lba(2)).is_ok());
+        assert!(d.read_block_vec(Lba(3)).is_err());
+    }
+
+    #[test]
+    fn fuse_delays_the_failure() {
+        let d = dev();
+        d.set_plan(FaultPlan::always(FaultKind::FailAll).after_ops(2));
+        assert!(d.read_block_vec(Lba(0)).is_ok());
+        assert!(d.read_block_vec(Lba(0)).is_ok());
+        assert!(d.read_block_vec(Lba(0)).is_err());
+    }
+
+    #[test]
+    fn corrupt_reads_flip_bits_silently() {
+        let d = dev();
+        d.write_block(Lba(2), &vec![0u8; 4096]).unwrap();
+        d.set_plan(FaultPlan::always(FaultKind::CorruptReads));
+        let data = d.read_block_vec(Lba(2)).unwrap();
+        assert_eq!(data.iter().filter(|&&b| b != 0).count(), 1);
+        // Writes still work under CorruptReads.
+        assert!(d.write_block(Lba(2), &vec![1u8; 4096]).is_ok());
+    }
+}

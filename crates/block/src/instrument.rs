@@ -1,0 +1,323 @@
+//! Instrumented device wrapper: I/O counters, write tracing, and online
+//! write observation.
+//!
+//! The paper's traffic figures are functions of the *write stream* an
+//! application produces: for every block write we need the address, the
+//! old contents and the new contents (the PRINS parity is exactly
+//! `old ⊕ new`). [`InstrumentedDevice`] captures that stream either as an
+//! in-memory trace ([`WriteRecord`]s) or by invoking an observer callback
+//! inline, which keeps memory flat during long benchmark runs.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{BlockDevice, Geometry, Lba, Result};
+
+/// Counters accumulated by an [`InstrumentedDevice`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of completed block reads.
+    pub reads: u64,
+    /// Number of completed block writes.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Writes that left the block bit-identical (the application rewrote
+    /// the same contents). PRINS sends almost nothing for these.
+    pub unchanged_writes: u64,
+}
+
+/// One observed block write: address plus before/after images.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// Monotonic sequence number of the write on this device (0-based).
+    pub seq: u64,
+    /// Address that was written.
+    pub lba: Lba,
+    /// Block contents before the write.
+    pub old: Vec<u8>,
+    /// Block contents after the write.
+    pub new: Vec<u8>,
+}
+
+impl WriteRecord {
+    /// Fraction of bytes that differ between the old and new images, in
+    /// `[0, 1]`. The paper cites 5–20 % for real applications.
+    pub fn change_ratio(&self) -> f64 {
+        if self.old.is_empty() {
+            return 0.0;
+        }
+        let changed = self
+            .old
+            .iter()
+            .zip(&self.new)
+            .filter(|(a, b)| a != b)
+            .count();
+        changed as f64 / self.old.len() as f64
+    }
+}
+
+/// Callback invoked for every write with `(seq, lba, old, new)`.
+pub type WriteObserver = Box<dyn FnMut(u64, Lba, &[u8], &[u8]) + Send>;
+
+/// A [`BlockDevice`] wrapper that counts I/O and captures the write
+/// stream.
+///
+/// Reads pass straight through (plus a counter bump). Writes first read
+/// the old image from the inner device, then perform the write, then
+/// deliver `(old, new)` to the configured sinks. The read-before-write is
+/// precisely the read a RAID-4/5 small write performs anyway — PRINS
+/// inherits the old image "for free", which is the crux of the paper.
+///
+/// # Example
+///
+/// ```
+/// use prins_block::{BlockDevice, BlockSize, InstrumentedDevice, Lba, MemDevice};
+///
+/// # fn main() -> Result<(), prins_block::BlockError> {
+/// let dev = InstrumentedDevice::new(MemDevice::new(BlockSize::kb4(), 8));
+/// dev.set_tracing(true);
+/// dev.write_block(Lba(1), &vec![3u8; 4096])?;
+/// let trace = dev.take_trace();
+/// assert_eq!(trace.len(), 1);
+/// assert!(trace[0].old.iter().all(|&b| b == 0));
+/// assert!(trace[0].new.iter().all(|&b| b == 3));
+/// # Ok(())
+/// # }
+/// ```
+pub struct InstrumentedDevice<D> {
+    inner: D,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    unchanged_writes: AtomicU64,
+    tracing: std::sync::atomic::AtomicBool,
+    trace: Mutex<Vec<WriteRecord>>,
+    observer: Mutex<Option<WriteObserver>>,
+}
+
+impl<D: BlockDevice> InstrumentedDevice<D> {
+    /// Wraps `inner` with fresh counters, tracing disabled and no
+    /// observer.
+    pub fn new(inner: D) -> Self {
+        Self {
+            inner,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            unchanged_writes: AtomicU64::new(0),
+            tracing: std::sync::atomic::AtomicBool::new(false),
+            trace: Mutex::new(Vec::new()),
+            observer: Mutex::new(None),
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            unchanged_writes: self.unchanged_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (the trace and observer are left
+    /// untouched).
+    pub fn reset_stats(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.unchanged_writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Enables or disables in-memory trace capture.
+    ///
+    /// Tracing stores both images of every write; for long runs prefer
+    /// [`set_observer`](Self::set_observer), which lets the caller consume
+    /// the stream without accumulation.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Drains and returns the captured trace.
+    pub fn take_trace(&self) -> Vec<WriteRecord> {
+        std::mem::take(&mut *self.trace.lock())
+    }
+
+    /// Installs (or replaces) the online write observer.
+    ///
+    /// The observer runs inline on the writing thread, after the write has
+    /// been applied to the inner device.
+    pub fn set_observer(&self, observer: WriteObserver) {
+        *self.observer.lock() = Some(observer);
+    }
+
+    /// Removes the observer, returning it if one was installed.
+    pub fn clear_observer(&self) -> Option<WriteObserver> {
+        self.observer.lock().take()
+    }
+
+    /// Gives access to the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwraps the instrumentation, returning the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for InstrumentedDevice<D> {
+    fn geometry(&self) -> Geometry {
+        self.inner.geometry()
+    }
+
+    fn read_block(&self, lba: Lba, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_block(lba, buf)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_block(&self, lba: Lba, buf: &[u8]) -> Result<()> {
+        // Read the before-image first (the RAID small-write read).
+        let mut old = self.geometry().block_size().zeroed();
+        self.inner.read_block(lba, &mut old)?;
+        self.inner.write_block(lba, buf)?;
+
+        let seq = self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        if old == buf {
+            self.unchanged_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(obs) = self.observer.lock().as_mut() {
+            obs(seq, lba, &old, buf);
+        }
+        if self.tracing.load(Ordering::Relaxed) {
+            self.trace.lock().push(WriteRecord {
+                seq,
+                lba,
+                old,
+                new: buf.to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<D: BlockDevice> std::fmt::Debug for InstrumentedDevice<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstrumentedDevice")
+            .field("geometry", &self.geometry())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockSize, MemDevice};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn dev() -> InstrumentedDevice<MemDevice> {
+        InstrumentedDevice::new(MemDevice::new(BlockSize::kb4(), 8))
+    }
+
+    #[test]
+    fn counters_track_reads_and_writes() {
+        let d = dev();
+        d.write_block(Lba(0), &vec![1u8; 4096]).unwrap();
+        d.write_block(Lba(1), &vec![2u8; 4096]).unwrap();
+        let _ = d.read_block_vec(Lba(0)).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 2 * 4096);
+        assert_eq!(s.bytes_read, 4096);
+        d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn unchanged_write_detection() {
+        let d = dev();
+        let buf = vec![7u8; 4096];
+        d.write_block(Lba(3), &buf).unwrap();
+        d.write_block(Lba(3), &buf).unwrap();
+        assert_eq!(d.stats().unchanged_writes, 1);
+    }
+
+    #[test]
+    fn trace_captures_before_and_after_images() {
+        let d = dev();
+        d.set_tracing(true);
+        d.write_block(Lba(2), &vec![9u8; 4096]).unwrap();
+        d.write_block(Lba(2), &vec![4u8; 4096]).unwrap();
+        let t = d.take_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].seq, 0);
+        assert_eq!(t[1].seq, 1);
+        assert!(t[1].old.iter().all(|&b| b == 9));
+        assert!(t[1].new.iter().all(|&b| b == 4));
+        // Trace drained.
+        assert!(d.take_trace().is_empty());
+    }
+
+    #[test]
+    fn observer_sees_every_write_inline() {
+        let d = dev();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        d.set_observer(Box::new(move |_seq, _lba, old, new| {
+            assert_eq!(old.len(), new.len());
+            c2.fetch_add(1, Ordering::Relaxed);
+        }));
+        for i in 0..5 {
+            d.write_block(Lba(i), &vec![i as u8; 4096]).unwrap();
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+        assert!(d.clear_observer().is_some());
+        assert!(d.clear_observer().is_none());
+    }
+
+    #[test]
+    fn change_ratio_reflects_modified_fraction() {
+        let mut old = vec![0u8; 1000];
+        let new_data = {
+            let mut n = old.clone();
+            n[..100].fill(1);
+            n
+        };
+        old.fill(0);
+        let rec = WriteRecord {
+            seq: 0,
+            lba: Lba(0),
+            old,
+            new: new_data,
+        };
+        assert!((rec.change_ratio() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writes_pass_through_to_inner_device() {
+        let d = dev();
+        d.write_block(Lba(5), &vec![0x42u8; 4096]).unwrap();
+        assert_eq!(d.inner().read_block_vec(Lba(5)).unwrap(), vec![0x42u8; 4096]);
+        let inner = d.into_inner();
+        assert_eq!(inner.read_block_vec(Lba(5)).unwrap(), vec![0x42u8; 4096]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the compression codecs.
+
+use std::fmt;
+
+/// Errors from [`Codec::decompress`](crate::Codec::decompress).
+#[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompressError {
+    /// The stream ended before decoding finished.
+    Truncated,
+    /// A token referenced data outside the decoded window.
+    BadBackreference {
+        /// Distance the token asked for.
+        distance: usize,
+        /// Bytes decoded so far.
+        available: usize,
+    },
+    /// Decoding produced a different length than the caller expected.
+    LengthMismatch {
+        /// Length produced by decoding.
+        produced: usize,
+        /// Length the caller expected.
+        expected: usize,
+    },
+    /// A structurally invalid token was encountered.
+    BadToken,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Truncated => write!(f, "compressed stream truncated"),
+            CompressError::BadBackreference {
+                distance,
+                available,
+            } => write!(
+                f,
+                "backreference distance {distance} exceeds decoded bytes {available}"
+            ),
+            CompressError::LengthMismatch { produced, expected } => write!(
+                f,
+                "decompressed length {produced} does not match expected {expected}"
+            ),
+            CompressError::BadToken => write!(f, "invalid token in compressed stream"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_numbers() {
+        let e = CompressError::BadBackreference {
+            distance: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = CompressError::LengthMismatch {
+            produced: 5,
+            expected: 6,
+        };
+        assert!(e.to_string().contains('6'));
+    }
+}

@@ -1,0 +1,146 @@
+//! Byte-level run-length encoding.
+//!
+//! Used as an ablation baseline: parity blocks are dominated by zero runs,
+//! so RLE alone captures much of the PRINS encoding win; LZSS captures
+//! repeated structure as well. Comparing the two quantifies how much of
+//! the savings comes from zero suppression versus general redundancy.
+
+use crate::{Codec, CompressError};
+
+/// Run-length codec.
+///
+/// Stream format: a sequence of `(count, byte)` pairs where `count` is a
+/// LEB128 varint ≥ 1.
+///
+/// # Example
+///
+/// ```
+/// use prins_compress::{Codec, Rle};
+///
+/// let data = [0u8; 1000];
+/// let packed = Rle.compress(&data);
+/// assert!(packed.len() <= 3);
+/// assert_eq!(Rle.decompress(&packed, 1000).unwrap(), data);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Rle;
+
+impl Codec for Rle {
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < data.len() {
+            let byte = data[i];
+            let mut run = 1usize;
+            while i + run < data.len() && data[i + run] == byte {
+                run += 1;
+            }
+            let mut v = run as u64;
+            loop {
+                let b = (v & 0x7f) as u8;
+                v >>= 7;
+                if v == 0 {
+                    out.push(b);
+                    break;
+                }
+                out.push(b | 0x80);
+            }
+            out.push(byte);
+            i += run;
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], expected_len: usize) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(expected_len);
+        let mut pos = 0usize;
+        while pos < data.len() {
+            // varint count
+            let mut count: u64 = 0;
+            let mut shift = 0u32;
+            loop {
+                let byte = *data.get(pos).ok_or(CompressError::Truncated)?;
+                pos += 1;
+                if shift >= 63 && byte > 0x01 {
+                    return Err(CompressError::BadToken);
+                }
+                count |= ((byte & 0x7f) as u64) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            if count == 0 {
+                return Err(CompressError::BadToken);
+            }
+            let byte = *data.get(pos).ok_or(CompressError::Truncated)?;
+            pos += 1;
+            if out.len() + count as usize > expected_len {
+                return Err(CompressError::LengthMismatch {
+                    produced: out.len() + count as usize,
+                    expected: expected_len,
+                });
+            }
+            out.extend(std::iter::repeat_n(byte, count as usize));
+        }
+        if out.len() != expected_len {
+            return Err(CompressError::LengthMismatch {
+                produced: out.len(),
+                expected: expected_len,
+            });
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "rle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let packed = Rle.compress(data);
+        assert_eq!(Rle.decompress(&packed, data.len()).unwrap(), data);
+        packed.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(roundtrip(&[]), 0);
+    }
+
+    #[test]
+    fn long_runs_collapse() {
+        assert!(roundtrip(&vec![9u8; 100_000]) <= 4);
+    }
+
+    #[test]
+    fn alternating_bytes_expand_by_factor_two() {
+        let data: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
+        assert_eq!(roundtrip(&data), 200);
+    }
+
+    #[test]
+    fn rejects_truncated_and_zero_count() {
+        assert!(Rle.decompress(&[5], 5).is_err()); // count without byte
+        assert!(Rle.decompress(&[0, 7], 0).is_err()); // zero count
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let packed = Rle.compress(&[1, 1, 1]);
+        assert!(Rle.decompress(&packed, 2).is_err());
+        assert!(Rle.decompress(&packed, 4).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            roundtrip(&data);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Builder for [`PrinsEngine`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use prins_block::BlockDevice;
+use prins_net::Transport;
+use prins_repl::{AckPolicy, ReplError, ReplicationGroup, ReplicationMode};
+
+use crate::PrinsEngine;
+
+/// Configures and starts a [`PrinsEngine`].
+///
+/// # Example
+///
+/// ```
+/// use prins_block::{BlockSize, MemDevice};
+/// use prins_core::EngineBuilder;
+/// use prins_repl::ReplicationMode;
+/// use std::sync::Arc;
+///
+/// // An engine with no replicas still works (local-only, encoding
+/// // accounted) — useful for overhead measurements.
+/// let device = Arc::new(MemDevice::new(BlockSize::kb8(), 16));
+/// let engine = EngineBuilder::new(device)
+///     .mode(ReplicationMode::Prins)
+///     .build();
+/// # drop(engine);
+/// ```
+pub struct EngineBuilder {
+    device: Arc<dyn BlockDevice>,
+    mode: ReplicationMode,
+    replicas: Vec<Box<dyn Transport>>,
+    ack_timeout: Duration,
+    ack_policy: AckPolicy,
+}
+
+impl EngineBuilder {
+    /// Starts configuring an engine over `device`.
+    pub fn new(device: Arc<dyn BlockDevice>) -> Self {
+        Self {
+            device,
+            mode: ReplicationMode::Prins,
+            replicas: Vec::new(),
+            ack_timeout: Duration::from_secs(10),
+            ack_policy: AckPolicy::PerWrite,
+        }
+    }
+
+    /// Selects the replication strategy (default: [`ReplicationMode::Prins`]).
+    pub fn mode(mut self, mode: ReplicationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Adds a replica connection.
+    pub fn replica(mut self, transport: Box<dyn Transport>) -> Self {
+        self.replicas.push(transport);
+        self
+    }
+
+    /// Overrides how long the replication thread waits for each
+    /// acknowledgement (default 10 s).
+    pub fn ack_timeout(mut self, timeout: Duration) -> Self {
+        self.ack_timeout = timeout;
+        self
+    }
+
+    /// Overrides the acknowledgement policy (default: per-write, the
+    /// paper's conservative closed-loop model; a window pipelines
+    /// writes over the WAN).
+    pub fn ack_policy(mut self, policy: AckPolicy) -> Self {
+        self.ack_policy = policy;
+        self
+    }
+
+    /// Pushes a full image of the local device to every replica before
+    /// starting (the paper's initial sync), then builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sync failures; no engine is started in that case.
+    pub fn build_with_initial_sync(self) -> Result<PrinsEngine, ReplError> {
+        let mut group = ReplicationGroup::new(self.mode, self.replicas)
+            .with_ack_timeout(self.ack_timeout)
+            .with_ack_policy(self.ack_policy);
+        group.initial_sync(&self.device)?;
+        Ok(PrinsEngine::start(self.device, group))
+    }
+
+    /// Builds and starts the engine (replicas are assumed to already
+    /// hold a copy of the device, e.g. fresh all-zero volumes).
+    pub fn build(self) -> PrinsEngine {
+        let group = ReplicationGroup::new(self.mode, self.replicas)
+            .with_ack_timeout(self.ack_timeout)
+            .with_ack_policy(self.ack_policy);
+        PrinsEngine::start(self.device, group)
+    }
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("mode", &self.mode)
+            .field("replicas", &self.replicas.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,268 @@
+//! The primary-side PRINS engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use prins_block::{BlockDevice, BlockError, Geometry, Lba, Result};
+use prins_repl::{ReplError, ReplicationGroup};
+
+use crate::EngineStats;
+
+pub(crate) enum Job {
+    Write {
+        lba: Lba,
+        old: Vec<u8>,
+        new: Vec<u8>,
+    },
+    Barrier(Sender<()>),
+    Shutdown,
+}
+
+#[derive(Default)]
+pub(crate) struct Shared {
+    pub writes: AtomicU64,
+    pub reads: AtomicU64,
+    pub writes_replicated: AtomicU64,
+    pub replicated_payload_bytes: AtomicU64,
+    pub local_write_nanos: AtomicU64,
+    pub overhead_nanos: AtomicU64,
+    pub send_nanos: AtomicU64,
+    pub replication_errors: AtomicU64,
+    pub last_error: Mutex<Option<String>>,
+}
+
+/// The PRINS-engine: a [`BlockDevice`] wrapper that replicates every
+/// write through a background replication thread.
+///
+/// Construct with [`EngineBuilder`](crate::EngineBuilder). The write
+/// path performs the paper's forward step — capture `A_old`, write
+/// `A_new` locally, hand `(lba, A_old, A_new)` to the replication thread
+/// over a shared queue — and returns; parity encoding and transmission
+/// happen off the application's critical path.
+///
+/// [`flush`](BlockDevice::flush) acts as a replication barrier: it
+/// returns once every queued write has been acknowledged by every
+/// replica, surfacing any replication error that occurred.
+pub struct PrinsEngine {
+    device: Arc<dyn BlockDevice>,
+    tx: Sender<Job>,
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    /// Per-LBA stripe locks: the old-image capture, the local write and
+    /// the queue submission must be atomic per block, or two concurrent
+    /// writers to one LBA would enqueue parities computed against the
+    /// same old image — and the replica's XOR chain would diverge.
+    write_stripes: Vec<Mutex<()>>,
+}
+
+impl PrinsEngine {
+    pub(crate) fn start(
+        device: Arc<dyn BlockDevice>,
+        mut group: ReplicationGroup,
+    ) -> Self {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let shared = Arc::new(Shared::default());
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("prins-engine".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Write { lba, old, new } => {
+                            let t0 = Instant::now();
+                            let payload = group.encode(lba, &old, &new);
+                            worker_shared
+                                .overhead_nanos
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+                            let t1 = Instant::now();
+                            let result = group.replicate_payload(&payload);
+                            worker_shared
+                                .send_nanos
+                                .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            match result {
+                                Ok(()) => {
+                                    worker_shared.writes_replicated.store(
+                                        group.writes_replicated(),
+                                        Ordering::Relaxed,
+                                    );
+                                    worker_shared.replicated_payload_bytes.fetch_add(
+                                        payload.len() as u64
+                                            * group.replica_count().max(1) as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                }
+                                Err(e) => record_error(&worker_shared, &e),
+                            }
+                        }
+                        Job::Barrier(done) => {
+                            // All prior jobs are processed; wait out any
+                            // pipelined acknowledgements, then release
+                            // the waiter.
+                            if let Err(e) = group.drain_acks() {
+                                record_error(&worker_shared, &e);
+                            }
+                            worker_shared
+                                .writes_replicated
+                                .store(group.writes_replicated(), Ordering::Relaxed);
+                            let _ = done.send(());
+                        }
+                        Job::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn prins-engine thread");
+        Self {
+            device,
+            tx,
+            shared,
+            worker: Mutex::new(Some(worker)),
+            write_stripes: (0..64).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            writes: self.shared.writes.load(Ordering::Relaxed),
+            reads: self.shared.reads.load(Ordering::Relaxed),
+            writes_replicated: self.shared.writes_replicated.load(Ordering::Relaxed),
+            replicated_payload_bytes: self
+                .shared
+                .replicated_payload_bytes
+                .load(Ordering::Relaxed),
+            local_write_nanos: self.shared.local_write_nanos.load(Ordering::Relaxed),
+            overhead_nanos: self.shared.overhead_nanos.load(Ordering::Relaxed),
+            send_nanos: self.shared.send_nanos.load(Ordering::Relaxed),
+            replication_errors: self.shared.replication_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The wrapped local device.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.device
+    }
+
+    /// Waits until the replication queue is drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::DeviceFailed`] if any replication error
+    /// occurred since the last check (the error is consumed).
+    pub fn replication_barrier(&self) -> Result<()> {
+        let (done_tx, done_rx) = unbounded();
+        self.tx
+            .send(Job::Barrier(done_tx))
+            .map_err(|_| BlockError::DeviceFailed {
+                device: "prins replication thread is gone".into(),
+            })?;
+        done_rx.recv().map_err(|_| BlockError::DeviceFailed {
+            device: "prins replication thread exited before the barrier".into(),
+        })?;
+        if let Some(err) = self.shared.last_error.lock().take() {
+            return Err(BlockError::DeviceFailed {
+                device: format!("replication failed: {err}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Stops the engine: drains the queue, joins the replication thread
+    /// and reports any outstanding replication error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replication error recorded, if any. The engine
+    /// is unusable for further writes either way.
+    pub fn shutdown(self) -> Result<()> {
+        let result = self.replication_barrier();
+        let _ = self.tx.send(Job::Shutdown);
+        if let Some(worker) = self.worker.lock().take() {
+            let _ = worker.join();
+        }
+        result
+    }
+}
+
+fn record_error(shared: &Shared, e: &ReplError) {
+    shared.replication_errors.fetch_add(1, Ordering::Relaxed);
+    let mut slot = shared.last_error.lock();
+    if slot.is_none() {
+        *slot = Some(e.to_string());
+    }
+}
+
+impl BlockDevice for PrinsEngine {
+    fn geometry(&self) -> Geometry {
+        self.device.geometry()
+    }
+
+    fn read_block(&self, lba: Lba, buf: &mut [u8]) -> Result<()> {
+        self.device.read_block(lba, buf)?;
+        self.shared.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_block(&self, lba: Lba, buf: &[u8]) -> Result<()> {
+        // Serialize capture+write+enqueue per LBA stripe (see field doc).
+        let _stripe = self.write_stripes[(lba.index() % 64) as usize].lock();
+        // Forward step, part 1: capture the old image (the read a
+        // RAID-4/5 small write performs anyway).
+        let t0 = Instant::now();
+        let mut old = self.geometry().block_size().zeroed();
+        self.device.read_block(lba, &mut old)?;
+        let capture_nanos = t0.elapsed().as_nanos() as u64;
+
+        // The local write itself.
+        let t1 = Instant::now();
+        self.device.write_block(lba, buf)?;
+        let write_nanos = t1.elapsed().as_nanos() as u64;
+
+        self.shared
+            .overhead_nanos
+            .fetch_add(capture_nanos, Ordering::Relaxed);
+        self.shared
+            .local_write_nanos
+            .fetch_add(write_nanos, Ordering::Relaxed);
+        self.shared.writes.fetch_add(1, Ordering::Relaxed);
+
+        self.tx
+            .send(Job::Write {
+                lba,
+                old,
+                new: buf.to_vec(),
+            })
+            .map_err(|_| BlockError::DeviceFailed {
+                device: "prins replication thread is gone".into(),
+            })
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.replication_barrier()?;
+        self.device.flush()
+    }
+}
+
+impl Drop for PrinsEngine {
+    fn drop(&mut self) {
+        // Best-effort teardown; errors were reportable via shutdown().
+        let _ = self.tx.send(Job::Shutdown);
+        if let Some(worker) = self.worker.lock().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for PrinsEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrinsEngine")
+            .field("geometry", &self.device.geometry())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the iSCSI-lite layer.
+
+use std::fmt;
+
+use prins_net::NetError;
+
+/// Errors from the initiator or target.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IscsiError {
+    /// Transport-level failure.
+    Net(NetError),
+    /// A malformed or unexpected PDU.
+    Protocol(String),
+    /// The target answered with CHECK CONDITION; the string is the sense
+    /// text it supplied.
+    CheckCondition(String),
+    /// An operation was attempted before a successful login.
+    NotLoggedIn,
+    /// The target rejected the login.
+    LoginRejected(String),
+}
+
+impl fmt::Display for IscsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IscsiError::Net(e) => write!(f, "transport failure: {e}"),
+            IscsiError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            IscsiError::CheckCondition(sense) => write!(f, "check condition: {sense}"),
+            IscsiError::NotLoggedIn => write!(f, "session is not logged in"),
+            IscsiError::LoginRejected(msg) => write!(f, "login rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IscsiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IscsiError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for IscsiError {
+    fn from(e: NetError) -> Self {
+        IscsiError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error as _;
+        let e = IscsiError::from(NetError::Timeout);
+        assert!(e.source().is_some());
+        assert!(IscsiError::NotLoggedIn.to_string().contains("logged in"));
+        assert!(IscsiError::CheckCondition("lba out of range".into())
+            .to_string()
+            .contains("lba out of range"));
+    }
+}

@@ -1,0 +1,489 @@
+//! The iSCSI-lite target: serves a block device to one initiator.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use prins_block::{BlockDevice, Lba};
+use prins_net::{NetError, Transport};
+
+use crate::{Cdb, IscsiError, Opcode, Pdu, ScsiStatus};
+
+/// A target bound to one [`BlockDevice`].
+///
+/// The paper's PRINS-engine lives inside such a target; here the target
+/// is generic over the device, so serving a plain volume, a RAID array
+/// or a PRINS-wrapped engine is the same code path.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Target {
+    device: Arc<dyn BlockDevice>,
+    max_data_segment: usize,
+    stat_sn: u32,
+}
+
+impl Target {
+    /// Creates a target serving `device` with the default 64 KB data
+    /// segment limit.
+    pub fn new(device: Arc<dyn BlockDevice>) -> Self {
+        Self {
+            device,
+            max_data_segment: 64 * 1024,
+            stat_sn: 1,
+        }
+    }
+
+    /// Overrides the maximum Data-In segment size (clamped to ≥ 512).
+    pub fn with_max_data_segment(mut self, bytes: usize) -> Self {
+        self.max_data_segment = bytes.max(512);
+        self
+    }
+
+    /// Serves one connection until logout or disconnect.
+    ///
+    /// # Errors
+    ///
+    /// Protocol violations and unexpected transport failures are
+    /// returned; a clean logout or an orderly peer disconnect returns
+    /// `Ok(())`.
+    pub fn serve<T: Transport>(mut self, transport: T) -> Result<(), IscsiError> {
+        // Login phase.
+        let first = match transport.recv() {
+            Ok(bytes) => Pdu::from_bytes(&bytes)?,
+            Err(NetError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        if first.bhs.opcode != Opcode::LoginRequest {
+            return Err(IscsiError::Protocol(format!(
+                "first pdu must be a login request, got {:?}",
+                first.bhs.opcode
+            )));
+        }
+        let mut resp = Pdu::with_data(
+            Opcode::LoginResponse,
+            format!(
+                "TargetPortalGroupTag=1\0MaxRecvDataSegmentLength={}\0",
+                self.max_data_segment
+            )
+            .into_bytes(),
+        );
+        resp.bhs.itt = first.bhs.itt;
+        resp.bhs.flags = 0x80; // final, transition to full-feature phase
+        resp.bhs.exp_stat_sn = self.next_stat_sn();
+        transport.send(&resp.to_bytes())?;
+
+        // Full-feature phase.
+        loop {
+            let pdu = match transport.recv() {
+                Ok(bytes) => Pdu::from_bytes(&bytes)?,
+                Err(NetError::Disconnected) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            };
+            match pdu.bhs.opcode {
+                Opcode::ScsiCommand => self.handle_command(&transport, &pdu)?,
+                Opcode::NopOut => {
+                    let mut nop = Pdu::with_data(Opcode::NopIn, pdu.data.clone());
+                    nop.bhs.itt = pdu.bhs.itt;
+                    nop.bhs.exp_stat_sn = self.next_stat_sn();
+                    transport.send(&nop.to_bytes())?;
+                }
+                Opcode::LogoutRequest => {
+                    let mut out = Pdu::new(Opcode::LogoutResponse);
+                    out.bhs.itt = pdu.bhs.itt;
+                    out.bhs.exp_stat_sn = self.next_stat_sn();
+                    transport.send(&out.to_bytes())?;
+                    return Ok(());
+                }
+                other => {
+                    return Err(IscsiError::Protocol(format!(
+                        "unexpected {other:?} in full-feature phase"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Spawns [`serve`](Self::serve) on a dedicated thread (the paper's
+    /// "iSCSI target thread"), returning its handle. Serve errors are
+    /// reported by the thread's `Result`.
+    pub fn spawn<T: Transport + 'static>(
+        device: Arc<dyn BlockDevice>,
+        transport: T,
+    ) -> JoinHandle<Result<(), IscsiError>> {
+        let target = Target::new(device);
+        std::thread::spawn(move || target.serve(transport))
+    }
+
+    fn next_stat_sn(&mut self) -> u32 {
+        let sn = self.stat_sn;
+        self.stat_sn = self.stat_sn.wrapping_add(1);
+        sn
+    }
+
+    fn send_status<T: Transport>(
+        &mut self,
+        transport: &T,
+        itt: u32,
+        status: ScsiStatus,
+        sense: &str,
+    ) -> Result<(), IscsiError> {
+        let mut resp = Pdu::with_data(Opcode::ScsiResponse, sense.as_bytes().to_vec());
+        resp.bhs.itt = itt;
+        resp.bhs.flags = 0x80 | status as u8;
+        resp.bhs.exp_stat_sn = self.next_stat_sn();
+        transport.send(&resp.to_bytes())?;
+        Ok(())
+    }
+
+    /// Runs the R2T flow for a write of `total` bytes: grants transfers
+    /// bounded by the data segment limit and reassembles the Data-Out
+    /// PDUs. Returns `None` after sending an error status itself.
+    fn solicit_data<T: Transport>(
+        &mut self,
+        transport: &T,
+        itt: u32,
+        total: usize,
+    ) -> Result<Option<Vec<u8>>, IscsiError> {
+        let mut data = vec![0u8; total];
+        let mut offset = 0usize;
+        while offset < total {
+            let length = (total - offset).min(self.max_data_segment);
+            let mut r2t = Pdu::new(Opcode::R2t);
+            r2t.bhs.itt = itt;
+            r2t.bhs.dword5 = offset as u32;
+            r2t.bhs.cmd_sn = length as u32; // desired data transfer length
+            transport.send(&r2t.to_bytes())?;
+
+            let out = Pdu::from_bytes(&transport.recv()?)?;
+            if out.bhs.opcode != Opcode::DataOut
+                || out.bhs.itt != itt
+                || out.bhs.dword5 as usize != offset
+                || out.data.len() != length
+            {
+                self.send_status(
+                    transport,
+                    itt,
+                    ScsiStatus::CheckCondition,
+                    "data-out did not match the outstanding r2t",
+                )?;
+                return Ok(None);
+            }
+            data[offset..offset + length].copy_from_slice(&out.data);
+            offset += length;
+        }
+        Ok(Some(data))
+    }
+
+    fn handle_command<T: Transport>(
+        &mut self,
+        transport: &T,
+        pdu: &Pdu,
+    ) -> Result<(), IscsiError> {
+        let itt = pdu.bhs.itt;
+        let cdb = match Cdb::from_bytes(&pdu.bhs.cdb) {
+            Ok(cdb) => cdb,
+            Err(e) => {
+                return self.send_status(
+                    transport,
+                    itt,
+                    ScsiStatus::CheckCondition,
+                    &format!("invalid cdb: {e}"),
+                )
+            }
+        };
+        let geometry = self.device.geometry();
+        let bs = geometry.block_size().bytes();
+        match cdb {
+            Cdb::TestUnitReady => self.send_status(transport, itt, ScsiStatus::Good, ""),
+            Cdb::ReadCapacity10 => {
+                let max_lba = geometry.num_blocks().saturating_sub(1) as u32;
+                let mut data = Vec::with_capacity(8);
+                data.extend_from_slice(&max_lba.to_be_bytes());
+                data.extend_from_slice(&(bs as u32).to_be_bytes());
+                let mut din = Pdu::with_data(Opcode::DataIn, data);
+                din.bhs.itt = itt;
+                din.bhs.flags = 0x80;
+                transport.send(&din.to_bytes())?;
+                self.send_status(transport, itt, ScsiStatus::Good, "")
+            }
+            Cdb::SynchronizeCache10 => match self.device.flush() {
+                Ok(()) => self.send_status(transport, itt, ScsiStatus::Good, ""),
+                Err(e) => self.send_status(
+                    transport,
+                    itt,
+                    ScsiStatus::CheckCondition,
+                    &format!("flush failed: {e}"),
+                ),
+            },
+            Cdb::Read10 { lba, blocks } => {
+                let total = blocks as usize * bs;
+                let mut payload = vec![0u8; total];
+                for i in 0..blocks as u64 {
+                    if let Err(e) = self.device.read_block(
+                        Lba(lba as u64 + i),
+                        &mut payload[i as usize * bs..(i as usize + 1) * bs],
+                    ) {
+                        return self.send_status(
+                            transport,
+                            itt,
+                            ScsiStatus::CheckCondition,
+                            &format!("read failed: {e}"),
+                        );
+                    }
+                }
+                // Deliver as Data-In segments of at most max_data_segment.
+                let mut off = 0usize;
+                while off < payload.len() || (payload.is_empty() && off == 0) {
+                    let end = (off + self.max_data_segment).min(payload.len());
+                    let is_final = end == payload.len();
+                    let mut din = Pdu::with_data(Opcode::DataIn, payload[off..end].to_vec());
+                    din.bhs.itt = itt;
+                    din.bhs.dword5 = off as u32;
+                    din.bhs.flags = if is_final { 0x80 } else { 0x00 };
+                    transport.send(&din.to_bytes())?;
+                    off = end;
+                    if is_final {
+                        break;
+                    }
+                }
+                self.send_status(transport, itt, ScsiStatus::Good, "")
+            }
+            Cdb::Write10 { lba, blocks } => {
+                let total = blocks as usize * bs;
+                let data = if pdu.data.len() == total {
+                    // Immediate data: the whole payload rode along.
+                    pdu.data.clone()
+                } else if pdu.data.is_empty() && total > 0 {
+                    // Solicited data: grant R2Ts and collect Data-Out.
+                    match self.solicit_data(transport, itt, total)? {
+                        Some(data) => data,
+                        None => return Ok(()), // status already sent
+                    }
+                } else {
+                    return self.send_status(
+                        transport,
+                        itt,
+                        ScsiStatus::CheckCondition,
+                        &format!(
+                            "write carries {} bytes, expected {total} for {blocks} blocks",
+                            pdu.data.len()
+                        ),
+                    );
+                };
+                for i in 0..blocks as usize {
+                    if let Err(e) = self
+                        .device
+                        .write_block(Lba(lba as u64 + i as u64), &data[i * bs..(i + 1) * bs])
+                    {
+                        return self.send_status(
+                            transport,
+                            itt,
+                            ScsiStatus::CheckCondition,
+                            &format!("write failed: {e}"),
+                        );
+                    }
+                }
+                self.send_status(transport, itt, ScsiStatus::Good, "")
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Target")
+            .field("geometry", &self.device.geometry())
+            .field("max_data_segment", &self.max_data_segment)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Initiator;
+    use prins_block::{BlockSize, MemDevice};
+    use prins_net::{channel_pair, LinkModel, TcpTransport};
+
+    fn setup(
+        blocks: u64,
+    ) -> (
+        Initiator<prins_net::ChannelTransport>,
+        JoinHandle<Result<(), IscsiError>>,
+        Arc<MemDevice>,
+    ) {
+        let (client, server) = channel_pair(LinkModel::gigabit_lan());
+        let device = Arc::new(MemDevice::new(BlockSize::kb4(), blocks));
+        let handle = Target::spawn(Arc::clone(&device) as Arc<dyn BlockDevice>, server);
+        let ini = Initiator::login(client, "iqn.2006-04.edu.uri.test").unwrap();
+        (ini, handle, device)
+    }
+
+    #[test]
+    fn login_discovers_capacity() {
+        let (ini, handle, _dev) = setup(64);
+        assert_eq!(ini.num_blocks(), 64);
+        assert_eq!(ini.block_size(), 4096);
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn write_then_read_round_trips_through_the_wire() {
+        let (mut ini, handle, device) = setup(64);
+        let data = vec![0x77u8; 4096 * 3];
+        ini.write_blocks(10, &data).unwrap();
+        assert_eq!(ini.read_blocks(10, 3).unwrap(), data);
+        // The device actually holds the data.
+        assert_eq!(device.read_block_vec(Lba(11)).unwrap(), vec![0x77u8; 4096]);
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn large_read_is_segmented_into_multiple_data_in_pdus() {
+        let (client, server) = channel_pair(LinkModel::gigabit_lan());
+        let device = Arc::new(MemDevice::new(BlockSize::kb4(), 64));
+        let target = Target::new(Arc::clone(&device) as Arc<dyn BlockDevice>)
+            .with_max_data_segment(4096);
+        let handle = std::thread::spawn(move || target.serve(server));
+        let mut ini = Initiator::login(client, "iqn.test").unwrap();
+        let data: Vec<u8> = (0..4096 * 8).map(|i| (i % 251) as u8).collect();
+        ini.write_blocks(0, &data).unwrap();
+        assert_eq!(ini.read_blocks(0, 8).unwrap(), data);
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn r2t_write_round_trips() {
+        let (mut ini, handle, device) = setup(64);
+        let data: Vec<u8> = (0..4096 * 2).map(|i| (i % 253) as u8).collect();
+        ini.write_blocks_r2t(7, &data).unwrap();
+        assert_eq!(ini.read_blocks(7, 2).unwrap(), data);
+        assert_eq!(device.read_block_vec(Lba(8)).unwrap(), data[4096..]);
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn r2t_write_is_segmented_by_the_targets_limit() {
+        let (client, server) = channel_pair(LinkModel::gigabit_lan());
+        let device = Arc::new(MemDevice::new(BlockSize::kb4(), 64));
+        let target = Target::new(Arc::clone(&device) as Arc<dyn BlockDevice>)
+            .with_max_data_segment(2048); // 4 grants per 8 KB write
+        let handle = std::thread::spawn(move || target.serve(server));
+        let mut ini = Initiator::login(client, "iqn.r2t.test").unwrap();
+        let data = vec![0x3cu8; 4096 * 2];
+        ini.write_blocks_r2t(0, &data).unwrap();
+        assert_eq!(ini.read_blocks(0, 2).unwrap(), data);
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn r2t_out_of_range_still_reports_check_condition() {
+        let (mut ini, handle, _dev) = setup(4);
+        let err = ini.write_blocks_r2t(3, &vec![0u8; 4096 * 2]).unwrap_err();
+        assert!(matches!(err, IscsiError::CheckCondition(_)), "{err}");
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_io_returns_check_condition() {
+        let (mut ini, handle, _dev) = setup(8);
+        let err = ini.read_blocks(8, 1).unwrap_err();
+        assert!(matches!(err, IscsiError::CheckCondition(_)), "{err}");
+        let err = ini.write_blocks(7, &vec![0u8; 4096 * 2]).unwrap_err();
+        assert!(matches!(err, IscsiError::CheckCondition(_)), "{err}");
+        // Session still usable after an error.
+        ini.write_blocks(7, &vec![1u8; 4096]).unwrap();
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn nop_echoes_payload() {
+        let (mut ini, handle, _dev) = setup(8);
+        assert_eq!(ini.nop(b"ping?").unwrap(), b"ping?");
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn test_unit_ready_and_sync_cache() {
+        let (mut ini, handle, _dev) = setup(8);
+        ini.test_unit_ready().unwrap();
+        ini.synchronize_cache().unwrap();
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn misaligned_write_is_rejected_client_side() {
+        let (mut ini, handle, _dev) = setup(8);
+        assert!(matches!(
+            ini.write_blocks(0, &vec![0u8; 100]),
+            Err(IscsiError::Protocol(_))
+        ));
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn target_rejects_commands_before_login() {
+        let (client, server) = channel_pair(LinkModel::gigabit_lan());
+        let device = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
+        let handle = Target::spawn(device, server);
+        // Send a SCSI command as the first PDU.
+        use prins_net::Transport as _;
+        let mut pdu = Pdu::new(Opcode::ScsiCommand);
+        pdu.bhs.cdb = Cdb::TestUnitReady.to_bytes();
+        client.send(&pdu.to_bytes()).unwrap();
+        let result = handle.join().unwrap();
+        assert!(matches!(result, Err(IscsiError::Protocol(_))));
+    }
+
+    #[test]
+    fn disconnect_without_logout_is_a_clean_exit() {
+        let (client, server) = channel_pair(LinkModel::gigabit_lan());
+        let device = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
+        let handle = Target::spawn(device, server);
+        let ini = Initiator::login(client, "iqn.test").unwrap();
+        drop(ini); // connection drops without logout
+        assert!(handle.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn works_over_real_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let device = Arc::new(MemDevice::new(BlockSize::kb4(), 32));
+        let dev2 = Arc::clone(&device);
+        let handle = std::thread::spawn(move || {
+            let server = TcpTransport::accept(&listener, LinkModel::gigabit_lan()).unwrap();
+            Target::spawn(dev2 as Arc<dyn BlockDevice>, server)
+                .join()
+                .unwrap()
+        });
+        let client = TcpTransport::connect(addr, LinkModel::gigabit_lan()).unwrap();
+        let mut ini = Initiator::login(client, "iqn.tcp.test").unwrap();
+        let data = vec![0x99u8; 4096];
+        ini.write_blocks(5, &data).unwrap();
+        assert_eq!(ini.read_blocks(5, 1).unwrap(), data);
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn traffic_meter_counts_pdu_bytes() {
+        let (mut ini, handle, _dev) = setup(16);
+        let before = ini.transport().meter().payload_bytes_sent();
+        ini.write_blocks(0, &vec![0u8; 4096]).unwrap();
+        let after = ini.transport().meter().payload_bytes_sent();
+        // One write: 48-byte BHS + 4096 data.
+        assert_eq!(after - before, 48 + 4096);
+        ini.logout().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

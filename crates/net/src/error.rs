@@ -1,0 +1,80 @@
+//! Error type for transports.
+
+use std::fmt;
+use std::io;
+
+/// Errors returned by [`Transport`](crate::Transport) operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The peer hung up (channel closed / connection reset).
+    Disconnected,
+    /// No message arrived within the requested timeout.
+    Timeout,
+    /// A frame exceeded the transport's maximum message size.
+    FrameTooLarge {
+        /// Size of the offending frame.
+        size: usize,
+        /// Maximum the transport accepts.
+        max: usize,
+    },
+    /// An underlying socket error.
+    Io(io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "transport peer disconnected"),
+            NetError::Timeout => write!(f, "timed out waiting for a message"),
+            NetError::FrameTooLarge { size, max } => {
+                write!(f, "frame of {size} bytes exceeds maximum {max}")
+            }
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionAborted => NetError::Disconnected,
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => NetError::Timeout,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_kinds_map_to_semantic_variants() {
+        let e: NetError = io::Error::new(io::ErrorKind::ConnectionReset, "x").into();
+        assert!(matches!(e, NetError::Disconnected));
+        let e: NetError = io::Error::new(io::ErrorKind::TimedOut, "x").into();
+        assert!(matches!(e, NetError::Timeout));
+        let e: NetError = io::Error::new(io::ErrorKind::PermissionDenied, "x").into();
+        assert!(matches!(e, NetError::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+        assert!(NetError::Timeout.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Wire-traffic accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::LinkModel;
+
+/// Atomic counters of traffic through one transport endpoint.
+///
+/// Shared (`Arc`) between a transport and the measurement harness; the
+/// traffic figures of the paper (Figures 4–7) are read straight off these
+/// counters.
+///
+/// # Example
+///
+/// ```
+/// use prins_net::{LinkModel, TrafficMeter};
+///
+/// let meter = TrafficMeter::new(LinkModel::t1());
+/// meter.record_send(8192);
+/// assert_eq!(meter.payload_bytes_sent(), 8192);
+/// assert_eq!(meter.packets_sent(), 6);
+/// assert_eq!(meter.wire_bytes_sent(), 8192 + 6 * 112);
+/// ```
+#[derive(Debug)]
+pub struct TrafficMeter {
+    link: LinkModel,
+    messages_sent: AtomicU64,
+    messages_received: AtomicU64,
+    payload_sent: AtomicU64,
+    payload_received: AtomicU64,
+    wire_sent: AtomicU64,
+    packets_sent: AtomicU64,
+}
+
+impl TrafficMeter {
+    /// Creates a zeroed meter whose packetization follows `link`.
+    pub fn new(link: LinkModel) -> Self {
+        Self {
+            link,
+            messages_sent: AtomicU64::new(0),
+            messages_received: AtomicU64::new(0),
+            payload_sent: AtomicU64::new(0),
+            payload_received: AtomicU64::new(0),
+            wire_sent: AtomicU64::new(0),
+            packets_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a shared meter.
+    pub fn shared(link: LinkModel) -> Arc<Self> {
+        Arc::new(Self::new(link))
+    }
+
+    /// The link model used for packetization.
+    pub fn link(&self) -> LinkModel {
+        self.link
+    }
+
+    /// Accounts one outbound message of `payload_bytes`.
+    pub fn record_send(&self, payload_bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.payload_sent
+            .fetch_add(payload_bytes as u64, Ordering::Relaxed);
+        self.wire_sent
+            .fetch_add(self.link.wire_bytes(payload_bytes), Ordering::Relaxed);
+        self.packets_sent
+            .fetch_add(self.link.packets(payload_bytes), Ordering::Relaxed);
+    }
+
+    /// Accounts one inbound message of `payload_bytes`.
+    pub fn record_recv(&self, payload_bytes: usize) {
+        self.messages_received.fetch_add(1, Ordering::Relaxed);
+        self.payload_received
+            .fetch_add(payload_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages received.
+    pub fn messages_received(&self) -> u64 {
+        self.messages_received.load(Ordering::Relaxed)
+    }
+
+    /// Application payload bytes sent (before packetization).
+    pub fn payload_bytes_sent(&self) -> u64 {
+        self.payload_sent.load(Ordering::Relaxed)
+    }
+
+    /// Application payload bytes received.
+    pub fn payload_bytes_received(&self) -> u64 {
+        self.payload_received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes on the wire including per-packet protocol headers.
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.wire_sent.load(Ordering::Relaxed)
+    }
+
+    /// Packets sent (per the link's MTU model).
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent.load(Ordering::Relaxed)
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.messages_sent.store(0, Ordering::Relaxed);
+        self.messages_received.store(0, Ordering::Relaxed);
+        self.payload_sent.store(0, Ordering::Relaxed);
+        self.payload_received.store(0, Ordering::Relaxed);
+        self.wire_sent.store(0, Ordering::Relaxed);
+        self.packets_sent.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = TrafficMeter::new(LinkModel::t1());
+        m.record_send(100);
+        m.record_send(2000);
+        m.record_recv(50);
+        assert_eq!(m.messages_sent(), 2);
+        assert_eq!(m.messages_received(), 1);
+        assert_eq!(m.payload_bytes_sent(), 2100);
+        assert_eq!(m.payload_bytes_received(), 50);
+        assert_eq!(m.packets_sent(), 1 + 2);
+        assert_eq!(m.wire_bytes_sent(), 2100 + 3 * 112);
+        m.reset();
+        assert_eq!(m.messages_sent(), 0);
+        assert_eq!(m.wire_bytes_sent(), 0);
+    }
+
+    #[test]
+    fn zero_byte_message_still_costs_a_packet() {
+        let m = TrafficMeter::new(LinkModel::t1());
+        m.record_send(0);
+        assert_eq!(m.packets_sent(), 1);
+        assert_eq!(m.wire_bytes_sent(), 112);
+    }
+
+    #[test]
+    fn meter_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrafficMeter>();
+    }
+}

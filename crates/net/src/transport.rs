@@ -1,0 +1,57 @@
+//! The message transport trait.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{NetError, TrafficMeter};
+
+/// A blocking, message-oriented, reliable, ordered duplex channel.
+///
+/// Both PRINS endpoints (the iSCSI-lite initiator/target pair and the
+/// replication engines) speak whole messages; framing is the transport's
+/// job. Implementations must be safe to share between a sender thread and
+/// a receiver thread (`&self` methods, `Send + Sync`).
+pub trait Transport: Send + Sync {
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the peer is gone,
+    /// [`NetError::FrameTooLarge`] for oversized messages,
+    /// [`NetError::Io`] for socket failures.
+    fn send(&self, msg: &[u8]) -> Result<(), NetError>;
+
+    /// Receives the next message, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when the peer hung up and the stream is
+    /// drained.
+    fn recv(&self) -> Result<Vec<u8>, NetError>;
+
+    /// Receives the next message, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if nothing arrived in time; otherwise as
+    /// [`recv`](Self::recv).
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError>;
+
+    /// The traffic meter accounting this endpoint's sends and receives.
+    fn meter(&self) -> &Arc<TrafficMeter>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{channel_pair, LinkModel};
+
+    #[test]
+    fn transport_is_object_safe() {
+        let (a, b) = channel_pair(LinkModel::t1());
+        let boxed: Box<dyn Transport> = Box::new(a);
+        boxed.send(b"x").unwrap();
+        assert_eq!(b.recv().unwrap(), b"x");
+        let _ = boxed.meter();
+    }
+}

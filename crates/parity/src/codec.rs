@@ -1,0 +1,507 @@
+//! Zero-suppressing sparse encoding of parity blocks.
+//!
+//! A PRINS parity block `P' = A_new ⊕ A_old` is zero everywhere the write
+//! did not change the block. The paper: "this parity block contains mostly
+//! zeros with a very small portion of bit stream that is nonzero.
+//! Therefore, it can be easily encoded to a small size parity block."
+//!
+//! [`SparseCodec`] extracts the maximal nonzero extents and serializes
+//! them as `(gap, length, bytes)` triples with varint integers. Extents
+//! separated by fewer than `min_gap` zero bytes are merged, trading a few
+//! transmitted zeros for less per-segment metadata.
+
+use std::fmt;
+
+use crate::varint::{decode_varint, encode_varint};
+use crate::xor::xor_in_place;
+
+/// One contiguous nonzero extent of a parity block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Byte offset of the extent within the block.
+    pub offset: usize,
+    /// The extent's bytes (never empty for codec-produced segments).
+    pub data: Vec<u8>,
+}
+
+impl Segment {
+    /// One past the last byte covered by this segment.
+    pub fn end(&self) -> usize {
+        self.offset + self.data.len()
+    }
+}
+
+/// Errors from decoding a serialized sparse parity.
+#[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The byte stream ended before the structure was complete.
+    Truncated,
+    /// A segment lies (partly) outside the declared block length.
+    SegmentOutOfBounds {
+        /// Offset of the offending segment.
+        offset: usize,
+        /// End of the offending segment.
+        end: usize,
+        /// Declared block length.
+        block_len: usize,
+    },
+    /// The declared block length does not match the expectation of the
+    /// caller (a replica must apply parity to a same-sized block).
+    BlockLenMismatch {
+        /// Length encoded in the stream.
+        encoded: usize,
+        /// Length the caller expected.
+        expected: usize,
+    },
+    /// Segments are not in strictly increasing, non-overlapping order.
+    SegmentOrder,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "sparse parity stream truncated"),
+            CodecError::SegmentOutOfBounds {
+                offset,
+                end,
+                block_len,
+            } => write!(
+                f,
+                "segment [{offset}, {end}) exceeds block length {block_len}"
+            ),
+            CodecError::BlockLenMismatch { encoded, expected } => write!(
+                f,
+                "encoded block length {encoded} does not match expected {expected}"
+            ),
+            CodecError::SegmentOrder => write!(f, "segments out of order or overlapping"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A parity block represented by its nonzero extents only.
+///
+/// Produced by [`SparseCodec::encode`]; this is what PRINS puts on the
+/// wire (after framing) instead of the full data block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseParity {
+    block_len: usize,
+    segments: Vec<Segment>,
+}
+
+impl SparseParity {
+    /// An all-zero parity (the write did not change the block).
+    pub fn empty(block_len: usize) -> Self {
+        Self {
+            block_len,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Length of the dense block this parity describes.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// The nonzero extents, ordered by offset.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Whether the parity is all zeros.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total bytes of extent payload (excluding metadata).
+    pub fn payload_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.data.len()).sum()
+    }
+
+    /// Exact size of [`to_bytes`](Self::to_bytes) output without
+    /// allocating it. This is the number PRINS reports as replication
+    /// traffic for one write.
+    pub fn wire_size(&self) -> usize {
+        let mut n = varint_len(self.block_len as u64) + varint_len(self.segments.len() as u64);
+        let mut prev_end = 0usize;
+        for s in &self.segments {
+            n += varint_len((s.offset - prev_end) as u64);
+            n += varint_len(s.data.len() as u64);
+            n += s.data.len();
+            prev_end = s.end();
+        }
+        n
+    }
+
+    /// Serializes to the wire format:
+    /// `varint(block_len) varint(n) { varint(gap) varint(len) bytes }*n`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size());
+        encode_varint(&mut out, self.block_len as u64);
+        encode_varint(&mut out, self.segments.len() as u64);
+        let mut prev_end = 0usize;
+        for s in &self.segments {
+            encode_varint(&mut out, (s.offset - prev_end) as u64);
+            encode_varint(&mut out, s.data.len() as u64);
+            out.extend_from_slice(&s.data);
+            prev_end = s.end();
+        }
+        out
+    }
+
+    /// Expands back to a dense parity block of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` differs from the encoded block length; replicas
+    /// must operate on the same block size as the primary.
+    pub fn to_dense(&self, len: usize) -> Vec<u8> {
+        assert_eq!(len, self.block_len, "dense expansion length mismatch");
+        let mut out = vec![0u8; len];
+        for s in &self.segments {
+            out[s.offset..s.end()].copy_from_slice(&s.data);
+        }
+        out
+    }
+
+    /// Applies this parity to `block` in place (`block ^= P'`), i.e. the
+    /// replica-side backward computation, touching only the changed
+    /// extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` differs from the encoded block length.
+    pub fn apply_to(&self, block: &mut [u8]) {
+        assert_eq!(
+            block.len(),
+            self.block_len,
+            "parity applied to wrong-sized block"
+        );
+        for s in &self.segments {
+            xor_in_place(&mut block[s.offset..s.offset + s.data.len()], &s.data);
+        }
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    (((64 - v.leading_zeros()).max(1) as usize) + 6) / 7
+}
+
+/// Encoder/decoder between dense parity blocks and [`SparseParity`].
+///
+/// `min_gap` controls extent merging: runs of fewer than `min_gap` zero
+/// bytes between two nonzero extents are kept inline rather than paying
+/// for a fresh `(gap, len)` header. The default of 8 is near-optimal for
+/// varint metadata of 2–4 bytes per segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SparseCodec {
+    min_gap: usize,
+}
+
+impl SparseCodec {
+    /// Creates a codec with the given merge threshold.
+    pub fn new(min_gap: usize) -> Self {
+        Self { min_gap }
+    }
+
+    /// The configured merge threshold.
+    pub fn min_gap(&self) -> usize {
+        self.min_gap
+    }
+
+    /// Extracts the nonzero extents of `parity`.
+    pub fn encode(&self, parity: &[u8]) -> SparseParity {
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut i = 0usize;
+        let n = parity.len();
+        while i < n {
+            if parity[i] == 0 {
+                i += 1;
+                continue;
+            }
+            // Start of a nonzero run.
+            let start = i;
+            let mut end = i + 1;
+            let mut zeros = 0usize;
+            let mut last_nonzero = i + 1;
+            while end < n {
+                if parity[end] == 0 {
+                    zeros += 1;
+                    if zeros >= self.min_gap {
+                        break;
+                    }
+                } else {
+                    zeros = 0;
+                    last_nonzero = end + 1;
+                }
+                end += 1;
+            }
+            segments.push(Segment {
+                offset: start,
+                data: parity[start..last_nonzero].to_vec(),
+            });
+            i = end;
+        }
+        SparseParity {
+            block_len: n,
+            segments,
+        }
+    }
+
+    /// Parses the wire format produced by [`SparseParity::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::Truncated`] if the stream ends early,
+    /// * [`CodecError::BlockLenMismatch`] if the encoded block length is
+    ///   not `expected_block_len`,
+    /// * [`CodecError::SegmentOutOfBounds`] /
+    ///   [`CodecError::SegmentOrder`] on malformed structure.
+    pub fn decode(&self, bytes: &[u8], expected_block_len: usize) -> Result<SparseParity, CodecError> {
+        let mut pos = 0usize;
+        let (block_len, used) = decode_varint(&bytes[pos..]).ok_or(CodecError::Truncated)?;
+        pos += used;
+        let block_len = block_len as usize;
+        if block_len != expected_block_len {
+            return Err(CodecError::BlockLenMismatch {
+                encoded: block_len,
+                expected: expected_block_len,
+            });
+        }
+        let (count, used) = decode_varint(&bytes[pos..]).ok_or(CodecError::Truncated)?;
+        pos += used;
+        let mut segments = Vec::with_capacity(count as usize);
+        let mut prev_end = 0usize;
+        for _ in 0..count {
+            let (gap, used) = decode_varint(&bytes[pos..]).ok_or(CodecError::Truncated)?;
+            pos += used;
+            let (len, used) = decode_varint(&bytes[pos..]).ok_or(CodecError::Truncated)?;
+            pos += used;
+            let len = len as usize;
+            if len == 0 {
+                return Err(CodecError::SegmentOrder);
+            }
+            let offset = prev_end
+                .checked_add(gap as usize)
+                .ok_or(CodecError::SegmentOrder)?;
+            let end = offset.checked_add(len).ok_or(CodecError::SegmentOrder)?;
+            if end > block_len {
+                return Err(CodecError::SegmentOutOfBounds {
+                    offset,
+                    end,
+                    block_len,
+                });
+            }
+            if pos + len > bytes.len() {
+                return Err(CodecError::Truncated);
+            }
+            segments.push(Segment {
+                offset,
+                data: bytes[pos..pos + len].to_vec(),
+            });
+            pos += len;
+            prev_end = end;
+        }
+        Ok(SparseParity {
+            block_len,
+            segments,
+        })
+    }
+}
+
+impl Default for SparseCodec {
+    /// A codec with `min_gap = 8`.
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward_parity;
+    use proptest::prelude::*;
+
+    fn roundtrip(codec: SparseCodec, parity: &[u8]) {
+        let sp = codec.encode(parity);
+        let bytes = sp.to_bytes();
+        assert_eq!(bytes.len(), sp.wire_size(), "wire_size must be exact");
+        let back = codec.decode(&bytes, parity.len()).unwrap();
+        assert_eq!(back.to_dense(parity.len()), parity);
+    }
+
+    #[test]
+    fn all_zero_parity_is_tiny() {
+        let parity = vec![0u8; 8192];
+        let sp = SparseCodec::default().encode(&parity);
+        assert!(sp.is_empty());
+        assert!(sp.wire_size() <= 3);
+        roundtrip(SparseCodec::default(), &parity);
+    }
+
+    #[test]
+    fn single_extent() {
+        let mut parity = vec![0u8; 4096];
+        parity[100..228].fill(0x55);
+        let sp = SparseCodec::default().encode(&parity);
+        assert_eq!(sp.segments().len(), 1);
+        assert_eq!(sp.payload_bytes(), 128);
+        // metadata is a handful of bytes
+        assert!(sp.wire_size() < 128 + 10);
+        roundtrip(SparseCodec::default(), &parity);
+    }
+
+    #[test]
+    fn nearby_extents_are_merged_by_min_gap() {
+        let mut parity = vec![0u8; 1024];
+        parity[10] = 1;
+        parity[14] = 1; // 3 zero gap < min_gap=8 → merged
+        parity[500] = 1; // far away → separate segment
+        let sp = SparseCodec::default().encode(&parity);
+        assert_eq!(sp.segments().len(), 2);
+        assert_eq!(sp.segments()[0].offset, 10);
+        assert_eq!(sp.segments()[0].data.len(), 5);
+        roundtrip(SparseCodec::default(), &parity);
+    }
+
+    #[test]
+    fn min_gap_one_splits_every_run() {
+        let mut parity = vec![0u8; 64];
+        parity[1] = 1;
+        parity[3] = 1;
+        let sp = SparseCodec::new(1).encode(&parity);
+        assert_eq!(sp.segments().len(), 2);
+        roundtrip(SparseCodec::new(1), &parity);
+    }
+
+    #[test]
+    fn trailing_zeros_are_not_included() {
+        let mut parity = vec![0u8; 32];
+        parity[0] = 9;
+        parity[2] = 9; // merged with gap 1, then 29 zeros follow
+        let sp = SparseCodec::default().encode(&parity);
+        assert_eq!(sp.segments().len(), 1);
+        assert_eq!(sp.segments()[0].data, vec![9, 0, 9]);
+    }
+
+    #[test]
+    fn apply_to_equals_dense_xor() {
+        let old: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+        let mut new = old.clone();
+        new[50..60].fill(0);
+        new[400] = 7;
+        let parity = forward_parity(&old, &new);
+        let sp = SparseCodec::default().encode(&parity);
+        let mut block = old.clone();
+        sp.apply_to(&mut block);
+        assert_eq!(block, new);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_block_len() {
+        let sp = SparseCodec::default().encode(&vec![0u8; 100]);
+        let bytes = sp.to_bytes();
+        assert_eq!(
+            SparseCodec::default().decode(&bytes, 200),
+            Err(CodecError::BlockLenMismatch {
+                encoded: 100,
+                expected: 200
+            })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_cut() {
+        let mut parity = vec![0u8; 256];
+        parity[3..10].fill(1);
+        parity[100..120].fill(2);
+        let bytes = SparseCodec::default().encode(&parity).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                SparseCodec::default().decode(&bytes[..cut], 256).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_bounds_segment() {
+        // Hand-craft: block_len=4, 1 segment, gap=0, len=8.
+        let mut bytes = Vec::new();
+        crate::encode_varint(&mut bytes, 4);
+        crate::encode_varint(&mut bytes, 1);
+        crate::encode_varint(&mut bytes, 0);
+        crate::encode_varint(&mut bytes, 8);
+        bytes.extend_from_slice(&[1u8; 8]);
+        assert!(matches!(
+            SparseCodec::default().decode(&bytes, 4),
+            Err(CodecError::SegmentOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_zero_length_segment() {
+        let mut bytes = Vec::new();
+        crate::encode_varint(&mut bytes, 16);
+        crate::encode_varint(&mut bytes, 1);
+        crate::encode_varint(&mut bytes, 0);
+        crate::encode_varint(&mut bytes, 0);
+        assert_eq!(
+            SparseCodec::default().decode(&bytes, 16),
+            Err(CodecError::SegmentOrder)
+        );
+    }
+
+    #[test]
+    fn wire_size_beats_dense_for_sparse_changes() {
+        // The headline PRINS scenario: 8KB block, ~10% changed.
+        let old = vec![0xabu8; 8192];
+        let mut new = old.clone();
+        new[1000..1800].fill(0xcd);
+        let parity = forward_parity(&old, &new);
+        let sp = SparseCodec::default().encode(&parity);
+        assert!(sp.wire_size() < 8192 / 9, "expected ~10x reduction");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_arbitrary_parity(parity in proptest::collection::vec(any::<u8>(), 0..2048),
+                                           min_gap in 1usize..32) {
+            let codec = SparseCodec::new(min_gap);
+            let sp = codec.encode(&parity);
+            let bytes = sp.to_bytes();
+            prop_assert_eq!(bytes.len(), sp.wire_size());
+            let back = codec.decode(&bytes, parity.len()).unwrap();
+            prop_assert_eq!(back.to_dense(parity.len()), parity);
+        }
+
+        #[test]
+        fn prop_sparse_apply_matches_dense(old in proptest::collection::vec(any::<u8>(), 1..1024),
+                                           flips in proptest::collection::vec((any::<prop::sample::Index>(), 1u8..), 0..16)) {
+            let mut new = old.clone();
+            for (idx, v) in &flips {
+                new[idx.index(old.len())] ^= v;
+            }
+            let parity = forward_parity(&old, &new);
+            let sp = SparseCodec::default().encode(&parity);
+            let mut block = old.clone();
+            sp.apply_to(&mut block);
+            prop_assert_eq!(block, new);
+        }
+
+        #[test]
+        fn prop_segments_sorted_nonoverlapping(parity in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let sp = SparseCodec::default().encode(&parity);
+            let mut prev_end = 0usize;
+            for s in sp.segments() {
+                prop_assert!(s.offset >= prev_end);
+                prop_assert!(!s.data.is_empty());
+                prop_assert!(*s.data.first().unwrap() != 0);
+                prop_assert!(*s.data.last().unwrap() != 0);
+                prev_end = s.end();
+            }
+        }
+    }
+}

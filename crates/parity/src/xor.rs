@@ -1,0 +1,145 @@
+//! Word-at-a-time XOR kernels.
+//!
+//! XOR is the only arithmetic PRINS and RAID parity need. The kernels
+//! below process eight bytes per iteration on the aligned middle of the
+//! buffers; the compiler auto-vectorizes the `u64` loop on every target we
+//! care about, which keeps the "computation is much cheaper than
+//! communication" premise of the paper honest.
+
+/// XORs `src` into `dst` (`dst[i] ^= src[i]`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths — calling code always
+/// operates on whole blocks of a single device, so a mismatch is a logic
+/// error, not an I/O condition.
+///
+/// # Example
+///
+/// ```
+/// use prins_parity::xor_in_place;
+///
+/// let mut a = vec![0b1100u8; 16];
+/// xor_in_place(&mut a, &vec![0b1010u8; 16]);
+/// assert!(a.iter().all(|&b| b == 0b0110));
+/// ```
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor operands must be equal length");
+    // Split both slices into a u64-aligned middle plus byte prefix/suffix.
+    let n = dst.len();
+    let chunk = 8;
+    let main = n - (n % chunk);
+    for i in (0..main).step_by(chunk) {
+        let a = u64::from_ne_bytes(dst[i..i + chunk].try_into().unwrap());
+        let b = u64::from_ne_bytes(src[i..i + chunk].try_into().unwrap());
+        dst[i..i + chunk].copy_from_slice(&(a ^ b).to_ne_bytes());
+    }
+    for i in main..n {
+        dst[i] ^= src[i];
+    }
+}
+
+/// Writes `a ^ b` into `out`.
+///
+/// # Panics
+///
+/// Panics if the three slices are not all the same length.
+pub fn xor_into(out: &mut [u8], a: &[u8], b: &[u8]) {
+    assert_eq!(a.len(), b.len(), "xor operands must be equal length");
+    assert_eq!(out.len(), a.len(), "xor output must match operand length");
+    out.copy_from_slice(a);
+    xor_in_place(out, b);
+}
+
+/// Returns `a ^ b` as a freshly allocated buffer.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use prins_parity::xor_bytes;
+///
+/// assert_eq!(xor_bytes(&[1, 2, 3], &[1, 2, 3]), vec![0, 0, 0]);
+/// ```
+pub fn xor_bytes(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = a.to_vec();
+    xor_in_place(&mut out, b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn xor_with_self_is_zero() {
+        let a: Vec<u8> = (0..=255).collect();
+        assert!(xor_bytes(&a, &a).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn xor_with_zero_is_identity() {
+        let a: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
+        let z = vec![0u8; 100];
+        assert_eq!(xor_bytes(&a, &z), a);
+    }
+
+    #[test]
+    fn handles_lengths_that_are_not_multiples_of_eight() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 65] {
+            let a: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 3 + 1) as u8).collect();
+            let naive: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            assert_eq!(xor_bytes(&a, &b), naive, "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        xor_bytes(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn xor_into_matches_xor_bytes() {
+        let a = vec![0xF0u8; 33];
+        let b = vec![0x0Fu8; 33];
+        let mut out = vec![0u8; 33];
+        xor_into(&mut out, &a, &b);
+        assert_eq!(out, xor_bytes(&a, &b));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_xor_is_involutive(a in proptest::collection::vec(any::<u8>(), 0..512),
+                                  b_seed in any::<u64>()) {
+            let b: Vec<u8> = a.iter().enumerate()
+                .map(|(i, _)| (b_seed.wrapping_mul(i as u64 + 1) >> 32) as u8)
+                .collect();
+            let x = xor_bytes(&a, &b);
+            prop_assert_eq!(xor_bytes(&x, &b), a);
+        }
+
+        #[test]
+        fn prop_xor_commutes(a in proptest::collection::vec(any::<u8>(), 0..256),
+                             b in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let n = a.len().min(b.len());
+            prop_assert_eq!(xor_bytes(&a[..n], &b[..n]), xor_bytes(&b[..n], &a[..n]));
+        }
+
+        #[test]
+        fn prop_xor_associates(bytes in proptest::collection::vec(any::<(u8, u8, u8)>(), 0..256)) {
+            let a: Vec<u8> = bytes.iter().map(|t| t.0).collect();
+            let b: Vec<u8> = bytes.iter().map(|t| t.1).collect();
+            let c: Vec<u8> = bytes.iter().map(|t| t.2).collect();
+            prop_assert_eq!(
+                xor_bytes(&xor_bytes(&a, &b), &c),
+                xor_bytes(&a, &xor_bytes(&b, &c))
+            );
+        }
+    }
+}

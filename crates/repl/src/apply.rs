@@ -1,0 +1,200 @@
+//! Replica-side payload application.
+
+use prins_block::{BlockDevice, Lba};
+use prins_compress::{Codec, Lzss};
+use prins_parity::SparseCodec;
+
+use crate::{Payload, PayloadBody, ReplError};
+
+/// Applies replication payloads to a replica's local device.
+///
+/// For PRINS payloads this performs the paper's backward parity
+/// computation: read `A_old` at the payload's LBA, XOR in the decoded
+/// parity extents, and store the result in place — "the data block is
+/// recomputed back at the replica storage site upon receiving the
+/// parity".
+pub struct ReplicaApplier<'d, D: ?Sized> {
+    device: &'d D,
+    sparse: SparseCodec,
+    lzss: Lzss,
+    applied: u64,
+}
+
+impl<'d, D: BlockDevice + ?Sized> ReplicaApplier<'d, D> {
+    /// Creates an applier bound to the replica's device.
+    pub fn new(device: &'d D) -> Self {
+        Self {
+            device,
+            sparse: SparseCodec::default(),
+            lzss: Lzss::default(),
+            applied: 0,
+        }
+    }
+
+    /// Number of write payloads applied so far (sync markers excluded).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Decodes and applies one payload. Returns `true` for data payloads
+    /// and `false` for the end-of-sync marker.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReplError::Malformed`] / [`ReplError::Parity`] /
+    ///   [`ReplError::Compress`] on undecodable payloads,
+    /// * [`ReplError::Block`] if the local device rejects the write.
+    pub fn apply(&mut self, payload_bytes: &[u8]) -> Result<bool, ReplError> {
+        let payload = Payload::from_bytes(payload_bytes)?;
+        let bs = self.device.geometry().block_size().bytes();
+        match payload.body {
+            PayloadBody::Full(data) => {
+                self.device.write_block(payload.lba, &data)?;
+            }
+            PayloadBody::Compressed { block_len, data } => {
+                if block_len != bs {
+                    return Err(ReplError::Malformed(format!(
+                        "compressed payload block_len {block_len} != device block size {bs}"
+                    )));
+                }
+                let block = self.lzss.decompress(&data, block_len)?;
+                self.device.write_block(payload.lba, &block)?;
+            }
+            PayloadBody::Parity(data) => {
+                self.apply_parity(payload.lba, &data)?;
+            }
+            PayloadBody::ParityCompressed { sparse_len, data } => {
+                let sparse = self.lzss.decompress(&data, sparse_len)?;
+                self.apply_parity(payload.lba, &sparse)?;
+            }
+            PayloadBody::SyncMarker => return Ok(false),
+        }
+        self.applied += 1;
+        Ok(true)
+    }
+
+    fn apply_parity(&self, lba: Lba, sparse_bytes: &[u8]) -> Result<(), ReplError> {
+        let bs = self.device.geometry().block_size().bytes();
+        let parity = self.sparse.decode(sparse_bytes, bs)?;
+        // Backward computation: A_new = P' ^ A_old, touching only the
+        // changed extents.
+        let mut block = self.device.read_block_vec(lba)?;
+        parity.apply_to(&mut block);
+        self.device.write_block(lba, &block)?;
+        Ok(())
+    }
+}
+
+impl<D: ?Sized> std::fmt::Debug for ReplicaApplier<'_, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaApplier")
+            .field("applied", &self.applied)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator,
+    };
+    use prins_block::{BlockSize, MemDevice};
+    use rand::{RngExt, SeedableRng};
+
+    fn scenario() -> (MemDevice, Vec<(Lba, Vec<u8>, Vec<u8>)>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let replica = MemDevice::new(BlockSize::kb4(), 16);
+        let mut writes = Vec::new();
+        for _ in 0..40 {
+            let lba = Lba(rng.random_range(0..16));
+            let old = replica.read_block_vec(lba).unwrap();
+            let mut new = old.clone();
+            let start = rng.random_range(0..4000);
+            let len = rng.random_range(1..96);
+            for b in &mut new[start..start + len] {
+                *b = rng.random();
+            }
+            writes.push((lba, old, new));
+            // Track what the replica *will* hold after each apply so the
+            // next old image is correct.
+            replica.write_block(lba, &writes.last().unwrap().2).unwrap();
+        }
+        // Reset replica to zeros; the writes carry the evolution.
+        let fresh = MemDevice::new(BlockSize::kb4(), 16);
+        (fresh, writes)
+    }
+
+    fn replay(replicator: &dyn Replicator) {
+        let (replica, writes) = scenario();
+        let mut applier = ReplicaApplier::new(&replica);
+        for (lba, old, new) in &writes {
+            let payload = replicator.encode_write(*lba, old, new);
+            assert!(applier.apply(&payload).unwrap());
+            assert_eq!(&replica.read_block_vec(*lba).unwrap(), new);
+        }
+        assert_eq!(applier.applied(), writes.len() as u64);
+    }
+
+    #[test]
+    fn traditional_payloads_apply() {
+        replay(&TraditionalReplicator);
+    }
+
+    #[test]
+    fn compressed_payloads_apply() {
+        replay(&CompressedReplicator::default());
+    }
+
+    #[test]
+    fn prins_payloads_apply() {
+        replay(&PrinsReplicator::new());
+    }
+
+    #[test]
+    fn prins_compressed_payloads_apply() {
+        replay(&PrinsReplicator::with_parity_compression());
+    }
+
+    #[test]
+    fn sync_marker_returns_false() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let marker = Payload {
+            lba: Lba(0),
+            body: PayloadBody::SyncMarker,
+        };
+        assert!(!applier.apply(&marker.to_bytes()).unwrap());
+        assert_eq!(applier.applied(), 0);
+    }
+
+    #[test]
+    fn wrong_block_size_parity_is_rejected() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        // Parity encoded for an 8 KB block cannot apply to a 4 KB device.
+        let old = [0u8; 8192];
+        let mut new = old;
+        new[100..132].fill(1); // sparse change → parity payload
+        let payload = PrinsReplicator::new().encode_write(Lba(0), &old, &new);
+        assert!(matches!(
+            applier.apply(&payload),
+            Err(ReplError::Parity(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_lba_is_rejected() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let payload = TraditionalReplicator.encode_write(Lba(99), &[0u8; 4096], &[1u8; 4096]);
+        assert!(matches!(applier.apply(&payload), Err(ReplError::Block(_))));
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        assert!(applier.apply(&[200, 1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the replication layer.
+
+use std::fmt;
+
+use prins_block::BlockError;
+use prins_compress::CompressError;
+use prins_net::NetError;
+use prins_parity::CodecError;
+
+/// Errors from encoding, transporting, or applying replication payloads.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReplError {
+    /// Local or replica device failure.
+    Block(BlockError),
+    /// Parity codec failure while decoding a PRINS payload.
+    Parity(CodecError),
+    /// Decompression failure on a compressed payload.
+    Compress(CompressError),
+    /// Transport failure.
+    Net(NetError),
+    /// A structurally invalid payload.
+    Malformed(String),
+    /// A replica did not acknowledge a write.
+    MissingAck {
+        /// Index of the silent replica.
+        replica: usize,
+    },
+}
+
+impl fmt::Display for ReplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplError::Block(e) => write!(f, "device error: {e}"),
+            ReplError::Parity(e) => write!(f, "parity codec error: {e}"),
+            ReplError::Compress(e) => write!(f, "decompression error: {e}"),
+            ReplError::Net(e) => write!(f, "transport error: {e}"),
+            ReplError::Malformed(msg) => write!(f, "malformed replication payload: {msg}"),
+            ReplError::MissingAck { replica } => {
+                write!(f, "replica {replica} did not acknowledge the write")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplError::Block(e) => Some(e),
+            ReplError::Parity(e) => Some(e),
+            ReplError::Compress(e) => Some(e),
+            ReplError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlockError> for ReplError {
+    fn from(e: BlockError) -> Self {
+        ReplError::Block(e)
+    }
+}
+
+impl From<CodecError> for ReplError {
+    fn from(e: CodecError) -> Self {
+        ReplError::Parity(e)
+    }
+}
+
+impl From<CompressError> for ReplError {
+    fn from(e: CompressError) -> Self {
+        ReplError::Compress(e)
+    }
+}
+
+impl From<NetError> for ReplError {
+    fn from(e: NetError) -> Self {
+        ReplError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources_work() {
+        use std::error::Error as _;
+        let e = ReplError::from(NetError::Timeout);
+        assert!(e.source().is_some());
+        let e = ReplError::Malformed("tag 9".into());
+        assert!(e.to_string().contains("tag 9"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReplError>();
+    }
+}

@@ -1,0 +1,202 @@
+//! The replication wire payload.
+//!
+//! Every replicated write is one message:
+//!
+//! ```text
+//! payload := tag(u8) varint(lba) body
+//! tag 0 (Full):             raw block bytes
+//! tag 1 (Compressed):       varint(block_len) lzss bytes
+//! tag 2 (Parity):           sparse-parity bytes (self-describing)
+//! tag 3 (ParityCompressed): varint(sparse_len) lzss(sparse bytes)
+//! tag 4 (SyncMarker):       empty — end of initial sync
+//! ```
+//!
+//! The LBA travels with the data, mirroring the paper's "results of the
+//! forward parity computation are then sent together with meta-data such
+//! as LBA to replica nodes".
+
+use prins_block::Lba;
+use prins_parity::{decode_varint, encode_varint};
+
+use crate::ReplError;
+
+/// Decoded body of a replication payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PayloadBody {
+    /// Full block image (traditional replication / initial sync).
+    Full(Vec<u8>),
+    /// LZSS-compressed block image; `block_len` is the uncompressed size.
+    Compressed {
+        /// Uncompressed block length.
+        block_len: usize,
+        /// LZSS stream.
+        data: Vec<u8>,
+    },
+    /// Zero-run-encoded PRINS parity.
+    Parity(Vec<u8>),
+    /// LZSS over the encoded parity (ablation mode).
+    ParityCompressed {
+        /// Length of the sparse-parity stream before compression.
+        sparse_len: usize,
+        /// LZSS stream.
+        data: Vec<u8>,
+    },
+    /// Marks the end of an initial sync stream.
+    SyncMarker,
+}
+
+/// One replicated write on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Payload {
+    /// Address the write applies to.
+    pub lba: Lba,
+    /// The strategy-specific body.
+    pub body: PayloadBody,
+}
+
+impl Payload {
+    /// Serializes to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match &self.body {
+            PayloadBody::Full(data) => {
+                out.push(0);
+                encode_varint(&mut out, self.lba.index());
+                out.extend_from_slice(data);
+            }
+            PayloadBody::Compressed { block_len, data } => {
+                out.push(1);
+                encode_varint(&mut out, self.lba.index());
+                encode_varint(&mut out, *block_len as u64);
+                out.extend_from_slice(data);
+            }
+            PayloadBody::Parity(data) => {
+                out.push(2);
+                encode_varint(&mut out, self.lba.index());
+                out.extend_from_slice(data);
+            }
+            PayloadBody::ParityCompressed { sparse_len, data } => {
+                out.push(3);
+                encode_varint(&mut out, self.lba.index());
+                encode_varint(&mut out, *sparse_len as u64);
+                out.extend_from_slice(data);
+            }
+            PayloadBody::SyncMarker => {
+                out.push(4);
+                encode_varint(&mut out, self.lba.index());
+            }
+        }
+        out
+    }
+
+    /// Parses wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::Malformed`] on unknown tags or truncated headers.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReplError> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or_else(|| ReplError::Malformed("empty payload".into()))?;
+        let (lba, used) =
+            decode_varint(rest).ok_or_else(|| ReplError::Malformed("truncated lba".into()))?;
+        let rest = &rest[used..];
+        let body = match tag {
+            0 => PayloadBody::Full(rest.to_vec()),
+            1 => {
+                let (block_len, used) = decode_varint(rest)
+                    .ok_or_else(|| ReplError::Malformed("truncated block_len".into()))?;
+                PayloadBody::Compressed {
+                    block_len: block_len as usize,
+                    data: rest[used..].to_vec(),
+                }
+            }
+            2 => PayloadBody::Parity(rest.to_vec()),
+            3 => {
+                let (sparse_len, used) = decode_varint(rest)
+                    .ok_or_else(|| ReplError::Malformed("truncated sparse_len".into()))?;
+                PayloadBody::ParityCompressed {
+                    sparse_len: sparse_len as usize,
+                    data: rest[used..].to_vec(),
+                }
+            }
+            4 => PayloadBody::SyncMarker,
+            other => return Err(ReplError::Malformed(format!("unknown tag {other}"))),
+        };
+        Ok(Self {
+            lba: Lba(lba),
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_bodies_roundtrip() {
+        let cases = vec![
+            Payload {
+                lba: Lba(0),
+                body: PayloadBody::Full(vec![1, 2, 3]),
+            },
+            Payload {
+                lba: Lba(u32::MAX as u64 + 5),
+                body: PayloadBody::Compressed {
+                    block_len: 8192,
+                    data: vec![9; 40],
+                },
+            },
+            Payload {
+                lba: Lba(300),
+                body: PayloadBody::Parity(vec![0xde, 0xad]),
+            },
+            Payload {
+                lba: Lba(7),
+                body: PayloadBody::ParityCompressed {
+                    sparse_len: 77,
+                    data: vec![1; 10],
+                },
+            },
+            Payload {
+                lba: Lba(0),
+                body: PayloadBody::SyncMarker,
+            },
+        ];
+        for p in cases {
+            assert_eq!(Payload::from_bytes(&p.to_bytes()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_unknown_tag() {
+        assert!(Payload::from_bytes(&[]).is_err());
+        assert!(Payload::from_bytes(&[9, 0]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_headers() {
+        // tag=1 with lba but no block_len varint
+        assert!(Payload::from_bytes(&[1]).is_err());
+        // varint continuation byte with nothing after
+        assert!(Payload::from_bytes(&[0, 0x80]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(lba in any::<u64>(), tag in 0u8..5,
+                          n in 0usize..256, data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let body = match tag {
+                0 => PayloadBody::Full(data),
+                1 => PayloadBody::Compressed { block_len: n, data },
+                2 => PayloadBody::Parity(data),
+                3 => PayloadBody::ParityCompressed { sparse_len: n, data },
+                _ => PayloadBody::SyncMarker,
+            };
+            let p = Payload { lba: Lba(lba), body };
+            prop_assert_eq!(Payload::from_bytes(&p.to_bytes()).unwrap(), p);
+        }
+    }
+}

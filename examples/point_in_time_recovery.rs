@@ -1,0 +1,56 @@
+//! TRAP in action: the parity log as a time machine.
+//!
+//! The PRINS authors' companion system (TRAP, ISCA'06) keeps the same
+//! parities PRINS replicates in a log; XORing them backward recovers any
+//! block at any past point in time. This example corrupts a "database"
+//! and rolls it back.
+//!
+//! ```sh
+//! cargo run --example point_in_time_recovery
+//! ```
+
+use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
+use prins_trap::TrapDevice;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dev = TrapDevice::new(MemDevice::new(BlockSize::kb4(), 16));
+
+    // Day 1: the application writes clean data.
+    for i in 0..16u64 {
+        let mut block = vec![0u8; 4096];
+        block[..20].copy_from_slice(format!("ledger entry {i:06}\n").as_bytes());
+        dev.write_block(Lba(i), &block)?;
+    }
+    let checkpoint = dev.log().current_seq();
+    println!("checkpoint taken at seq {checkpoint}");
+
+    // Day 2: a buggy deploy scribbles over half the volume.
+    for i in 0..8u64 {
+        dev.write_block(Lba(i), &vec![0xde; 4096])?;
+    }
+    println!(
+        "corruption applied; block 3 now starts with {:02x?}",
+        &dev.read_block_vec(Lba(3))?[..4]
+    );
+
+    // Ops: roll the whole device back to the checkpoint.
+    let recovered = dev.log().recover_device(&dev, checkpoint)?;
+    let block3 = recovered.read_block_vec(Lba(3))?;
+    println!(
+        "recovered block 3:  {:?}",
+        String::from_utf8_lossy(&block3[..20])
+    );
+    assert!(block3.starts_with(b"ledger entry 000003"));
+
+    // The log cost a fraction of a full-block journal.
+    let journal = dev.log().entries() * 4096;
+    println!(
+        "trap log size: {} B for {} writes (full-block journal: {} B, {:.1}x larger)",
+        dev.log().stored_bytes(),
+        dev.log().entries(),
+        journal,
+        journal as f64 / dev.log().stored_bytes() as f64
+    );
+    println!("point-in-time recovery verified ✓");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Reproduce the paper's queueing analysis (Figures 8-10) from the
+//! analytic models alone.
+//!
+//! ```sh
+//! cargo run --example queueing_analysis
+//! ```
+
+use prins_queueing::figures::{
+    paper_populations, paper_rates, response_vs_population, router_queueing_vs_rate,
+    BytesPerWrite,
+};
+use prins_queueing::NodalDelay;
+
+fn main() {
+    let techniques = BytesPerWrite::paper_defaults();
+
+    for (figure, link, name) in [(8, NodalDelay::t1(), "T1"), (9, NodalDelay::t3(), "T3")] {
+        println!("Figure {figure}: response time vs population ({name}, 2 routers, 8KB)");
+        let series = response_vs_population(link, &techniques, &paper_populations());
+        print!("{:>12}", "population");
+        for s in &series {
+            print!("{:>14}", s.label);
+        }
+        println!();
+        for n in [1usize, 20, 40, 60, 80, 100] {
+            print!("{n:>12}");
+            for s in &series {
+                print!("{:>13.3}s", s.y[n - 1]);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!("Figure 10: router queueing time vs write rate (T1, 8KB)");
+    let series = router_queueing_vs_rate(NodalDelay::t1(), &techniques, &paper_rates());
+    for s in &series {
+        let saturation = s
+            .y
+            .iter()
+            .position(|v| v.is_nan())
+            .map(|i| format!("saturates at {} writes/s", s.x[i]))
+            .unwrap_or_else(|| "never saturates in range".to_string());
+        println!("  {:<12} {}", s.label, saturation);
+    }
+}
