@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints, build, and the test suites.
+#
+# Offline note: the build environment has no crates.io access. Every
+# external dependency (rand, proptest, criterion, crossbeam,
+# parking_lot) is an offline stand-in vendored under vendor/ and wired
+# into [workspace.dependencies] as a path dependency, so cargo never
+# needs the registry. In an environment *with* registry access nothing
+# changes — path dependencies resolve locally either way. If cargo
+# still attempts network access (e.g. a stale lockfile referencing
+# registry packages), run with CARGO_NET_OFFLINE=true.
+set -eu
+cd "$(dirname "$0")"
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q --release              # tier-1 gate (root package)
+cargo test -q --release --workspace  # every crate, incl. vendored stubs

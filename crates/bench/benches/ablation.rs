@@ -9,9 +9,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use prins_block::Lba;
 use prins_net::LinkModel;
-use prins_repl::{PrinsReplicator, Replicator, TraditionalReplicator};
 use prins_parity::{forward_parity, SparseCodec};
-use rand::{Rng as _, RngExt, SeedableRng};
+use prins_repl::{PrinsReplicator, Replicator, TraditionalReplicator};
+use rand::{RngExt, SeedableRng};
 
 fn images_with_change(bs: usize, change: f64, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -29,7 +29,11 @@ fn images_with_change(bs: usize, change: f64, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let hi = bs.saturating_sub(second);
     // At 100% change the second extent spans (almost) the whole block;
     // place it at 0 rather than sampling an empty range.
-    let at = if hi <= lo { 0 } else { rng.random_range(lo..hi) };
+    let at = if hi <= lo {
+        0
+    } else {
+        rng.random_range(lo..hi)
+    };
     for b in &mut new[at..at + second] {
         *b = rng.random();
     }
@@ -41,7 +45,9 @@ fn ablate_parity_compression(c: &mut Criterion) {
     println!("{:>8}  {:>10}  {:>12}", "change", "prins", "prins+lzss");
     for change in [0.05, 0.10, 0.20] {
         let (old, new) = images_with_change(8192, change, 7);
-        let plain = PrinsReplicator::new().encode_write(Lba(0), &old, &new).len();
+        let plain = PrinsReplicator::new()
+            .encode_write(Lba(0), &old, &new)
+            .len();
         let lz = PrinsReplicator::with_parity_compression()
             .encode_write(Lba(0), &old, &new)
             .len();
@@ -60,12 +66,17 @@ fn ablate_parity_compression(c: &mut Criterion) {
 
 fn ablate_change_ratio(c: &mut Criterion) {
     println!("\n== Ablation: PRINS win factor vs change ratio (8KB block) ==");
-    println!("{:>8}  {:>12}  {:>12}  {:>8}", "change", "trad bytes", "prins bytes", "win");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>8}",
+        "change", "trad bytes", "prins bytes", "win"
+    );
     let mut group = c.benchmark_group("ablation/change_ratio");
     for change in [0.01, 0.05, 0.10, 0.20, 0.50, 1.0] {
         let (old, new) = images_with_change(8192, change, 11);
         let trad = TraditionalReplicator.encode_write(Lba(0), &old, &new).len();
-        let prins = PrinsReplicator::new().encode_write(Lba(0), &old, &new).len();
+        let prins = PrinsReplicator::new()
+            .encode_write(Lba(0), &old, &new)
+            .len();
         println!(
             "{:>7.0}%  {trad:>12}  {prins:>12}  {:>7.1}x",
             change * 100.0,
@@ -97,7 +108,11 @@ fn ablate_min_gap(_c: &mut Criterion) {
     let parity = forward_parity(&old, &new);
     for gap in [1usize, 2, 4, 8, 16, 64] {
         let sp = SparseCodec::new(gap).encode(&parity);
-        println!("{gap:>8}  {:>10}  {:>10}", sp.wire_size(), sp.segments().len());
+        println!(
+            "{gap:>8}  {:>10}  {:>10}",
+            sp.wire_size(),
+            sp.segments().len()
+        );
     }
 }
 
@@ -117,7 +132,10 @@ fn ablate_link_model(_c: &mut Criterion) {
 fn ablate_router_count(_c: &mut Criterion) {
     use prins_queueing::{Mva, NodalDelay};
     println!("\n== Ablation: response time vs router count (T1, population 50, 8KB) ==");
-    println!("{:>8}  {:>12}  {:>12}  {:>12}", "routers", "traditional", "compressed", "prins");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "routers", "traditional", "compressed", "prins"
+    );
     let link = NodalDelay::t1();
     for routers in [1usize, 2, 4, 8] {
         let mut row = format!("{routers:>8}");

@@ -7,11 +7,17 @@ use prins_workloads::Workload;
 
 fn bench(c: &mut Criterion) {
     // Print the regenerated figure once; appears in the bench log.
-    println!("{}", fig4_tpcc_oracle(40, false).expect("figure generation"));
+    println!(
+        "{}",
+        fig4_tpcc_oracle(40, false).expect("figure generation")
+    );
     c.bench_function("fig4_tpcc_oracle/measure_traffic/8KB", |b| {
         b.iter(|| {
-            measure_traffic(Workload::TpccOracle, &TrafficConfig::smoke(BlockSize::kb8()))
-                .expect("measurement")
+            measure_traffic(
+                Workload::TpccOracle,
+                &TrafficConfig::smoke(BlockSize::kb8()),
+            )
+            .expect("measurement")
         })
     });
 }

@@ -7,11 +7,17 @@ use prins_workloads::Workload;
 
 fn bench(c: &mut Criterion) {
     // Print the regenerated figure once; appears in the bench log.
-    println!("{}", fig5_tpcc_postgres(40, false).expect("figure generation"));
+    println!(
+        "{}",
+        fig5_tpcc_postgres(40, false).expect("figure generation")
+    );
     c.bench_function("fig5_tpcc_postgres/measure_traffic/8KB", |b| {
         b.iter(|| {
-            measure_traffic(Workload::TpccPostgres, &TrafficConfig::smoke(BlockSize::kb8()))
-                .expect("measurement")
+            measure_traffic(
+                Workload::TpccPostgres,
+                &TrafficConfig::smoke(BlockSize::kb8()),
+            )
+            .expect("measurement")
         })
     });
 }

@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use prins_compress::{Codec, Lzss, Rle};
 use prins_iscsi::{Opcode, Pdu};
 use prins_parity::{forward_parity, SparseCodec};
-use rand::{Rng as _, RngExt, SeedableRng};
+use rand::{RngExt, SeedableRng};
 
 fn sample_images(bs: usize, change: f64) -> (Vec<u8>, Vec<u8>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);

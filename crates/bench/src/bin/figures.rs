@@ -5,6 +5,7 @@
 //! figures fig4 --ops 400      # one figure, more transactions
 //! figures fig8                # queueing figures (fed by a measured run)
 //! figures overhead writerate  # the §4/§3.3 scalar measurements
+//! figures resync              # replica catch-up traffic per resync strategy
 //! figures --smoke all         # tiny databases (CI-friendly)
 //! ```
 
@@ -12,7 +13,7 @@ use std::process::ExitCode;
 
 use prins_bench::{
     fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw, fig7_fs_micro,
-    fig8_response_t1, fig9_response_t3, measure_traffic, overhead_experiment,
+    fig8_response_t1, fig9_response_t3, measure_traffic, overhead_experiment, resync_figure,
     write_rate_experiment, TrafficConfig,
 };
 use prins_block::BlockSize;
@@ -74,8 +75,10 @@ fn main() -> ExitCode {
             println!(
                 "(service times from measured TPC-C traffic at 8KB: \
                  traditional {:.0} B/write, compressed {:.0} B/write, prins {:.0} B/write)\n",
-                m.traffic(prins_repl::ReplicationMode::Traditional).mean_payload(),
-                m.traffic(prins_repl::ReplicationMode::Compressed).mean_payload(),
+                m.traffic(prins_repl::ReplicationMode::Traditional)
+                    .mean_payload(),
+                m.traffic(prins_repl::ReplicationMode::Compressed)
+                    .mean_payload(),
                 m.traffic(prins_repl::ReplicationMode::Prins).mean_payload(),
             );
             if want("fig8") {
@@ -87,6 +90,10 @@ fn main() -> ExitCode {
             if want("fig10") {
                 println!("{}", fig10_router_saturation(Some(&m)));
             }
+        }
+        if want("resync") {
+            ran_any = true;
+            println!("{}", resync_figure(ops, bench_scale)?);
         }
         if want("overhead") {
             ran_any = true;
@@ -105,7 +112,7 @@ fn main() -> ExitCode {
     }
     if !ran_any {
         eprintln!(
-            "unknown figure selection {wanted:?}; try: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead writerate"
+            "unknown figure selection {wanted:?}; try: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 resync overhead writerate"
         );
         return ExitCode::FAILURE;
     }

@@ -7,8 +7,7 @@ use std::time::Duration;
 use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
 use prins_core::EngineBuilder;
 use prins_queueing::figures::{
-    paper_populations, paper_rates, response_vs_population, router_queueing_vs_rate,
-    BytesPerWrite,
+    paper_populations, paper_rates, response_vs_population, router_queueing_vs_rate, BytesPerWrite,
 };
 use prins_queueing::NodalDelay;
 use prins_repl::ReplicationMode;
@@ -88,9 +87,16 @@ fn traffic_figure(
     }
     Ok(FigureTable {
         title: format!("Figure {number}: {caption} ({ops} ops/block size)"),
-        headers: ["block", "trad KB", "comp KB", "prins KB", "trad/prins", "comp/prins"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "block",
+            "trad KB",
+            "comp KB",
+            "prins KB",
+            "trad/prins",
+            "comp/prins",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     })
 }
@@ -162,9 +168,7 @@ fn bytes_per_write(measurement: Option<&TrafficMeasurement>) -> Vec<BytesPerWrit
     match measurement {
         Some(m) => ReplicationMode::PAPER
             .iter()
-            .map(|mode| {
-                BytesPerWrite::new(mode.to_string(), m.traffic(*mode).mean_payload())
-            })
+            .map(|mode| BytesPerWrite::new(mode.to_string(), m.traffic(*mode).mean_payload()))
             .collect(),
         None => BytesPerWrite::paper_defaults(),
     }
@@ -295,7 +299,10 @@ impl fmt::Display for OverheadReport {
 /// # Errors
 ///
 /// Propagates engine failures.
-pub fn overhead_experiment(writes: usize, block_size: BlockSize) -> Result<OverheadReport, prins_block::BlockError> {
+pub fn overhead_experiment(
+    writes: usize,
+    block_size: BlockSize,
+) -> Result<OverheadReport, prins_block::BlockError> {
     let device = Arc::new(MemDevice::new(block_size, 256));
     let engine = EngineBuilder::new(device as Arc<dyn BlockDevice>)
         .mode(ReplicationMode::Prins)

@@ -28,6 +28,7 @@
 //! ```
 
 mod figures;
+mod resync;
 mod traffic;
 
 pub use figures::{
@@ -35,4 +36,5 @@ pub use figures::{
     fig8_response_t1, fig9_response_t3, overhead_experiment, write_rate_experiment, FigureTable,
     OverheadReport, WriteRateReport,
 };
+pub use resync::{resync_experiment, resync_figure, ResyncMeasurement};
 pub use traffic::{measure_traffic, ModeTraffic, TrafficConfig, TrafficMeasurement};

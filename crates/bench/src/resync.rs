@@ -1,0 +1,299 @@
+//! Resync catch-up traffic: full-image vs dirty-bitmap vs parity-log.
+//!
+//! The paper measures foreground replication traffic; this experiment
+//! measures the *recovery* side. A replica drops out mid-trace, the
+//! primary keeps writing in degraded mode, the replica rejoins, and we
+//! count the bytes each [`ResyncStrategy`] puts on the wire to catch it
+//! back up. Parity-log resync replays the same sparse parities that made
+//! foreground replication cheap, so the catch-up cost tracks the bytes
+//! the outage actually changed — not the volume size (full image) and
+//! not even the dirty block count (dirty bitmap).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use prins_block::{BlockDevice, Lba, MemDevice};
+use prins_cluster::{ClusterConfig, ClusterGroup, ReplicaState, ResyncStrategy};
+use prins_net::{channel_pair, FaultTransport, LinkModel};
+use prins_repl::{run_replica, verify_consistent};
+use prins_workloads::{capture_trace, Workload, WriteTrace};
+
+use crate::{FigureTable, TrafficConfig};
+
+/// Result of one outage + resync run.
+#[derive(Clone, Debug)]
+pub struct ResyncMeasurement {
+    /// Strategy used to catch the replica back up.
+    pub strategy: ResyncStrategy,
+    /// Trace writes the replica missed while down.
+    pub outage_writes: usize,
+    /// Distinct blocks dirtied by the outage (at rejoin time).
+    pub dirty_blocks: usize,
+    /// Payload bytes sent as resync traffic.
+    pub resync_bytes: u64,
+    /// Payload bytes sent as foreground replication around the outage.
+    pub foreground_bytes: u64,
+    /// Whether the replica image matched the primary after the run.
+    pub consistent: bool,
+}
+
+/// A trace flattened for replay: the write stream, each touched block's
+/// pre-trace image, and the device size the stream needs.
+struct TraceStream {
+    writes: Vec<(Lba, Vec<u8>)>,
+    initial: Vec<(Lba, Vec<u8>)>,
+    num_blocks: u64,
+}
+
+/// Collects the trace's write stream plus each block's pre-trace image.
+fn trace_writes(trace: &WriteTrace) -> TraceStream {
+    let mut writes = Vec::with_capacity(trace.len());
+    let mut initial = Vec::new();
+    let mut seen = HashSet::new();
+    let mut max_lba = 0u64;
+    trace.replay(|lba, old, new| {
+        if seen.insert(lba.index()) {
+            initial.push((lba, old.to_vec()));
+        }
+        max_lba = max_lba.max(lba.index());
+        writes.push((lba, new.to_vec()));
+    });
+    TraceStream {
+        writes,
+        initial,
+        num_blocks: max_lba + 1,
+    }
+}
+
+/// Replays `trace` through a one-replica [`ClusterGroup`], severing the
+/// replica's link for `outage_writes` writes starting at `outage_start`,
+/// then rejoining with `strategy`. Resync runs interleaved with the
+/// remaining foreground writes, a few frames per write.
+///
+/// Both images are pre-seeded with the trace's first-touch block
+/// contents so the parity chain applies to the same base the capture
+/// ran against.
+///
+/// # Errors
+///
+/// Propagates cluster and replication errors.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or the replica worker thread panics.
+pub fn resync_experiment(
+    trace: &WriteTrace,
+    outage_start: usize,
+    outage_writes: usize,
+    strategy: ResyncStrategy,
+) -> Result<ResyncMeasurement, Box<dyn std::error::Error>> {
+    assert!(!trace.is_empty(), "need a non-empty trace");
+    let TraceStream {
+        writes,
+        initial,
+        num_blocks,
+    } = trace_writes(trace);
+    let primary = MemDevice::new(trace.block_size(), num_blocks);
+    let replica = Arc::new(MemDevice::new(trace.block_size(), num_blocks));
+    for (lba, image) in &initial {
+        primary.write_block(*lba, image)?;
+        replica.write_block(*lba, image)?;
+    }
+
+    let (primary_side, replica_side) = channel_pair(LinkModel::t1());
+    let (faulty, link) = FaultTransport::new(primary_side);
+    let dev = Arc::clone(&replica);
+    let worker = std::thread::spawn(move || run_replica(&*dev, &replica_side));
+
+    let config = ClusterConfig {
+        offline_after: 1,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterGroup::new(primary, config, vec![Box::new(faulty)]);
+
+    let outage_end = outage_start.saturating_add(outage_writes).min(writes.len());
+    let mut dirty_blocks = 0;
+    let rejoin = |cluster: &mut ClusterGroup<MemDevice>,
+                  dirty: &mut usize|
+     -> Result<(), Box<dyn std::error::Error>> {
+        link.restore();
+        *dirty = cluster.status(0).dirty_blocks;
+        cluster.rejoin(0, strategy)?;
+        Ok(())
+    };
+    for (i, (lba, new)) in writes.iter().enumerate() {
+        if i == outage_start && outage_writes > 0 {
+            link.sever();
+        }
+        if i == outage_end && i > outage_start && outage_writes > 0 {
+            rejoin(&mut cluster, &mut dirty_blocks)?;
+        }
+        if cluster.state(0) == ReplicaState::Resyncing {
+            cluster.resync_step(0, 4)?;
+        }
+        cluster.write(*lba, new)?;
+    }
+    if matches!(
+        cluster.state(0),
+        ReplicaState::Offline | ReplicaState::Lagging
+    ) {
+        rejoin(&mut cluster, &mut dirty_blocks)?;
+    }
+    if cluster.state(0) == ReplicaState::Resyncing {
+        cluster.resync_to_completion(0, 32)?;
+    }
+
+    let status = cluster.status(0);
+    let consistent = verify_consistent(cluster.device(), &*replica)?;
+    drop(cluster);
+    worker.join().expect("replica worker")?;
+
+    Ok(ResyncMeasurement {
+        strategy,
+        outage_writes: outage_end - outage_start,
+        dirty_blocks,
+        resync_bytes: status.resync_bytes,
+        foreground_bytes: status.foreground_bytes,
+        consistent,
+    })
+}
+
+fn kb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+/// The resync series: catch-up bytes per strategy across outage lengths
+/// on the TPC-C trace.
+///
+/// Each row severs the replica for a growing slice of the trace (5% to
+/// 50% of its writes), rejoins with each strategy in turn, and tabulates
+/// the measured catch-up traffic.
+///
+/// # Errors
+///
+/// Propagates workload and cluster errors.
+pub fn resync_figure(
+    ops: usize,
+    bench_scale: bool,
+) -> Result<FigureTable, Box<dyn std::error::Error>> {
+    let mut config = if bench_scale {
+        TrafficConfig::bench(prins_block::BlockSize::kb8(), ops)
+    } else {
+        TrafficConfig::smoke(prins_block::BlockSize::kb8())
+    };
+    config.ops = ops;
+    let trace = capture_trace(Workload::TpccOracle, &config.run_config())?;
+    if trace.is_empty() {
+        return Err("resync series needs a non-empty trace; increase --ops".into());
+    }
+
+    let mut rows = Vec::new();
+    for pct in [5usize, 10, 25, 50] {
+        let outage = (trace.len() * pct / 100).max(1);
+        let start = (trace.len() - outage) / 2;
+        let mut cells = vec![format!("{pct}%"), outage.to_string()];
+        let mut per_strategy = Vec::new();
+        for strategy in [
+            ResyncStrategy::FullImage,
+            ResyncStrategy::DirtyBitmap,
+            ResyncStrategy::ParityLog,
+        ] {
+            let m = resync_experiment(&trace, start, outage, strategy)?;
+            assert!(m.consistent, "{strategy} resync left the replica stale");
+            per_strategy.push(m);
+        }
+        cells.push(per_strategy[0].dirty_blocks.to_string());
+        for m in &per_strategy {
+            cells.push(kb(m.resync_bytes));
+        }
+        cells.push(format!(
+            "{:.1}x",
+            per_strategy[0].resync_bytes as f64 / per_strategy[2].resync_bytes.max(1) as f64
+        ));
+        rows.push(cells);
+    }
+    Ok(FigureTable {
+        title: format!(
+            "Resync catch-up traffic, TPC-C / Oracle profile ({} trace writes, 8 KB blocks)",
+            trace.len()
+        ),
+        headers: [
+            "outage",
+            "missed",
+            "dirty",
+            "full KB",
+            "bitmap KB",
+            "parity KB",
+            "full/parity",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_trace() -> WriteTrace {
+        let config = TrafficConfig::smoke(prins_block::BlockSize::kb8());
+        capture_trace(Workload::TpccOracle, &config.run_config()).expect("trace captures")
+    }
+
+    #[test]
+    fn parity_log_resync_is_cheapest_and_correct() {
+        let trace = smoke_trace();
+        let outage = trace.len() / 4;
+        let start = trace.len() / 4;
+        let full = resync_experiment(&trace, start, outage, ResyncStrategy::FullImage).unwrap();
+        let bitmap = resync_experiment(&trace, start, outage, ResyncStrategy::DirtyBitmap).unwrap();
+        let parity = resync_experiment(&trace, start, outage, ResyncStrategy::ParityLog).unwrap();
+        for m in [&full, &bitmap, &parity] {
+            assert!(m.consistent, "{:?} left the replica stale", m.strategy);
+            assert!(m.dirty_blocks > 0, "outage dirtied nothing");
+        }
+        assert!(
+            bitmap.resync_bytes < full.resync_bytes,
+            "bitmap {} should beat full image {}",
+            bitmap.resync_bytes,
+            full.resync_bytes
+        );
+        assert!(
+            parity.resync_bytes < bitmap.resync_bytes,
+            "parity {} should beat bitmap {}",
+            parity.resync_bytes,
+            bitmap.resync_bytes
+        );
+    }
+
+    #[test]
+    fn no_outage_means_no_resync_traffic() {
+        let trace = smoke_trace();
+        let m = resync_experiment(&trace, 0, 0, ResyncStrategy::ParityLog).unwrap();
+        assert!(m.consistent);
+        assert_eq!(m.resync_bytes, 0);
+        assert_eq!(m.dirty_blocks, 0);
+        assert!(m.foreground_bytes > 0);
+    }
+
+    #[test]
+    fn outage_running_to_trace_end_still_recovers() {
+        let trace = smoke_trace();
+        let start = trace.len() / 2;
+        let m = resync_experiment(&trace, start, trace.len(), ResyncStrategy::ParityLog).unwrap();
+        assert!(m.consistent);
+        assert_eq!(m.outage_writes, trace.len() - start);
+        assert!(m.resync_bytes > 0);
+    }
+
+    #[test]
+    fn resync_figure_smoke_has_all_columns() {
+        let table = resync_figure(40, false).unwrap();
+        assert_eq!(table.headers.len(), 7);
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            assert_eq!(row.len(), table.headers.len());
+        }
+    }
+}

@@ -45,7 +45,7 @@ impl TrafficConfig {
         }
     }
 
-    fn run_config(&self) -> RunConfig {
+    pub(crate) fn run_config(&self) -> RunConfig {
         let mut config = if self.bench_scale {
             RunConfig::bench(self.block_size, self.ops)
         } else {
@@ -141,8 +141,7 @@ pub fn measure_traffic(
     if config.include_ablation {
         modes.push(ReplicationMode::PrinsCompressed);
     }
-    let replicators: Vec<Box<dyn Replicator>> =
-        modes.iter().map(|m| m.replicator()).collect();
+    let replicators: Vec<Box<dyn Replicator>> = modes.iter().map(|m| m.replicator()).collect();
     let link = LinkModel::t1();
 
     let totals: Arc<Mutex<Vec<ModeTraffic>>> =
@@ -197,7 +196,7 @@ mod tests {
         let t = m.traffic(ReplicationMode::Traditional);
         // Payload per write = block + small payload header.
         let per_write = t.payload_bytes as f64 / t.writes as f64;
-        assert!(per_write >= 8192.0 && per_write < 8210.0, "{per_write}");
+        assert!((8192.0..8210.0).contains(&per_write), "{per_write}");
         assert!(t.wire_bytes > t.payload_bytes);
     }
 
@@ -239,11 +238,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "not measured")]
     fn unmeasured_mode_panics() {
-        let m = measure_traffic(
-            Workload::FsMicro,
-            &TrafficConfig::smoke(BlockSize::kb4()),
-        )
-        .unwrap();
+        let m =
+            measure_traffic(Workload::FsMicro, &TrafficConfig::smoke(BlockSize::kb4())).unwrap();
         let _ = m.payload_bytes(ReplicationMode::PrinsCompressed);
     }
 }

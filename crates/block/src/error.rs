@@ -59,7 +59,10 @@ impl fmt::Display for BlockError {
                 write!(f, "lba {lba} out of range: device has {num_blocks} blocks")
             }
             BlockError::BufferSize { expected, actual } => {
-                write!(f, "buffer length {actual} does not match block size {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match block size {expected}"
+                )
             }
             BlockError::Io(e) => write!(f, "i/o error: {e}"),
             BlockError::DeviceFailed { device } => write!(f, "device failed: {device}"),
@@ -109,7 +112,7 @@ mod tests {
     #[test]
     fn io_error_source_is_preserved() {
         use std::error::Error as _;
-        let e = BlockError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = BlockError::from(io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 

@@ -38,11 +38,7 @@ impl FileDevice {
     /// # Errors
     ///
     /// Propagates any I/O error from creating or sizing the file.
-    pub fn create<P: AsRef<Path>>(
-        path: P,
-        block_size: BlockSize,
-        num_blocks: u64,
-    ) -> Result<Self> {
+    pub fn create<P: AsRef<Path>>(path: P, block_size: BlockSize, num_blocks: u64) -> Result<Self> {
         let geometry = Geometry::new(block_size, num_blocks);
         let file = OpenOptions::new()
             .read(true)

@@ -114,7 +114,7 @@ impl fmt::Debug for BlockSize {
 
 impl fmt::Display for BlockSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1024 == 0 {
+        if self.0.is_multiple_of(1024) {
             write!(f, "{}KB", self.0 / 1024)
         } else {
             write!(f, "{}B", self.0)

@@ -183,7 +183,8 @@ impl<D: BlockDevice> BlockDevice for InstrumentedDevice<D> {
     fn read_block(&self, lba: Lba, buf: &mut [u8]) -> Result<()> {
         self.inner.read_block(lba, buf)?;
         self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -194,7 +195,8 @@ impl<D: BlockDevice> BlockDevice for InstrumentedDevice<D> {
         self.inner.write_block(lba, buf)?;
 
         let seq = self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         if old == buf {
             self.unchanged_writes.fetch_add(1, Ordering::Relaxed);
         }
@@ -316,7 +318,10 @@ mod tests {
     fn writes_pass_through_to_inner_device() {
         let d = dev();
         d.write_block(Lba(5), &vec![0x42u8; 4096]).unwrap();
-        assert_eq!(d.inner().read_block_vec(Lba(5)).unwrap(), vec![0x42u8; 4096]);
+        assert_eq!(
+            d.inner().read_block_vec(Lba(5)).unwrap(),
+            vec![0x42u8; 4096]
+        );
         let inner = d.into_inner();
         assert_eq!(inner.read_block_vec(Lba(5)).unwrap(), vec![0x42u8; 4096]);
     }

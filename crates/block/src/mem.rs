@@ -43,8 +43,8 @@ impl MemDevice {
     /// 32-bit host with absurd parameters).
     pub fn new(block_size: BlockSize, num_blocks: u64) -> Self {
         let geometry = Geometry::new(block_size, num_blocks);
-        let capacity = usize::try_from(geometry.capacity_bytes())
-            .expect("MemDevice capacity exceeds usize");
+        let capacity =
+            usize::try_from(geometry.capacity_bytes()).expect("MemDevice capacity exceeds usize");
         Self {
             geometry,
             data: RwLock::new(vec![0u8; capacity]),

@@ -96,7 +96,11 @@ mod tests {
     #[test]
     fn unwritten_blocks_are_zero() {
         let dev = SparseDevice::new(BlockSize::kb4(), 1000);
-        assert!(dev.read_block_vec(Lba(999)).unwrap().iter().all(|&b| b == 0));
+        assert!(dev
+            .read_block_vec(Lba(999))
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0));
         assert_eq!(dev.allocated_blocks(), 0);
     }
 

@@ -1,0 +1,100 @@
+//! Error type for the cluster layer.
+
+use std::fmt;
+
+use prins_block::BlockError;
+use prins_repl::ReplError;
+
+use crate::ReplicaState;
+
+/// Errors from cluster writes, lifecycle transitions, and resync.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// Primary-side device failure (the local write itself failed).
+    Block(BlockError),
+    /// Replication-layer failure not absorbed by degraded mode.
+    Repl(ReplError),
+    /// A write was acknowledged by fewer replicas than the configured
+    /// write quorum. The primary's copy is updated; the caller decides
+    /// whether to stall, retry, or surface the loss of redundancy.
+    QuorumLost {
+        /// Replicas that acknowledged the write.
+        acked: usize,
+        /// The configured minimum.
+        quorum: usize,
+    },
+    /// A lifecycle transition that the state machine does not allow.
+    InvalidTransition {
+        /// Replica index.
+        replica: usize,
+        /// State the replica is in.
+        from: ReplicaState,
+        /// State the caller asked for.
+        to: ReplicaState,
+    },
+    /// A replica index out of range.
+    UnknownReplica(usize),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Block(e) => write!(f, "primary device error: {e}"),
+            ClusterError::Repl(e) => write!(f, "replication error: {e}"),
+            ClusterError::QuorumLost { acked, quorum } => {
+                write!(f, "write quorum lost: {acked} ack(s), {quorum} required")
+            }
+            ClusterError::InvalidTransition { replica, from, to } => {
+                write!(f, "replica {replica}: invalid transition {from} -> {to}")
+            }
+            ClusterError::UnknownReplica(idx) => write!(f, "no replica {idx}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Block(e) => Some(e),
+            ClusterError::Repl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlockError> for ClusterError {
+    fn from(e: BlockError) -> Self {
+        ClusterError::Block(e)
+    }
+}
+
+impl From<ReplError> for ClusterError {
+    fn from(e: ReplError) -> Self {
+        // Device errors inside the repl layer are still device errors.
+        match e {
+            ReplError::Block(b) => ClusterError::Block(b),
+            other => ClusterError::Repl(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error as _;
+        let e = ClusterError::QuorumLost {
+            acked: 1,
+            quorum: 2,
+        };
+        assert!(e.to_string().contains("quorum"));
+        assert!(e.source().is_none());
+        let e = ClusterError::from(ReplError::Nak { replica: 3 });
+        assert!(e.source().is_some());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,963 @@
+//! The primary-side cluster engine: degraded writes, lifecycle
+//! transitions, and resync.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::Duration;
+
+use prins_block::{BlockDevice, Lba};
+use prins_net::Transport;
+use prins_parity::SparseParity;
+use prins_repl::{Payload, PayloadBody, ReplError, ReplicationMode, Replicator, ACK, NAK};
+use prins_trap::{TrapDevice, TrapLog};
+
+use crate::{ClusterError, DirtyMap, ReplicaState};
+
+/// How a rejoining replica is caught up.
+///
+/// The three strategies are the x-axis of the resync-traffic figure:
+/// full image is the naive baseline, dirty-bitmap sends full blocks but
+/// only for blocks written during the outage, and parity-log replays
+/// the sparse parity chains — the PRINS idea applied to recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResyncStrategy {
+    /// Re-send every block of the volume.
+    FullImage,
+    /// Send a full image of each dirty block only.
+    DirtyBitmap,
+    /// Replay each dirty block's parity-log suffix; falls back to a
+    /// full block image where the log has been pruned past the
+    /// replica's first miss.
+    ParityLog,
+}
+
+impl std::fmt::Display for ResyncStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ResyncStrategy::FullImage => "full-image",
+            ResyncStrategy::DirtyBitmap => "dirty-bitmap",
+            ResyncStrategy::ParityLog => "parity-log",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One frame of a resync plan.
+#[derive(Clone, Debug)]
+enum ResyncFrame {
+    /// Push the block's current full image (read at send time).
+    Full(Lba),
+    /// Replay one logged parity (carrying its log sequence number so
+    /// per-frame progress can be recorded in the dirty map).
+    Parity(Lba, u64, SparseParity),
+}
+
+/// An in-progress resync for one replica.
+#[derive(Debug)]
+struct ResyncPlan {
+    strategy: ResyncStrategy,
+    queue: VecDeque<ResyncFrame>,
+    /// LBAs whose `Full` frame is still queued: writes to these blocks
+    /// are deferred because the image will be read at send time.
+    pending_full: HashSet<u64>,
+}
+
+/// Per-replica bookkeeping on the primary.
+struct Replica {
+    transport: Box<dyn Transport>,
+    state: ReplicaState,
+    dirty: DirtyMap,
+    consecutive_failures: u32,
+    resync: Option<ResyncPlan>,
+    foreground_bytes: u64,
+    resync_bytes: u64,
+    deferred_writes: u64,
+    acked_writes: u64,
+}
+
+impl Replica {
+    fn new(transport: Box<dyn Transport>) -> Self {
+        Self {
+            transport,
+            state: ReplicaState::Online,
+            dirty: DirtyMap::new(),
+            consecutive_failures: 0,
+            resync: None,
+            foreground_bytes: 0,
+            resync_bytes: 0,
+            deferred_writes: 0,
+            acked_writes: 0,
+        }
+    }
+}
+
+/// Snapshot of one replica's status.
+#[derive(Clone, Debug)]
+pub struct ReplicaStatus {
+    /// Lifecycle state.
+    pub state: ReplicaState,
+    /// Blocks this replica is missing writes for.
+    pub dirty_blocks: usize,
+    /// Coalesced dirty `[start, end)` LBA runs.
+    pub dirty_intervals: Vec<(u64, u64)>,
+    /// Resync frames still queued (0 unless resyncing).
+    pub resync_pending: usize,
+    /// Payload bytes sent as foreground replication.
+    pub foreground_bytes: u64,
+    /// Payload bytes sent as resync traffic.
+    pub resync_bytes: u64,
+    /// Foreground writes deferred (not sent) due to dirtiness.
+    pub deferred_writes: u64,
+    /// Foreground writes this replica acknowledged.
+    pub acked_writes: u64,
+}
+
+/// Outcome of one degraded-mode write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Log sequence number assigned to the write.
+    pub seq: u64,
+    /// Replicas that acknowledged it.
+    pub acked: usize,
+    /// Replicas that deferred it (dirty block / covered by resync).
+    pub deferred: usize,
+    /// Replicas skipped because they are offline.
+    pub skipped: usize,
+}
+
+/// Cluster configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Replication strategy for foreground writes.
+    pub mode: ReplicationMode,
+    /// How long to wait for each acknowledgement.
+    pub ack_timeout: Duration,
+    /// Minimum replica acknowledgements per write before the write
+    /// counts as safely replicated (0 = never fail the write).
+    pub write_quorum: usize,
+    /// Consecutive send/ack failures before a Lagging replica is
+    /// declared Offline.
+    pub offline_after: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            mode: ReplicationMode::Prins,
+            ack_timeout: Duration::from_secs(10),
+            write_quorum: 0,
+            offline_after: 3,
+        }
+    }
+}
+
+/// A primary replicating to a set of replicas that can fail, lag, and
+/// rejoin.
+///
+/// Unlike [`prins_repl::ReplicationGroup`], which aborts on the first
+/// replica error, a `ClusterGroup` *degrades*: a failing replica moves
+/// through the [`ReplicaState`] lifecycle, its missed writes are
+/// recorded in a per-replica [`DirtyMap`], and the write succeeds as
+/// long as [`ClusterConfig::write_quorum`] replicas acknowledge it.
+/// The primary's own [`TrapLog`] doubles as the delta-resync source.
+pub struct ClusterGroup<D> {
+    device: TrapDevice<D>,
+    replicator: Box<dyn Replicator>,
+    replicas: Vec<Replica>,
+    config: ClusterConfig,
+}
+
+impl<D: BlockDevice> ClusterGroup<D> {
+    /// Wraps `device` (the primary image) and the replica transports.
+    ///
+    /// All replicas start [`ReplicaState::Online`]; the caller is
+    /// responsible for having synced initial images (e.g. all-zero
+    /// devices all around, or an out-of-band copy).
+    pub fn new(device: D, config: ClusterConfig, transports: Vec<Box<dyn Transport>>) -> Self {
+        Self {
+            device: TrapDevice::new(device),
+            replicator: config.mode.replicator(),
+            replicas: transports.into_iter().map(Replica::new).collect(),
+            config,
+        }
+    }
+
+    /// The primary device (wrapped with the parity log).
+    pub fn device(&self) -> &TrapDevice<D> {
+        &self.device
+    }
+
+    /// The primary's parity log — the delta-resync source.
+    pub fn log(&self) -> &TrapLog {
+        self.device.log()
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Lifecycle state of replica `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn state(&self, idx: usize) -> ReplicaState {
+        self.replicas[idx].state
+    }
+
+    /// Status snapshot of replica `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn status(&self, idx: usize) -> ReplicaStatus {
+        let r = &self.replicas[idx];
+        ReplicaStatus {
+            state: r.state,
+            dirty_blocks: r.dirty.len(),
+            dirty_intervals: r.dirty.intervals(),
+            resync_pending: r.resync.as_ref().map_or(0, |p| p.queue.len()),
+            foreground_bytes: r.foreground_bytes,
+            resync_bytes: r.resync_bytes,
+            deferred_writes: r.deferred_writes,
+            acked_writes: r.acked_writes,
+        }
+    }
+
+    /// Applies one write to the primary and replicates it to every
+    /// replica the lifecycle allows, degrading instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::Block`] if the *primary* write fails (nothing
+    ///   was replicated),
+    /// * [`ClusterError::QuorumLost`] if fewer than the configured
+    ///   quorum acknowledged — the primary and the acknowledging
+    ///   replicas have applied the write regardless.
+    pub fn write(&mut self, lba: Lba, new: &[u8]) -> Result<WriteOutcome, ClusterError> {
+        let old = self.device.read_block_vec(lba)?;
+        self.device.write_block(lba, new)?;
+        let seq = self.log().current_seq();
+        let payload = self.replicator.encode_write(lba, &old, new);
+
+        let mut outcome = WriteOutcome {
+            seq,
+            acked: 0,
+            deferred: 0,
+            skipped: 0,
+        };
+        let mut sent: Vec<usize> = Vec::new();
+        for idx in 0..self.replicas.len() {
+            match self.route_write(idx, lba, seq) {
+                Route::Send => match self.replicas[idx].transport.send(&payload) {
+                    Ok(()) => {
+                        self.replicas[idx].foreground_bytes += payload.len() as u64;
+                        sent.push(idx);
+                    }
+                    Err(_) => self.note_failure(idx, Some((lba, seq))),
+                },
+                Route::Defer => {
+                    self.replicas[idx].deferred_writes += 1;
+                    outcome.deferred += 1;
+                }
+                Route::Skip => {
+                    self.replicas[idx].dirty.mark(lba, seq);
+                    outcome.skipped += 1;
+                }
+            }
+        }
+        for idx in sent {
+            match self.await_ack(idx) {
+                Ok(()) => {
+                    let r = &mut self.replicas[idx];
+                    r.consecutive_failures = 0;
+                    r.acked_writes += 1;
+                    outcome.acked += 1;
+                }
+                Err(_) => self.note_failure(idx, Some((lba, seq))),
+            }
+        }
+        if outcome.acked < self.config.write_quorum {
+            return Err(ClusterError::QuorumLost {
+                acked: outcome.acked,
+                quorum: self.config.write_quorum,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Takes replica `idx` offline (e.g. for planned maintenance).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for a bad index;
+    /// [`ClusterError::InvalidTransition`] if already offline.
+    pub fn mark_offline(&mut self, idx: usize) -> Result<(), ClusterError> {
+        self.check_idx(idx)?;
+        self.transition(idx, ReplicaState::Offline)?;
+        self.replicas[idx].resync = None;
+        Ok(())
+    }
+
+    /// Starts catching replica `idx` up with `strategy`, moving it to
+    /// [`ReplicaState::Resyncing`]. Drive the transfer with
+    /// [`resync_step`](Self::resync_step) — foreground writes may be
+    /// interleaved between steps.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidTransition`] unless the replica is
+    /// Offline or Lagging.
+    pub fn rejoin(&mut self, idx: usize, strategy: ResyncStrategy) -> Result<(), ClusterError> {
+        self.check_idx(idx)?;
+        self.transition(idx, ReplicaState::Resyncing)?;
+        let plan = self.build_plan(idx, strategy);
+        self.replicas[idx].resync = Some(plan);
+        Ok(())
+    }
+
+    /// Sends up to `max_frames` resync frames to replica `idx` and
+    /// waits for their acknowledgements. When the plan drains, the
+    /// replica transitions back to [`ReplicaState::Online`] and its
+    /// dirty map clears.
+    ///
+    /// Returns the number of frames still queued (0 = resync done).
+    ///
+    /// # Errors
+    ///
+    /// On any transport/ack failure the resync aborts and the replica
+    /// goes [`ReplicaState::Offline`]; per-frame progress already
+    /// acknowledged is retained in the dirty map, so a later rejoin
+    /// resumes rather than repeats.
+    pub fn resync_step(&mut self, idx: usize, max_frames: usize) -> Result<usize, ClusterError> {
+        self.check_idx(idx)?;
+        if self.replicas[idx].state != ReplicaState::Resyncing {
+            return Err(ClusterError::InvalidTransition {
+                replica: idx,
+                from: self.replicas[idx].state,
+                to: ReplicaState::Resyncing,
+            });
+        }
+
+        // Send a batch (pipelined), remembering per-frame bookkeeping.
+        let mut in_flight: Vec<ResyncFrame> = Vec::new();
+        for _ in 0..max_frames {
+            let Some(frame) = self.replicas[idx]
+                .resync
+                .as_mut()
+                .and_then(|p| p.queue.pop_front())
+            else {
+                break;
+            };
+            let payload = match &frame {
+                ResyncFrame::Full(lba) => {
+                    if let Some(plan) = self.replicas[idx].resync.as_mut() {
+                        plan.pending_full.remove(&lba.index());
+                    }
+                    Payload {
+                        lba: *lba,
+                        body: PayloadBody::Full(self.device.read_block_vec(*lba)?),
+                    }
+                    .to_bytes()
+                }
+                ResyncFrame::Parity(lba, _, parity) => Payload {
+                    lba: *lba,
+                    body: PayloadBody::Parity(parity.to_bytes()),
+                }
+                .to_bytes(),
+            };
+            if let Err(e) = self.replicas[idx].transport.send(&payload) {
+                self.abort_resync(idx);
+                return Err(ClusterError::from(ReplError::from(e)));
+            }
+            self.replicas[idx].resync_bytes += payload.len() as u64;
+            in_flight.push(frame);
+        }
+
+        // Collect the batch's acks; record per-frame progress so an
+        // abort mid-batch leaves the dirty map accurate.
+        for frame in in_flight {
+            match self.await_ack(idx) {
+                Ok(()) => match frame {
+                    ResyncFrame::Full(lba) => self.replicas[idx].dirty.clear(lba),
+                    ResyncFrame::Parity(lba, seq, _) => {
+                        // The replica's copy now reflects the chain
+                        // through this entry; later entries (queued or
+                        // future) keep the block dirty from seq + 1.
+                        let more = !self.log().chain_since(lba, seq + 1).is_empty();
+                        let r = &mut self.replicas[idx];
+                        r.dirty.clear(lba);
+                        if more {
+                            r.dirty.mark(lba, seq + 1);
+                        }
+                    }
+                },
+                Err(e) => {
+                    self.abort_resync(idx);
+                    return Err(e);
+                }
+            }
+        }
+
+        let remaining = self.replicas[idx]
+            .resync
+            .as_ref()
+            .map_or(0, |p| p.queue.len());
+        if remaining == 0 {
+            let r = &mut self.replicas[idx];
+            r.resync = None;
+            r.dirty.clear_all();
+            r.consecutive_failures = 0;
+            r.state = ReplicaState::Online;
+        }
+        Ok(remaining)
+    }
+
+    /// Runs [`resync_step`](Self::resync_step) until the plan drains.
+    ///
+    /// # Errors
+    ///
+    /// As [`resync_step`](Self::resync_step).
+    pub fn resync_to_completion(&mut self, idx: usize, batch: usize) -> Result<(), ClusterError> {
+        while self.resync_step(idx, batch.max(1))? > 0 {}
+        Ok(())
+    }
+
+    fn check_idx(&self, idx: usize) -> Result<(), ClusterError> {
+        if idx < self.replicas.len() {
+            Ok(())
+        } else {
+            Err(ClusterError::UnknownReplica(idx))
+        }
+    }
+
+    fn transition(&mut self, idx: usize, to: ReplicaState) -> Result<(), ClusterError> {
+        let from = self.replicas[idx].state;
+        if !from.can_transition(to) {
+            return Err(ClusterError::InvalidTransition {
+                replica: idx,
+                from,
+                to,
+            });
+        }
+        self.replicas[idx].state = to;
+        Ok(())
+    }
+
+    /// Decides what to do with a foreground write for replica `idx`.
+    fn route_write(&mut self, idx: usize, lba: Lba, seq: u64) -> Route {
+        match self.replicas[idx].state {
+            ReplicaState::Offline => Route::Skip,
+            ReplicaState::Online => Route::Send,
+            ReplicaState::Lagging => {
+                // A parity for a block the replica is stale on would be
+                // XORed into the wrong base image — defer it.
+                if self.replicas[idx].dirty.contains(lba) {
+                    Route::Defer
+                } else {
+                    Route::Send
+                }
+            }
+            ReplicaState::Resyncing => {
+                let (pending_full, replaying_block) = {
+                    let r = &self.replicas[idx];
+                    match &r.resync {
+                        None => return Route::Send,
+                        Some(plan) => (
+                            plan.pending_full.contains(&lba.index()),
+                            plan.strategy == ResyncStrategy::ParityLog && r.dirty.contains(lba),
+                        ),
+                    }
+                };
+                if pending_full {
+                    // The queued Full frame reads the image at send
+                    // time and will carry this write.
+                    Route::Defer
+                } else if replaying_block {
+                    // Queue the new write's parity behind the block's
+                    // chain replay.
+                    let entry = self
+                        .device
+                        .log()
+                        .chain_since(lba, seq)
+                        .into_iter()
+                        .find(|e| e.seq == seq);
+                    if let (Some(entry), Some(plan)) = (entry, self.replicas[idx].resync.as_mut()) {
+                        plan.queue
+                            .push_back(ResyncFrame::Parity(lba, seq, entry.parity));
+                    }
+                    Route::Defer
+                } else {
+                    Route::Send
+                }
+            }
+        }
+    }
+
+    /// Books a send/ack failure: dirty marking, failure counting, and
+    /// the lifecycle transition it triggers.
+    fn note_failure(&mut self, idx: usize, write: Option<(Lba, u64)>) {
+        let r = &mut self.replicas[idx];
+        if let Some((lba, seq)) = write {
+            r.dirty.mark(lba, seq);
+        }
+        r.consecutive_failures += 1;
+        match r.state {
+            ReplicaState::Online => {
+                r.state = ReplicaState::Lagging;
+                if r.consecutive_failures >= self.config.offline_after {
+                    r.state = ReplicaState::Offline;
+                }
+            }
+            ReplicaState::Lagging => {
+                if r.consecutive_failures >= self.config.offline_after {
+                    r.state = ReplicaState::Offline;
+                }
+            }
+            ReplicaState::Resyncing => {
+                r.state = ReplicaState::Offline;
+                r.resync = None;
+            }
+            ReplicaState::Offline => {}
+        }
+    }
+
+    fn abort_resync(&mut self, idx: usize) {
+        let r = &mut self.replicas[idx];
+        r.resync = None;
+        r.consecutive_failures += 1;
+        r.state = ReplicaState::Offline;
+    }
+
+    /// Waits for one ACK/NAK frame from replica `idx`.
+    fn await_ack(&self, idx: usize) -> Result<(), ClusterError> {
+        let frame = self.replicas[idx]
+            .transport
+            .recv_timeout(self.config.ack_timeout)
+            .map_err(ReplError::from)?;
+        match frame.as_slice() {
+            [ACK] => Ok(()),
+            [NAK] => Err(ReplError::Nak { replica: idx }.into()),
+            other => Err(ReplError::MissingAck {
+                replica: idx,
+                got: other.first().copied(),
+            }
+            .into()),
+        }
+    }
+
+    fn build_plan(&self, idx: usize, strategy: ResyncStrategy) -> ResyncPlan {
+        let r = &self.replicas[idx];
+        let mut queue = VecDeque::new();
+        let mut pending_full = HashSet::new();
+        match strategy {
+            ResyncStrategy::FullImage => {
+                for lba in self.device.geometry().range().iter() {
+                    queue.push_back(ResyncFrame::Full(lba));
+                    pending_full.insert(lba.index());
+                }
+            }
+            ResyncStrategy::DirtyBitmap => {
+                for (lba, _) in r.dirty.iter() {
+                    queue.push_back(ResyncFrame::Full(lba));
+                    pending_full.insert(lba.index());
+                }
+            }
+            ResyncStrategy::ParityLog => {
+                let log: &TrapLog = self.device.log();
+                for (lba, missed_from) in r.dirty.iter() {
+                    // Delta replay needs every entry from the first
+                    // miss; a pruned log forces the full-image path for
+                    // this block.
+                    if log.pruned_through() >= missed_from {
+                        queue.push_back(ResyncFrame::Full(lba));
+                        pending_full.insert(lba.index());
+                    } else {
+                        for entry in log.chain_since(lba, missed_from) {
+                            queue.push_back(ResyncFrame::Parity(lba, entry.seq, entry.parity));
+                        }
+                    }
+                }
+            }
+        }
+        ResyncPlan {
+            strategy,
+            queue,
+            pending_full,
+        }
+    }
+}
+
+enum Route {
+    Send,
+    Defer,
+    Skip,
+}
+
+impl<D: BlockDevice> std::fmt::Debug for ClusterGroup<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let states: Vec<String> = self.replicas.iter().map(|r| r.state.to_string()).collect();
+        f.debug_struct("ClusterGroup")
+            .field("strategy", &self.replicator.name())
+            .field("replicas", &states)
+            .field("seq", &self.log().current_seq())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prins_block::{BlockSize, MemDevice};
+    use prins_net::{channel_pair, FaultTransport, LinkHandle, LinkModel};
+    use prins_repl::verify_consistent;
+    use rand::{RngExt, SeedableRng};
+    use std::sync::Arc;
+
+    struct Harness {
+        cluster: ClusterGroup<MemDevice>,
+        devices: Vec<Arc<MemDevice>>,
+        links: Vec<LinkHandle>,
+        workers: Vec<std::thread::JoinHandle<Result<u64, ReplError>>>,
+    }
+
+    fn harness(n: usize, blocks: u64, config: ClusterConfig) -> Harness {
+        let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+        let mut devices = Vec::new();
+        let mut links = Vec::new();
+        let mut workers = Vec::new();
+        for _ in 0..n {
+            let (primary_side, replica_side) = channel_pair(LinkModel::t1());
+            let (faulty, link) = FaultTransport::new(primary_side);
+            let device = Arc::new(MemDevice::new(BlockSize::kb4(), blocks));
+            let dev = Arc::clone(&device);
+            workers.push(std::thread::spawn(move || {
+                prins_repl::run_replica(&*dev, &replica_side)
+            }));
+            transports.push(Box::new(faulty));
+            devices.push(device);
+            links.push(link);
+        }
+        let cluster =
+            ClusterGroup::new(MemDevice::new(BlockSize::kb4(), blocks), config, transports);
+        Harness {
+            cluster,
+            devices,
+            links,
+            workers,
+        }
+    }
+
+    fn random_write(
+        cluster: &mut ClusterGroup<MemDevice>,
+        rng: &mut rand::rngs::StdRng,
+        blocks: u64,
+    ) -> Result<WriteOutcome, ClusterError> {
+        let lba = Lba(rng.random_range(0..blocks));
+        let mut block = cluster.device().read_block_vec(lba).unwrap();
+        let at = rng.random_range(0..block.len() - 64);
+        for b in &mut block[at..at + 64] {
+            *b = rng.random();
+        }
+        cluster.write(lba, &block)
+    }
+
+    fn finish(h: Harness) -> Vec<Arc<MemDevice>> {
+        let Harness {
+            cluster,
+            devices,
+            workers,
+            ..
+        } = h;
+        drop(cluster);
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
+        devices
+    }
+
+    #[test]
+    fn healthy_cluster_replicates_and_converges() {
+        let mut h = harness(2, 16, ClusterConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let outcome = random_write(&mut h.cluster, &mut rng, 16).unwrap();
+            assert_eq!(outcome.acked, 2);
+        }
+        assert_eq!(h.cluster.state(0), ReplicaState::Online);
+        for dev in &h.devices {
+            assert!(verify_consistent(h.cluster.device(), &**dev).unwrap());
+        }
+        finish(h);
+    }
+
+    #[test]
+    fn link_drop_degrades_instead_of_aborting() {
+        let config = ClusterConfig {
+            offline_after: 2,
+            ..ClusterConfig::default()
+        };
+        let mut h = harness(2, 16, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        random_write(&mut h.cluster, &mut rng, 16).unwrap();
+
+        h.links[0].sever();
+        // First failure: Online -> Lagging; second (distinct clean
+        // block, so it is attempted): -> Offline.
+        let o = h.cluster.write(Lba(0), &[1u8; 4096]).unwrap();
+        assert_eq!((o.acked, o.skipped), (1, 0));
+        assert_eq!(h.cluster.state(0), ReplicaState::Lagging);
+        let o = h.cluster.write(Lba(1), &[2u8; 4096]).unwrap();
+        assert_eq!(h.cluster.state(0), ReplicaState::Offline);
+        assert_eq!(o.acked, 1);
+        // Offline replica is skipped entirely, writes keep succeeding.
+        let o = random_write(&mut h.cluster, &mut rng, 16).unwrap();
+        assert_eq!((o.acked, o.skipped), (1, 1));
+        assert!(h.cluster.status(0).dirty_blocks > 0);
+        assert_eq!(h.cluster.state(1), ReplicaState::Online);
+    }
+
+    #[test]
+    fn quorum_loss_is_reported_but_write_applies() {
+        let config = ClusterConfig {
+            write_quorum: 1,
+            offline_after: 1,
+            ..ClusterConfig::default()
+        };
+        let mut h = harness(1, 8, config);
+        h.links[0].sever();
+        let err = h.cluster.write(Lba(0), &[7u8; 4096]).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::QuorumLost {
+                acked: 0,
+                quorum: 1
+            }
+        ));
+        // The primary applied the write regardless.
+        assert_eq!(
+            h.cluster.device().read_block_vec(Lba(0)).unwrap(),
+            vec![7u8; 4096]
+        );
+    }
+
+    #[test]
+    fn nak_from_fault_device_degrades_replica() {
+        // One replica's device is too small: every write NAKs there.
+        let (primary_side, replica_side) = channel_pair(LinkModel::t1());
+        let tiny = Arc::new(MemDevice::new(BlockSize::kb4(), 1));
+        let dev = Arc::clone(&tiny);
+        let worker = std::thread::spawn(move || prins_repl::run_replica(&*dev, &replica_side));
+        let config = ClusterConfig {
+            offline_after: 1,
+            ack_timeout: Duration::from_secs(2),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = ClusterGroup::new(
+            MemDevice::new(BlockSize::kb4(), 8),
+            config,
+            vec![Box::new(primary_side)],
+        );
+        let outcome = cluster.write(Lba(5), &[1u8; 4096]).unwrap();
+        assert_eq!(outcome.acked, 0);
+        assert_eq!(cluster.state(0), ReplicaState::Offline);
+        assert!(worker.join().unwrap().is_err());
+    }
+
+    fn outage_and_rejoin(strategy: ResyncStrategy) {
+        let config = ClusterConfig {
+            offline_after: 1,
+            ..ClusterConfig::default()
+        };
+        let blocks = 32;
+        let mut h = harness(2, blocks, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+        }
+
+        // Outage: replica 0 misses 30 writes.
+        h.links[0].sever();
+        for _ in 0..30 {
+            random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+        }
+        assert_eq!(h.cluster.state(0), ReplicaState::Offline);
+
+        // Rejoin and resync in small steps with interleaved writes.
+        h.links[0].restore();
+        h.cluster.rejoin(0, strategy).unwrap();
+        assert_eq!(h.cluster.state(0), ReplicaState::Resyncing);
+        loop {
+            let remaining = h.cluster.resync_step(0, 4).unwrap();
+            if remaining == 0 {
+                break;
+            }
+            random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+        }
+        assert_eq!(h.cluster.state(0), ReplicaState::Online);
+        assert_eq!(h.cluster.status(0).dirty_blocks, 0);
+
+        // Post-resync writes replicate everywhere again.
+        for _ in 0..10 {
+            let o = random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+            assert_eq!(o.acked, 2);
+        }
+
+        for dev in &h.devices {
+            assert!(
+                verify_consistent(h.cluster.device(), &**dev).unwrap(),
+                "{strategy}"
+            );
+        }
+        finish(h);
+    }
+
+    #[test]
+    fn full_image_resync_converges() {
+        outage_and_rejoin(ResyncStrategy::FullImage);
+    }
+
+    #[test]
+    fn dirty_bitmap_resync_converges() {
+        outage_and_rejoin(ResyncStrategy::DirtyBitmap);
+    }
+
+    #[test]
+    fn parity_log_resync_converges() {
+        outage_and_rejoin(ResyncStrategy::ParityLog);
+    }
+
+    #[test]
+    fn parity_log_resync_is_far_cheaper_than_full_image() {
+        let mut bytes = Vec::new();
+        for strategy in [ResyncStrategy::FullImage, ResyncStrategy::ParityLog] {
+            let config = ClusterConfig {
+                offline_after: 1,
+                ..ClusterConfig::default()
+            };
+            let blocks = 64;
+            let mut h = harness(1, blocks, config);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            h.links[0].sever();
+            for _ in 0..40 {
+                random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+            }
+            h.links[0].restore();
+            h.cluster.rejoin(0, strategy).unwrap();
+            h.cluster.resync_to_completion(0, 8).unwrap();
+            bytes.push(h.cluster.status(0).resync_bytes);
+            for dev in &h.devices {
+                assert!(verify_consistent(h.cluster.device(), &**dev).unwrap());
+            }
+            finish(h);
+        }
+        assert!(
+            bytes[1] * 10 < bytes[0],
+            "parity-log {} should be >10x below full-image {}",
+            bytes[1],
+            bytes[0]
+        );
+    }
+
+    #[test]
+    fn pruned_log_falls_back_to_full_blocks_and_still_converges() {
+        let config = ClusterConfig {
+            offline_after: 1,
+            ..ClusterConfig::default()
+        };
+        let blocks = 16;
+        let mut h = harness(1, blocks, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        h.links[0].sever();
+        for _ in 0..20 {
+            random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+        }
+        // Truncate the log past part of the outage window.
+        let prune_to = h.cluster.log().current_seq() - 5;
+        h.cluster.log().prune(prune_to);
+
+        h.links[0].restore();
+        h.cluster.rejoin(0, ResyncStrategy::ParityLog).unwrap();
+        h.cluster.resync_to_completion(0, 8).unwrap();
+        assert_eq!(h.cluster.state(0), ReplicaState::Online);
+        for dev in &h.devices {
+            assert!(verify_consistent(h.cluster.device(), &**dev).unwrap());
+        }
+        finish(h);
+    }
+
+    #[test]
+    fn failure_during_resync_goes_offline_and_can_retry() {
+        let config = ClusterConfig {
+            offline_after: 1,
+            ack_timeout: Duration::from_millis(200),
+            ..ClusterConfig::default()
+        };
+        let blocks = 16;
+        let mut h = harness(1, blocks, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        h.links[0].sever();
+        for _ in 0..10 {
+            random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+        }
+        // Rejoin while the link is still down: the first step fails.
+        h.cluster.rejoin(0, ResyncStrategy::ParityLog).unwrap();
+        assert!(h.cluster.resync_step(0, 4).is_err());
+        assert_eq!(h.cluster.state(0), ReplicaState::Offline);
+
+        // Second attempt with the link up succeeds.
+        h.links[0].restore();
+        h.cluster.rejoin(0, ResyncStrategy::ParityLog).unwrap();
+        h.cluster.resync_to_completion(0, 4).unwrap();
+        assert_eq!(h.cluster.state(0), ReplicaState::Online);
+        for dev in &h.devices {
+            assert!(verify_consistent(h.cluster.device(), &**dev).unwrap());
+        }
+        finish(h);
+    }
+
+    #[test]
+    fn lifecycle_guards_reject_bad_calls() {
+        let mut h = harness(1, 8, ClusterConfig::default());
+        assert!(matches!(
+            h.cluster.rejoin(5, ResyncStrategy::FullImage),
+            Err(ClusterError::UnknownReplica(5))
+        ));
+        // Online replicas have nothing to resync.
+        assert!(matches!(
+            h.cluster.rejoin(0, ResyncStrategy::FullImage),
+            Err(ClusterError::InvalidTransition { .. })
+        ));
+        assert!(h.cluster.resync_step(0, 4).is_err());
+        // Offline twice is invalid.
+        h.cluster.mark_offline(0).unwrap();
+        assert!(h.cluster.mark_offline(0).is_err());
+    }
+
+    #[test]
+    fn traffic_accounting_separates_foreground_from_resync() {
+        let config = ClusterConfig {
+            offline_after: 1,
+            ..ClusterConfig::default()
+        };
+        let mut h = harness(1, 16, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..5 {
+            random_write(&mut h.cluster, &mut rng, 16).unwrap();
+        }
+        let fg = h.cluster.status(0).foreground_bytes;
+        assert!(fg > 0);
+        assert_eq!(h.cluster.status(0).resync_bytes, 0);
+
+        h.links[0].sever();
+        for _ in 0..5 {
+            random_write(&mut h.cluster, &mut rng, 16).unwrap();
+        }
+        h.links[0].restore();
+        h.cluster.rejoin(0, ResyncStrategy::DirtyBitmap).unwrap();
+        h.cluster.resync_to_completion(0, 8).unwrap();
+        let status = h.cluster.status(0);
+        assert!(status.resync_bytes > 0);
+        assert_eq!(status.foreground_bytes, fg, "outage sends nothing");
+    }
+}

@@ -1,0 +1,78 @@
+//! Replica lifecycle, degraded writes, dirty-region tracking, and
+//! parity-log delta resync.
+//!
+//! The paper's replication engine assumes every replica acknowledges
+//! every write. Real Internet storages lose replicas: links drop,
+//! disks fail, sites go down for maintenance. This crate adds the
+//! availability layer on top of [`prins_repl`]:
+//!
+//! * [`ReplicaState`] — the lifecycle state machine
+//!   `Online → Lagging → Offline → Resyncing → Online`, driven by
+//!   send/ack errors,
+//! * [`ClusterGroup`] — a primary that *degrades* instead of aborting:
+//!   a failing replica's missed writes are recorded in a per-replica
+//!   [`DirtyMap`] and writes succeed while at least
+//!   [`ClusterConfig::write_quorum`] replicas acknowledge,
+//! * [`ResyncStrategy`] — how a rejoining replica catches up:
+//!   full-image, dirty-bitmap (full blocks, dirty only), or
+//!   [`ResyncStrategy::ParityLog`] — replaying the primary's TRAP
+//!   parity-log suffix, the PRINS idea applied to recovery: the same
+//!   sparse parities that made foreground replication cheap make
+//!   catch-up cheap,
+//! * [`ShardMap`] / [`ShardedCluster`] — LBA-range sharding across
+//!   replica groups, with placement feeding the MVA model inputs.
+//!
+//! Resync runs *concurrently* with foreground writes: the primary
+//! keeps writing between [`ClusterGroup::resync_step`] calls, new
+//! writes to still-dirty blocks are queued behind the resync stream,
+//! and writes to clean blocks flow to the resyncing replica directly.
+//!
+//! # Example
+//!
+//! ```
+//! use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
+//! use prins_cluster::{ClusterConfig, ClusterGroup, ReplicaState, ResyncStrategy};
+//! use prins_net::{channel_pair, FaultTransport, LinkModel, Transport};
+//! use prins_repl::run_replica;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (primary_side, replica_side) = channel_pair(LinkModel::t1());
+//! let (faulty, link) = FaultTransport::new(primary_side);
+//! let replica_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
+//! let dev = Arc::clone(&replica_dev);
+//! let worker = std::thread::spawn(move || run_replica(&*dev, &replica_side));
+//!
+//! let config = ClusterConfig { offline_after: 1, ..ClusterConfig::default() };
+//! let mut cluster =
+//!     ClusterGroup::new(MemDevice::new(BlockSize::kb4(), 8), config, vec![Box::new(faulty)]);
+//!
+//! cluster.write(Lba(0), &[1u8; 4096])?; // replicated normally
+//!
+//! link.sever(); // outage: the write below is only recorded dirty
+//! cluster.write(Lba(1), &[2u8; 4096])?;
+//! assert_eq!(cluster.state(0), ReplicaState::Offline);
+//!
+//! link.restore();
+//! cluster.rejoin(0, ResyncStrategy::ParityLog)?;
+//! cluster.resync_to_completion(0, 8)?;
+//! assert_eq!(cluster.state(0), ReplicaState::Online);
+//!
+//! drop(cluster); // hang up; replica loop exits
+//! worker.join().unwrap()?;
+//! assert_eq!(replica_dev.read_block_vec(Lba(1))?, vec![2u8; 4096]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod dirty;
+mod error;
+mod group;
+mod lifecycle;
+mod shard;
+
+pub use dirty::DirtyMap;
+pub use error::ClusterError;
+pub use group::{ClusterConfig, ClusterGroup, ReplicaStatus, ResyncStrategy, WriteOutcome};
+pub use lifecycle::ReplicaState;
+pub use shard::{ShardMap, ShardedCluster};

@@ -1,0 +1,236 @@
+//! LBA-range sharding across replica groups.
+//!
+//! A large volume is split into contiguous LBA ranges, each served by
+//! its own replica group ([`ClusterGroup`]). Placement determines load:
+//! the per-group write counts a trace induces become the per-station
+//! service demands of the paper's closed queueing network, so shard
+//! placement feeds directly into the MVA model.
+
+use prins_block::{BlockDevice, Lba};
+use prins_queueing::Mva;
+
+use crate::{ClusterError, ClusterGroup, WriteOutcome};
+
+/// A partition of `[0, num_blocks)` into contiguous per-group ranges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `starts[g]..starts[g + 1]` is group `g`'s LBA range.
+    starts: Vec<u64>,
+    num_blocks: u64,
+}
+
+impl ShardMap {
+    /// Splits `num_blocks` as evenly as possible across `groups`
+    /// ranges (the first `num_blocks % groups` ranges get one extra
+    /// block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0` or `num_blocks < groups as u64`.
+    pub fn even(num_blocks: u64, groups: usize) -> Self {
+        assert!(groups > 0, "at least one group");
+        assert!(
+            num_blocks >= groups as u64,
+            "need at least one block per group"
+        );
+        let base = num_blocks / groups as u64;
+        let extra = num_blocks % groups as u64;
+        let mut starts = Vec::with_capacity(groups + 1);
+        let mut at = 0;
+        for g in 0..groups as u64 {
+            starts.push(at);
+            at += base + u64::from(g < extra);
+        }
+        starts.push(num_blocks);
+        Self { starts, num_blocks }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total blocks across all shards.
+    pub fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    /// The group serving `lba`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is out of range.
+    pub fn group_for(&self, lba: Lba) -> usize {
+        assert!(lba.index() < self.num_blocks, "lba {lba:?} out of range");
+        // partition_point returns the count of starts <= lba; the last
+        // such range contains it.
+        self.starts.partition_point(|&s| s <= lba.index()) - 1
+    }
+
+    /// Group `g`'s LBA range as `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn range(&self, g: usize) -> std::ops::Range<u64> {
+        self.starts[g]..self.starts[g + 1]
+    }
+
+    /// Translates a volume LBA to the containing group's local LBA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is out of range.
+    pub fn local_lba(&self, lba: Lba) -> (usize, Lba) {
+        let g = self.group_for(lba);
+        (g, Lba(lba.index() - self.starts[g]))
+    }
+
+    /// Counts writes per group for a stream of write addresses.
+    pub fn load_counts<I: IntoIterator<Item = Lba>>(&self, writes: I) -> Vec<u64> {
+        let mut counts = vec![0u64; self.group_count()];
+        for lba in writes {
+            counts[self.group_for(lba)] += 1;
+        }
+        counts
+    }
+
+    /// Per-group MVA service demands: each group is one station of the
+    /// closed network, and its demand is the per-write service time
+    /// weighted by the fraction of the write stream its shard absorbs.
+    pub fn service_demands(&self, loads: &[u64], per_write_service: f64) -> Vec<f64> {
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.group_count()];
+        }
+        loads
+            .iter()
+            .map(|&l| per_write_service * (l as f64 / total as f64))
+            .collect()
+    }
+
+    /// Builds the MVA model for this placement: think time `z` and one
+    /// station per group with load-weighted service demands.
+    pub fn mva(&self, z: f64, loads: &[u64], per_write_service: f64) -> Mva {
+        Mva::new(z, self.service_demands(loads, per_write_service))
+    }
+}
+
+/// A volume sharded across several [`ClusterGroup`]s.
+///
+/// Each group's device covers only its shard's range; writes are routed
+/// by the [`ShardMap`] with the LBA translated to the group-local
+/// address space.
+pub struct ShardedCluster<D> {
+    map: ShardMap,
+    groups: Vec<ClusterGroup<D>>,
+}
+
+impl<D: BlockDevice> ShardedCluster<D> {
+    /// Assembles a sharded volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group count differs from the map's, or a group's
+    /// device does not have exactly its shard's block count.
+    pub fn new(map: ShardMap, groups: Vec<ClusterGroup<D>>) -> Self {
+        assert_eq!(groups.len(), map.group_count(), "one group per shard");
+        for (g, group) in groups.iter().enumerate() {
+            let want = map.range(g).end - map.range(g).start;
+            let have = group.device().geometry().num_blocks();
+            assert_eq!(
+                have, want,
+                "group {g} device holds {have} blocks, shard needs {want}"
+            );
+        }
+        Self { map, groups }
+    }
+
+    /// The placement map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The group serving shard `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group(&self, g: usize) -> &ClusterGroup<D> {
+        &self.groups[g]
+    }
+
+    /// Mutable access to the group serving shard `g` (for lifecycle
+    /// and resync driving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_mut(&mut self, g: usize) -> &mut ClusterGroup<D> {
+        &mut self.groups[g]
+    }
+
+    /// Routes one write to the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterGroup::write`].
+    pub fn write(&mut self, lba: Lba, new: &[u8]) -> Result<WriteOutcome, ClusterError> {
+        let (g, local) = self.map.local_lba(lba);
+        self.groups[g].write(local, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_everything_once() {
+        let map = ShardMap::even(10, 3); // 4, 3, 3
+        assert_eq!(map.group_count(), 3);
+        assert_eq!(map.range(0), 0..4);
+        assert_eq!(map.range(1), 4..7);
+        assert_eq!(map.range(2), 7..10);
+        for lba in 0..10u64 {
+            let g = map.group_for(Lba(lba));
+            assert!(map.range(g).contains(&lba));
+        }
+        assert_eq!(map.local_lba(Lba(5)), (1, Lba(1)));
+        assert_eq!(map.local_lba(Lba(0)), (0, Lba(0)));
+        assert_eq!(map.local_lba(Lba(9)), (2, Lba(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_lba_panics() {
+        ShardMap::even(10, 2).group_for(Lba(10));
+    }
+
+    #[test]
+    fn load_counts_and_demands() {
+        let map = ShardMap::even(8, 2);
+        let writes = [0u64, 1, 2, 3, 3, 3, 4, 7].map(Lba);
+        let loads = map.load_counts(writes);
+        assert_eq!(loads, vec![6, 2]);
+        let demands = map.service_demands(&loads, 0.004);
+        assert!((demands[0] - 0.003).abs() < 1e-12);
+        assert!((demands[1] - 0.001).abs() < 1e-12);
+        assert_eq!(map.service_demands(&[0, 0], 0.004), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn placement_feeds_mva() {
+        let map = ShardMap::even(100, 4);
+        // Uniform load: four equal stations.
+        let mva = map.mva(0.1, &[25, 25, 25, 25], 0.004);
+        let balanced = mva.solve(32).throughput;
+        // Skewed load: one hot shard bottlenecks the network.
+        let mva = map.mva(0.1, &[85, 5, 5, 5], 0.004);
+        let skewed = mva.solve(32).throughput;
+        assert!(
+            balanced > skewed,
+            "balanced {balanced} should beat skewed {skewed}"
+        );
+    }
+}

@@ -61,10 +61,7 @@ pub struct PrinsEngine {
 }
 
 impl PrinsEngine {
-    pub(crate) fn start(
-        device: Arc<dyn BlockDevice>,
-        mut group: ReplicationGroup,
-    ) -> Self {
+    pub(crate) fn start(device: Arc<dyn BlockDevice>, mut group: ReplicationGroup) -> Self {
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
         let shared = Arc::new(Shared::default());
         let worker_shared = Arc::clone(&shared);
@@ -87,13 +84,11 @@ impl PrinsEngine {
                                 .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             match result {
                                 Ok(()) => {
-                                    worker_shared.writes_replicated.store(
-                                        group.writes_replicated(),
-                                        Ordering::Relaxed,
-                                    );
+                                    worker_shared
+                                        .writes_replicated
+                                        .store(group.writes_replicated(), Ordering::Relaxed);
                                     worker_shared.replicated_payload_bytes.fetch_add(
-                                        payload.len() as u64
-                                            * group.replica_count().max(1) as u64,
+                                        payload.len() as u64 * group.replica_count().max(1) as u64,
                                         Ordering::Relaxed,
                                     );
                                 }
@@ -132,10 +127,7 @@ impl PrinsEngine {
             writes: self.shared.writes.load(Ordering::Relaxed),
             reads: self.shared.reads.load(Ordering::Relaxed),
             writes_replicated: self.shared.writes_replicated.load(Ordering::Relaxed),
-            replicated_payload_bytes: self
-                .shared
-                .replicated_payload_bytes
-                .load(Ordering::Relaxed),
+            replicated_payload_bytes: self.shared.replicated_payload_bytes.load(Ordering::Relaxed),
             local_write_nanos: self.shared.local_write_nanos.load(Ordering::Relaxed),
             overhead_nanos: self.shared.overhead_nanos.load(Ordering::Relaxed),
             send_nanos: self.shared.send_nanos.load(Ordering::Relaxed),

@@ -41,10 +41,7 @@ impl<T: Transport> ReplicaEngine<T> {
 
 impl<T: Transport + 'static> ReplicaEngine<T> {
     /// Runs the replica on a dedicated thread.
-    pub fn spawn(
-        device: Arc<dyn BlockDevice>,
-        transport: T,
-    ) -> JoinHandle<Result<u64, ReplError>> {
+    pub fn spawn(device: Arc<dyn BlockDevice>, transport: T) -> JoinHandle<Result<u64, ReplError>> {
         std::thread::Builder::new()
             .name("prins-replica".into())
             .spawn(move || ReplicaEngine::new(device, transport).run())
@@ -67,15 +64,13 @@ mod tests {
     use prins_block::{BlockSize, Lba, MemDevice};
     use prins_net::{channel_pair, LinkModel};
     use prins_repl::{verify_consistent, ReplicationMode};
-    use rand::{Rng as _, RngExt, SeedableRng};
+    use rand::{RngExt, SeedableRng};
 
     fn end_to_end(mode: ReplicationMode) {
         let (to_replica, at_replica) = channel_pair(LinkModel::t1());
         let replica_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 32));
-        let replica = ReplicaEngine::spawn(
-            Arc::clone(&replica_dev) as Arc<dyn BlockDevice>,
-            at_replica,
-        );
+        let replica =
+            ReplicaEngine::spawn(Arc::clone(&replica_dev) as Arc<dyn BlockDevice>, at_replica);
 
         let primary_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 32));
         let engine = EngineBuilder::new(Arc::clone(&primary_dev) as Arc<dyn BlockDevice>)
@@ -102,7 +97,10 @@ mod tests {
         engine.shutdown().unwrap();
 
         assert_eq!(replica.join().unwrap().unwrap(), 120);
-        assert!(verify_consistent(&*primary_dev, &*replica_dev).unwrap(), "{mode}");
+        assert!(
+            verify_consistent(&*primary_dev, &*replica_dev).unwrap(),
+            "{mode}"
+        );
     }
 
     #[test]
@@ -142,7 +140,9 @@ mod tests {
 
         use prins_block::BlockDevice as _;
         for i in 0..8u64 {
-            engine.write_block(Lba(i), &vec![i as u8 + 1; 4096]).unwrap();
+            engine
+                .write_block(Lba(i), &vec![i as u8 + 1; 4096])
+                .unwrap();
         }
         engine.shutdown().unwrap();
         r1.join().unwrap().unwrap();
@@ -155,10 +155,8 @@ mod tests {
     fn initial_sync_bootstraps_nonempty_primary() {
         let (to_replica, at_replica) = channel_pair(LinkModel::t1());
         let replica_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
-        let replica = ReplicaEngine::spawn(
-            Arc::clone(&replica_dev) as Arc<dyn BlockDevice>,
-            at_replica,
-        );
+        let replica =
+            ReplicaEngine::spawn(Arc::clone(&replica_dev) as Arc<dyn BlockDevice>, at_replica);
 
         use prins_block::BlockDevice as _;
         let primary_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
@@ -181,10 +179,8 @@ mod tests {
         let (to_replica, at_replica) = channel_pair(LinkModel::t1());
         // Replica device too small: writes past block 0 NAK.
         let replica_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 1));
-        let _replica = ReplicaEngine::spawn(
-            Arc::clone(&replica_dev) as Arc<dyn BlockDevice>,
-            at_replica,
-        );
+        let _replica =
+            ReplicaEngine::spawn(Arc::clone(&replica_dev) as Arc<dyn BlockDevice>, at_replica);
         let primary_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
         let engine = EngineBuilder::new(Arc::clone(&primary_dev) as Arc<dyn BlockDevice>)
             .mode(ReplicationMode::Traditional)
@@ -203,10 +199,8 @@ mod tests {
         use prins_repl::AckPolicy;
         let (to_replica, at_replica) = channel_pair(LinkModel::t1());
         let replica_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 32));
-        let replica = ReplicaEngine::spawn(
-            Arc::clone(&replica_dev) as Arc<dyn BlockDevice>,
-            at_replica,
-        );
+        let replica =
+            ReplicaEngine::spawn(Arc::clone(&replica_dev) as Arc<dyn BlockDevice>, at_replica);
         let primary_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 32));
         let engine = EngineBuilder::new(Arc::clone(&primary_dev) as Arc<dyn BlockDevice>)
             .ack_policy(AckPolicy::Window(16))
@@ -233,10 +227,8 @@ mod tests {
         // or the replica's XOR chain diverges.
         let (to_replica, at_replica) = channel_pair(LinkModel::t1());
         let replica_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
-        let replica = ReplicaEngine::spawn(
-            Arc::clone(&replica_dev) as Arc<dyn BlockDevice>,
-            at_replica,
-        );
+        let replica =
+            ReplicaEngine::spawn(Arc::clone(&replica_dev) as Arc<dyn BlockDevice>, at_replica);
         let primary_dev = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
         let engine = Arc::new(
             EngineBuilder::new(Arc::clone(&primary_dev) as Arc<dyn BlockDevice>)

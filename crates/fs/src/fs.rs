@@ -114,7 +114,8 @@ impl Fs {
             return Ok(Vec::new());
         }
         let mut buf = self.layout.block_size.zeroed();
-        self.dev.read_block(self.data_lba(inode.indirect), &mut buf)?;
+        self.dev
+            .read_block(self.data_lba(inode.indirect), &mut buf)?;
         Ok(buf
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
@@ -170,7 +171,8 @@ impl Fs {
             return Ok(None);
         }
         let mut buf = self.layout.block_size.zeroed();
-        self.dev.read_block(self.data_lba(inode.indirect), &mut buf)?;
+        self.dev
+            .read_block(self.data_lba(inode.indirect), &mut buf)?;
         let at = idx as usize * 4;
         let ptr = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
         Ok((ptr != 0).then(|| self.data_lba(ptr)))
@@ -326,9 +328,11 @@ impl Fs {
                 continue;
             }
             let len = chunk[4] as usize;
-            let name = String::from_utf8(chunk[5..5 + len.min(NAME_MAX)].to_vec())
-                .map_err(|_| FsError::Corrupt {
-                    detail: "non-utf8 directory entry".into(),
+            let name =
+                String::from_utf8(chunk[5..5 + len.min(NAME_MAX)].to_vec()).map_err(|_| {
+                    FsError::Corrupt {
+                        detail: "non-utf8 directory entry".into(),
+                    }
                 })?;
             out.push((ino, name));
         }
@@ -750,7 +754,7 @@ impl std::fmt::Debug for Fs {
 mod tests {
     use super::*;
     use prins_block::{BlockSize, MemDevice};
-    use rand::{Rng as _, RngExt, SeedableRng};
+    use rand::{RngExt, SeedableRng};
 
     fn fresh(blocks: u64) -> Fs {
         Fs::format(Arc::new(MemDevice::new(BlockSize::kb4(), blocks)), 256).unwrap()

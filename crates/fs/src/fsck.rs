@@ -77,7 +77,11 @@ impl std::fmt::Display for FsckIssue {
             FsckIssue::UnallocatedBlock { ino, index } => {
                 write!(f, "inode {ino} references unallocated block {index}")
             }
-            FsckIssue::DoubleReference { index, first, second } => {
+            FsckIssue::DoubleReference {
+                index,
+                first,
+                second,
+            } => {
                 write!(f, "block {index} referenced by inodes {first} and {second}")
             }
             FsckIssue::OrphanInode { ino } => write!(f, "orphan inode {ino}"),
@@ -149,7 +153,10 @@ impl Fs {
                 for (child, _name) in self.dir_entries_raw(&inode)? {
                     let child_idx = (child - 1) as usize;
                     if child_idx >= inode_bits.len() || !inode_bits[child_idx] {
-                        report.issues.push(FsckIssue::DanglingEntry { dir: ino, ino: child });
+                        report.issues.push(FsckIssue::DanglingEntry {
+                            dir: ino,
+                            ino: child,
+                        });
                         continue;
                     }
                     stack.push(child);
@@ -162,7 +169,9 @@ impl Fs {
         for (index, &allocated) in block_bits.iter().enumerate() {
             let referenced = block_owner.contains_key(&(index as u64));
             if allocated && !referenced {
-                report.issues.push(FsckIssue::LeakedBlock { index: index as u64 });
+                report.issues.push(FsckIssue::LeakedBlock {
+                    index: index as u64,
+                });
             }
         }
         for (idx, &allocated) in inode_bits.iter().enumerate() {
@@ -193,7 +202,9 @@ impl Fs {
             }
             let index = (ptr - 1) as u64;
             if index >= data_blocks {
-                report.issues.push(FsckIssue::PointerOutOfRange { ino, pointer: ptr });
+                report
+                    .issues
+                    .push(FsckIssue::PointerOutOfRange { ino, pointer: ptr });
                 return;
             }
             if let Some(&first) = block_owner.get(&index) {
@@ -265,7 +276,8 @@ mod tests {
     fn check_stays_clean_through_heavy_churn() {
         let (_dev, fs) = build();
         for i in 0..30 {
-            fs.write_file(&format!("/churn{i}"), &vec![i as u8; 10_000]).unwrap();
+            fs.write_file(&format!("/churn{i}"), &vec![i as u8; 10_000])
+                .unwrap();
         }
         for i in (0..30).step_by(2) {
             fs.unlink(&format!("/churn{i}")).unwrap();
@@ -285,7 +297,8 @@ mod tests {
         let byte = bm.iter().position(|&b| b != 0xff).unwrap();
         let bit = bm[byte].trailing_ones();
         bm[byte] |= 1 << bit;
-        dev.write_block(Lba(layout.block_bitmap_start), &bm).unwrap();
+        dev.write_block(Lba(layout.block_bitmap_start), &bm)
+            .unwrap();
         let report = fs.check().unwrap();
         assert!(report
             .issues
@@ -302,7 +315,8 @@ mod tests {
         let byte = bm.iter().position(|&b| b != 0xff).unwrap();
         let bit = bm[byte].trailing_ones();
         bm[byte] |= 1 << bit;
-        dev.write_block(Lba(layout.inode_bitmap_start), &bm).unwrap();
+        dev.write_block(Lba(layout.inode_bitmap_start), &bm)
+            .unwrap();
         let report = fs.check().unwrap();
         assert!(report
             .issues
@@ -322,13 +336,17 @@ mod tests {
         let byte = bm.iter().rposition(|&b| b != 0).unwrap();
         let bit = 7 - bm[byte].leading_zeros() as u8 % 8;
         bm[byte] &= !(1 << bit);
-        dev.write_block(Lba(layout.block_bitmap_start), &bm).unwrap();
+        dev.write_block(Lba(layout.block_bitmap_start), &bm)
+            .unwrap();
         let report = fs.check().unwrap();
-        assert!(report
-            .issues
-            .iter()
-            .any(|i| matches!(i, FsckIssue::UnallocatedBlock { .. })),
-            "{:?}", report.issues);
+        assert!(
+            report
+                .issues
+                .iter()
+                .any(|i| matches!(i, FsckIssue::UnallocatedBlock { .. })),
+            "{:?}",
+            report.issues
+        );
     }
 
     #[test]

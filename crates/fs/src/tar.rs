@@ -148,7 +148,11 @@ pub fn list(fs: &Fs, archive: &str) -> Result<Vec<Entry>, FsError> {
         let stored_chk = parse_octal(&h[148..156])?;
         let mut sum = 0u32;
         for (i, &b) in h.iter().enumerate() {
-            sum += if (148..156).contains(&i) { 32 } else { b as u32 };
+            sum += if (148..156).contains(&i) {
+                32
+            } else {
+                b as u32
+            };
         }
         if sum != stored_chk as u32 {
             return Err(FsError::Corrupt {
@@ -305,10 +309,7 @@ mod tests {
         create(&fs, &["/f"], "/t.tar").unwrap();
         // Flip a byte inside the first header.
         fs.write_at("/t.tar", 10, b"X").unwrap();
-        assert!(matches!(
-            list(&fs, "/t.tar"),
-            Err(FsError::Corrupt { .. })
-        ));
+        assert!(matches!(list(&fs, "/t.tar"), Err(FsError::Corrupt { .. })));
     }
 
     #[test]

@@ -269,7 +269,7 @@ impl<T: Transport> Initiator<T> {
     pub fn write_blocks(&mut self, lba: u64, data: &[u8]) -> Result<(), IscsiError> {
         self.ensure_logged_in()?;
         let bs = self.block_size as usize;
-        if bs == 0 || data.len() % bs != 0 || data.is_empty() {
+        if bs == 0 || !data.len().is_multiple_of(bs) || data.is_empty() {
             return Err(IscsiError::Protocol(format!(
                 "write of {} bytes is not a positive multiple of the {bs}-byte block size",
                 data.len()
@@ -307,7 +307,7 @@ impl<T: Transport> Initiator<T> {
     pub fn write_blocks_r2t(&mut self, lba: u64, data: &[u8]) -> Result<(), IscsiError> {
         self.ensure_logged_in()?;
         let bs = self.block_size as usize;
-        if bs == 0 || data.len() % bs != 0 || data.is_empty() {
+        if bs == 0 || !data.len().is_multiple_of(bs) || data.is_empty() {
             return Err(IscsiError::Protocol(format!(
                 "write of {} bytes is not a positive multiple of the {bs}-byte block size",
                 data.len()
@@ -344,10 +344,8 @@ impl<T: Transport> Initiator<T> {
                             data.len()
                         )));
                     }
-                    let mut out = Pdu::with_data(
-                        Opcode::DataOut,
-                        data[offset..offset + length].to_vec(),
-                    );
+                    let mut out =
+                        Pdu::with_data(Opcode::DataOut, data[offset..offset + length].to_vec());
                     out.bhs.itt = itt;
                     out.bhs.dword5 = offset as u32;
                     out.bhs.flags = 0x80;
@@ -355,9 +353,7 @@ impl<T: Transport> Initiator<T> {
                 }
                 Opcode::ScsiResponse => {
                     if pdu.bhs.itt != itt {
-                        return Err(IscsiError::Protocol(
-                            "response for wrong task".into(),
-                        ));
+                        return Err(IscsiError::Protocol("response for wrong task".into()));
                     }
                     let status = ScsiStatus::from_wire(pdu.bhs.flags & 0x3f)?;
                     return Self::check_good(status, pdu.data);

@@ -173,11 +173,7 @@ impl Target {
         Ok(Some(data))
     }
 
-    fn handle_command<T: Transport>(
-        &mut self,
-        transport: &T,
-        pdu: &Pdu,
-    ) -> Result<(), IscsiError> {
+    fn handle_command<T: Transport>(&mut self, transport: &T, pdu: &Pdu) -> Result<(), IscsiError> {
         let itt = pdu.bhs.itt;
         let cdb = match Cdb::from_bytes(&pdu.bhs.cdb) {
             Ok(cdb) => cdb,
@@ -343,8 +339,8 @@ mod tests {
     fn large_read_is_segmented_into_multiple_data_in_pdus() {
         let (client, server) = channel_pair(LinkModel::gigabit_lan());
         let device = Arc::new(MemDevice::new(BlockSize::kb4(), 64));
-        let target = Target::new(Arc::clone(&device) as Arc<dyn BlockDevice>)
-            .with_max_data_segment(4096);
+        let target =
+            Target::new(Arc::clone(&device) as Arc<dyn BlockDevice>).with_max_data_segment(4096);
         let handle = std::thread::spawn(move || target.serve(server));
         let mut ini = Initiator::login(client, "iqn.test").unwrap();
         let data: Vec<u8> = (0..4096 * 8).map(|i| (i % 251) as u8).collect();
@@ -369,8 +365,8 @@ mod tests {
     fn r2t_write_is_segmented_by_the_targets_limit() {
         let (client, server) = channel_pair(LinkModel::gigabit_lan());
         let device = Arc::new(MemDevice::new(BlockSize::kb4(), 64));
-        let target = Target::new(Arc::clone(&device) as Arc<dyn BlockDevice>)
-            .with_max_data_segment(2048); // 4 grants per 8 KB write
+        let target =
+            Target::new(Arc::clone(&device) as Arc<dyn BlockDevice>).with_max_data_segment(2048); // 4 grants per 8 KB write
         let handle = std::thread::spawn(move || target.serve(server));
         let mut ini = Initiator::login(client, "iqn.r2t.test").unwrap();
         let data = vec![0x3cu8; 4096 * 2];
@@ -423,7 +419,7 @@ mod tests {
     fn misaligned_write_is_rejected_client_side() {
         let (mut ini, handle, _dev) = setup(8);
         assert!(matches!(
-            ini.write_blocks(0, &vec![0u8; 100]),
+            ini.write_blocks(0, &[0u8; 100]),
             Err(IscsiError::Protocol(_))
         ));
         ini.logout().unwrap();

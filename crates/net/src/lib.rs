@@ -15,7 +15,9 @@
 //!   (154.4 KB/s) and T3 (4473.6 KB/s) bandwidths, 5 µs nodal processing
 //!   and 1 ms propagation delay,
 //! * [`TrafficMeter`] — atomic counters of messages, payload bytes, wire
-//!   bytes (payload + per-packet header overhead) and packets.
+//!   bytes (payload + per-packet header overhead) and packets,
+//! * [`FaultTransport`] — a wrapper whose link a test harness can sever
+//!   and restore, for replica-outage experiments.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 
 mod channel;
 mod error;
+mod fault;
 mod link;
 mod meter;
 mod tcp;
@@ -42,6 +45,7 @@ mod transport;
 
 pub use channel::{channel_pair, ChannelTransport};
 pub use error::NetError;
+pub use fault::{FaultTransport, LinkHandle};
 pub use link::LinkModel;
 pub use meter::TrafficMeter;
 pub use tcp::TcpTransport;

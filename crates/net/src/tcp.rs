@@ -176,10 +176,7 @@ mod tests {
     fn oversized_send_is_rejected_locally() {
         let (a, _b) = pair();
         let huge = vec![0u8; MAX_FRAME + 1];
-        assert!(matches!(
-            a.send(&huge),
-            Err(NetError::FrameTooLarge { .. })
-        ));
+        assert!(matches!(a.send(&huge), Err(NetError::FrameTooLarge { .. })));
     }
 
     #[test]

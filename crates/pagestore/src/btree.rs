@@ -125,8 +125,7 @@ impl BTree {
                     for i in 0..count {
                         let at = HDR + i * INTERNAL_ENTRY;
                         let key = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
-                        let child =
-                            u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap());
+                        let child = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap());
                         entries.push((key, child));
                     }
                     Ok(Node::Internal {
@@ -148,8 +147,7 @@ impl BTree {
                 Node::Leaf { next, entries } => {
                     bytes[0] = 1;
                     bytes[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
-                    bytes[3..7]
-                        .copy_from_slice(&next.map_or(0, |n| n + 1).to_le_bytes());
+                    bytes[3..7].copy_from_slice(&next.map_or(0, |n| n + 1).to_le_bytes());
                     for (i, (key, rid)) in entries.iter().enumerate() {
                         let at = HDR + i * LEAF_ENTRY;
                         bytes[at..at + 8].copy_from_slice(&key.to_le_bytes());
@@ -355,13 +353,8 @@ impl BTree {
         let mut out = Vec::new();
         // Descend to the leaf that would hold `lo`.
         let mut pid = self.root;
-        loop {
-            match self.read_node(pid)? {
-                Node::Internal { leftmost, entries } => {
-                    pid = Self::child_for(&entries, leftmost, lo);
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { leftmost, entries } = self.read_node(pid)? {
+            pid = Self::child_for(&entries, leftmost, lo);
         }
         // Walk the leaf chain.
         loop {
@@ -531,11 +524,11 @@ mod tests {
                 match op {
                     0 => {
                         let r = tree.insert(key, rid(key + 1));
-                        if model.contains_key(&key) {
-                            prop_assert!(r.is_err());
-                        } else {
+                        if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
                             prop_assert!(r.is_ok());
-                            model.insert(key, key + 1);
+                            e.insert(key + 1);
+                        } else {
+                            prop_assert!(r.is_err());
                         }
                     }
                     1 => {

@@ -194,7 +194,11 @@ impl BufferPool {
     /// # Errors
     ///
     /// Device read failures and pool exhaustion.
-    pub fn with_page<R>(&self, page_id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, StoreError> {
+    pub fn with_page<R>(
+        &self,
+        page_id: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, StoreError> {
         let mut state = self.inner.frames.lock();
         let idx = self.load_frame(&mut state, page_id)?;
         Ok(f(&state.frames[idx].data))
@@ -260,10 +264,7 @@ mod tests {
     use prins_block::{BlockSize, InstrumentedDevice, MemDevice};
 
     fn pool(frames: usize, blocks: u64) -> BufferPool {
-        BufferPool::new(
-            Arc::new(MemDevice::new(BlockSize::kb4(), blocks)),
-            frames,
-        )
+        BufferPool::new(Arc::new(MemDevice::new(BlockSize::kb4(), blocks)), frames)
     }
 
     #[test]
@@ -296,10 +297,7 @@ mod tests {
 
     #[test]
     fn pool_batches_device_writes() {
-        let device = Arc::new(InstrumentedDevice::new(MemDevice::new(
-            BlockSize::kb4(),
-            8,
-        )));
+        let device = Arc::new(InstrumentedDevice::new(MemDevice::new(BlockSize::kb4(), 8)));
         let p = BufferPool::new(Arc::clone(&device) as Arc<dyn BlockDevice>, 8);
         let pid = p.allocate_page().unwrap();
         for i in 0..100 {

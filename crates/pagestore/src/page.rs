@@ -299,13 +299,19 @@ impl<'a> SlottedPage<'a> {
         let page_id = u32::from_le_bytes(buf[2..6].try_into().unwrap());
         let count = u16::from_le_bytes([buf[6], buf[7]]);
         if slot >= count {
-            return Err(StoreError::NoSuchSlot { page: page_id, slot });
+            return Err(StoreError::NoSuchSlot {
+                page: page_id,
+                slot,
+            });
         }
         let base = HEADER + slot as usize * SLOT_BYTES;
         let offset = u16::from_le_bytes([buf[base], buf[base + 1]]) as usize;
         let len = u16::from_le_bytes([buf[base + 2], buf[base + 3]]) as usize;
         if len == 0 {
-            return Err(StoreError::NoSuchSlot { page: page_id, slot });
+            return Err(StoreError::NoSuchSlot {
+                page: page_id,
+                slot,
+            });
         }
         Ok(&buf[offset..offset + len])
     }
@@ -397,11 +403,11 @@ mod tests {
         let mut page = SlottedPage::init(&mut buf, 0);
         let mut slots = Vec::new();
         for i in 0..50u16 {
-            slots.push(page.insert(&vec![i as u8; 120]).unwrap());
+            slots.push(page.insert(&[i as u8; 120]).unwrap());
         }
         let before = buf.to_vec();
         let mut page = SlottedPage::new(&mut buf);
-        page.update(slots[25], &vec![0xff; 120]).unwrap();
+        page.update(slots[25], &[0xff; 120]).unwrap();
         let changed = before
             .iter()
             .zip(buf.iter())

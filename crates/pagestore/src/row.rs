@@ -144,35 +144,55 @@ impl Row {
             let value = match tag {
                 0 => {
                     let v = u32::from_le_bytes(
-                        bytes.get(pos..pos + 4).ok_or_else(corrupt)?.try_into().unwrap(),
+                        bytes
+                            .get(pos..pos + 4)
+                            .ok_or_else(corrupt)?
+                            .try_into()
+                            .unwrap(),
                     );
                     pos += 4;
                     Value::U32(v)
                 }
                 1 => {
                     let v = u64::from_le_bytes(
-                        bytes.get(pos..pos + 8).ok_or_else(corrupt)?.try_into().unwrap(),
+                        bytes
+                            .get(pos..pos + 8)
+                            .ok_or_else(corrupt)?
+                            .try_into()
+                            .unwrap(),
                     );
                     pos += 8;
                     Value::U64(v)
                 }
                 2 => {
                     let v = i64::from_le_bytes(
-                        bytes.get(pos..pos + 8).ok_or_else(corrupt)?.try_into().unwrap(),
+                        bytes
+                            .get(pos..pos + 8)
+                            .ok_or_else(corrupt)?
+                            .try_into()
+                            .unwrap(),
                     );
                     pos += 8;
                     Value::I64(v)
                 }
                 3 => {
                     let v = f64::from_le_bytes(
-                        bytes.get(pos..pos + 8).ok_or_else(corrupt)?.try_into().unwrap(),
+                        bytes
+                            .get(pos..pos + 8)
+                            .ok_or_else(corrupt)?
+                            .try_into()
+                            .unwrap(),
                     );
                     pos += 8;
                     Value::F64(v)
                 }
                 4 => {
                     let len = u32::from_le_bytes(
-                        bytes.get(pos..pos + 4).ok_or_else(corrupt)?.try_into().unwrap(),
+                        bytes
+                            .get(pos..pos + 4)
+                            .ok_or_else(corrupt)?
+                            .try_into()
+                            .unwrap(),
                     ) as usize;
                     pos += 4;
                     let s = bytes.get(pos..pos + len).ok_or_else(corrupt)?;
@@ -185,7 +205,11 @@ impl Row {
                 }
                 5 => {
                     let len = u32::from_le_bytes(
-                        bytes.get(pos..pos + 4).ok_or_else(corrupt)?.try_into().unwrap(),
+                        bytes
+                            .get(pos..pos + 4)
+                            .ok_or_else(corrupt)?
+                            .try_into()
+                            .unwrap(),
                     ) as usize;
                     pos += 4;
                     let b = bytes.get(pos..pos + len).ok_or_else(corrupt)?;

@@ -492,16 +492,16 @@ mod tests {
     #[test]
     fn migration_on_grown_row() {
         // Tiny pages force migration quickly.
-        let pool = BufferPool::new(Arc::new(MemDevice::new(BlockSize::new(512).unwrap(), 256)), 16);
+        let pool = BufferPool::new(
+            Arc::new(MemDevice::new(BlockSize::new(512).unwrap(), 256)),
+            16,
+        );
         let mut t = Table::create(&pool).unwrap();
         let mut rids: Vec<RecordId> = (0..4).map(|i| t.insert(&row(i, "aaaa")).unwrap()).collect();
         // Grow row 0 beyond its page's remaining space.
         let big = "B".repeat(300);
         rids[0] = t.update(rids[0], &row(0, &big)).unwrap();
-        assert_eq!(
-            t.get(rids[0]).unwrap().values()[1],
-            Value::Str(big.clone())
-        );
+        assert_eq!(t.get(rids[0]).unwrap().values()[1], Value::Str(big.clone()));
         assert_eq!(t.len(), 4);
         // All other rows intact.
         for (i, rid) in rids.iter().enumerate().skip(1) {
@@ -532,10 +532,8 @@ mod tests {
         t.delete(rids[20]).unwrap();
         let rows = t.scan().unwrap();
         assert_eq!(rows.len(), 48);
-        let keys: std::collections::HashSet<u64> = rows
-            .iter()
-            .map(|(_, r)| r.values()[0].as_key())
-            .collect();
+        let keys: std::collections::HashSet<u64> =
+            rows.iter().map(|(_, r)| r.values()[0].as_key()).collect();
         assert!(!keys.contains(&10));
         assert!(keys.contains(&11));
     }
@@ -588,7 +586,10 @@ mod tests {
 
     #[test]
     fn record_id_packs() {
-        let rid = RecordId { page: 0xabcd, slot: 0x1234 };
+        let rid = RecordId {
+            page: 0xabcd,
+            slot: 0x1234,
+        };
         assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
     }
 }

@@ -186,7 +186,7 @@ impl SparseParity {
 }
 
 fn varint_len(v: u64) -> usize {
-    (((64 - v.leading_zeros()).max(1) as usize) + 6) / 7
+    ((64 - v.leading_zeros()).max(1) as usize).div_ceil(7)
 }
 
 /// Encoder/decoder between dense parity blocks and [`SparseParity`].
@@ -259,7 +259,11 @@ impl SparseCodec {
     ///   not `expected_block_len`,
     /// * [`CodecError::SegmentOutOfBounds`] /
     ///   [`CodecError::SegmentOrder`] on malformed structure.
-    pub fn decode(&self, bytes: &[u8], expected_block_len: usize) -> Result<SparseParity, CodecError> {
+    pub fn decode(
+        &self,
+        bytes: &[u8],
+        expected_block_len: usize,
+    ) -> Result<SparseParity, CodecError> {
         let mut pos = 0usize;
         let (block_len, used) = decode_varint(&bytes[pos..]).ok_or(CodecError::Truncated)?;
         pos += used;
@@ -401,7 +405,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_wrong_block_len() {
-        let sp = SparseCodec::default().encode(&vec![0u8; 100]);
+        let sp = SparseCodec::default().encode(&[0u8; 100]);
         let bytes = sp.to_bytes();
         assert_eq!(
             SparseCodec::default().decode(&bytes, 200),

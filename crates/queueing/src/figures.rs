@@ -6,8 +6,6 @@
 //! plotted series. Defaults reproduce the paper's setup: think time
 //! 0.1 s, two routers, 8 KB blocks.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Mva, NodalDelay, MM1};
 
 /// The paper's measured think time: TPC-C generated 10.22 writes/s per
@@ -18,7 +16,7 @@ pub const THINK_TIME: f64 = 0.1;
 pub const ROUTERS: usize = 2;
 
 /// One plotted curve.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     /// Technique label ("traditional", "compressed", "prins").
     pub label: String,
@@ -30,7 +28,7 @@ pub struct Series {
 
 /// Bytes one write puts on the wire, per technique — the bridge from
 /// the traffic experiments to the queueing model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BytesPerWrite {
     /// Technique label.
     pub label: String,
@@ -149,16 +147,8 @@ mod tests {
 
     #[test]
     fn figure9_t3_same_ordering_smaller_magnitudes() {
-        let t1 = response_vs_population(
-            NodalDelay::t1(),
-            &BytesPerWrite::paper_defaults(),
-            &[100],
-        );
-        let t3 = response_vs_population(
-            NodalDelay::t3(),
-            &BytesPerWrite::paper_defaults(),
-            &[100],
-        );
+        let t1 = response_vs_population(NodalDelay::t1(), &BytesPerWrite::paper_defaults(), &[100]);
+        let t3 = response_vs_population(NodalDelay::t3(), &BytesPerWrite::paper_defaults(), &[100]);
         for (a, b) in t1.iter().zip(&t3) {
             assert!(b.y[0] <= a.y[0], "{}: T3 must be faster", a.label);
         }

@@ -103,7 +103,9 @@ impl Mva {
     /// Solves for every population in `1..=max`, returning the response
     /// time curve (the y-axis of Figures 8/9).
     pub fn response_curve(&self, max: u32) -> Vec<(u32, f64)> {
-        (1..=max).map(|n| (n, self.solve(n).response_time)).collect()
+        (1..=max)
+            .map(|n| (n, self.solve(n).response_time))
+            .collect()
     }
 }
 

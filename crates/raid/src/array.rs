@@ -7,7 +7,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use prins_block::{BlockDevice, BlockError, Geometry, Lba, Result};
-use prins_parity::{xor_in_place, forward_parity};
+use prins_parity::{forward_parity, xor_in_place};
 
 use crate::layout::{Layout, RaidLevel};
 
@@ -177,13 +177,12 @@ impl RaidArray {
             if idx == missing {
                 continue;
             }
-            self.member_read(idx, member_lba, &mut tmp).map_err(|_| {
-                BlockError::DeviceFailed {
+            self.member_read(idx, member_lba, &mut tmp)
+                .map_err(|_| BlockError::DeviceFailed {
                     device: format!(
                         "cannot reconstruct member {missing}: member {idx} also unavailable"
                     ),
-                }
-            })?;
+                })?;
             xor_in_place(out, &tmp);
         }
         Ok(())
@@ -408,7 +407,7 @@ impl std::fmt::Debug for RaidArray {
 mod tests {
     use super::*;
     use prins_block::{BlockSize, MemDevice};
-    use rand::{Rng as _, RngExt, SeedableRng};
+    use rand::{RngExt, SeedableRng};
 
     fn mems(n: usize, blocks: u64) -> Vec<Arc<dyn BlockDevice>> {
         (0..n)
@@ -465,7 +464,11 @@ mod tests {
             let raid = RaidArray::new(level, mems(4, 16)).unwrap();
             random_writes(&raid, 2, 100);
             let report = raid.scrub().unwrap();
-            assert!(report.is_clean(), "{level}: {:?}", report.mismatched_stripes);
+            assert!(
+                report.is_clean(),
+                "{level}: {:?}",
+                report.mismatched_stripes
+            );
             assert_eq!(report.stripes_checked, 16);
         }
     }
@@ -563,6 +566,7 @@ mod tests {
     #[test]
     fn parity_tap_reports_exact_write_delta() {
         let raid = RaidArray::new(RaidLevel::Raid5, mems(4, 16)).unwrap();
+        #[allow(clippy::type_complexity)]
         let seen: Arc<Mutex<Vec<(Lba, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&seen);
         raid.set_parity_tap(Box::new(move |lba, pd| {

@@ -133,9 +133,7 @@ impl Layout {
             RaidLevel::Raid4 => Some(self.members - 1),
             // Left-symmetric ("backward parity") rotation, as used by
             // Linux md: parity walks from the last disk downward.
-            RaidLevel::Raid5 => {
-                Some(self.members - 1 - (stripe % self.members as u64) as usize)
-            }
+            RaidLevel::Raid5 => Some(self.members - 1 - (stripe % self.members as u64) as usize),
             _ => None,
         }
     }

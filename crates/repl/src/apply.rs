@@ -96,12 +96,11 @@ impl<D: ?Sized> std::fmt::Debug for ReplicaApplier<'_, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator,
-    };
+    use crate::{CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator};
     use prins_block::{BlockSize, MemDevice};
     use rand::{RngExt, SeedableRng};
 
+    #[allow(clippy::type_complexity)]
     fn scenario() -> (MemDevice, Vec<(Lba, Vec<u8>, Vec<u8>)>) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let replica = MemDevice::new(BlockSize::kb4(), 16);
@@ -177,10 +176,7 @@ mod tests {
         let mut new = old;
         new[100..132].fill(1); // sparse change → parity payload
         let payload = PrinsReplicator::new().encode_write(Lba(0), &old, &new);
-        assert!(matches!(
-            applier.apply(&payload),
-            Err(ReplError::Parity(_))
-        ));
+        assert!(matches!(applier.apply(&payload), Err(ReplError::Parity(_))));
     }
 
     #[test]

@@ -21,10 +21,21 @@ pub enum ReplError {
     Net(NetError),
     /// A structurally invalid payload.
     Malformed(String),
-    /// A replica did not acknowledge a write.
-    MissingAck {
-        /// Index of the silent replica.
+    /// A replica explicitly rejected a write (answered NAK).
+    ///
+    /// Distinct from [`ReplError::MissingAck`]: the replica is alive and
+    /// reachable but could not apply the payload — cluster lifecycle
+    /// logic treats this differently from a vanished node.
+    Nak {
+        /// Index of the rejecting replica.
         replica: usize,
+    },
+    /// A replica answered with something other than an ACK or NAK.
+    MissingAck {
+        /// Index of the misbehaving replica.
+        replica: usize,
+        /// First byte of the response, or `None` for an empty frame.
+        got: Option<u8>,
     },
 }
 
@@ -36,8 +47,20 @@ impl fmt::Display for ReplError {
             ReplError::Compress(e) => write!(f, "decompression error: {e}"),
             ReplError::Net(e) => write!(f, "transport error: {e}"),
             ReplError::Malformed(msg) => write!(f, "malformed replication payload: {msg}"),
-            ReplError::MissingAck { replica } => {
-                write!(f, "replica {replica} did not acknowledge the write")
+            ReplError::Nak { replica } => {
+                write!(f, "replica {replica} rejected the write (NAK)")
+            }
+            ReplError::MissingAck {
+                replica,
+                got: Some(b),
+            } => {
+                write!(
+                    f,
+                    "replica {replica} sent garbage instead of an ack (byte {b:#04x})"
+                )
+            }
+            ReplError::MissingAck { replica, got: None } => {
+                write!(f, "replica {replica} sent an empty frame instead of an ack")
             }
         }
     }

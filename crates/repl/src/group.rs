@@ -9,9 +9,9 @@ use prins_net::Transport;
 use crate::{Payload, PayloadBody, ReplError, ReplicaApplier, ReplicationMode, Replicator};
 
 /// Acknowledgement byte a replica returns after applying a payload.
-const ACK: u8 = 0x06;
+pub const ACK: u8 = 0x06;
 /// Negative acknowledgement (apply failed).
-const NAK: u8 = 0x15;
+pub const NAK: u8 = 0x15;
 
 /// When the primary waits for replica acknowledgements.
 ///
@@ -108,7 +108,8 @@ impl ReplicationGroup {
     /// # Errors
     ///
     /// * [`ReplError::Net`] if a replica is unreachable,
-    /// * [`ReplError::MissingAck`] if a replica answers with a NAK or an
+    /// * [`ReplError::Nak`] if a replica rejects the write,
+    /// * [`ReplError::MissingAck`] if a replica answers with an
     ///   unrecognizable acknowledgement.
     pub fn replicate(&mut self, lba: Lba, old: &[u8], new: &[u8]) -> Result<(), ReplError> {
         let payload = self.encode(lba, old, new);
@@ -146,14 +147,26 @@ impl ReplicationGroup {
         // The write retires regardless of outcome: a NAK or a dead
         // transport never produces a matching ack later.
         self.outstanding -= 1;
-        for (idx, replica) in self.replicas.iter().enumerate() {
-            let ack = replica.recv_timeout(self.ack_timeout)?;
-            if ack.as_slice() != [ACK] {
-                return Err(ReplError::MissingAck { replica: idx });
-            }
+        for idx in 0..self.replicas.len() {
+            self.await_ack(idx)?;
         }
         self.writes_replicated += 1;
         Ok(())
+    }
+
+    /// Waits for a single acknowledgement frame from replica `idx` and
+    /// classifies it: ACK succeeds, NAK becomes [`ReplError::Nak`], and
+    /// anything else [`ReplError::MissingAck`] carrying the stray byte.
+    fn await_ack(&self, idx: usize) -> Result<(), ReplError> {
+        let frame = self.replicas[idx].recv_timeout(self.ack_timeout)?;
+        match frame.as_slice() {
+            [ACK] => Ok(()),
+            [NAK] => Err(ReplError::Nak { replica: idx }),
+            other => Err(ReplError::MissingAck {
+                replica: idx,
+                got: other.first().copied(),
+            }),
+        }
     }
 
     /// Waits until every in-flight write is acknowledged (the barrier a
@@ -173,10 +186,16 @@ impl ReplicationGroup {
     /// "initial sync among the replica nodes"), ending with a sync
     /// marker.
     ///
+    /// Sync traffic flows through the same windowed-acknowledgement
+    /// path as replicated writes, so under [`AckPolicy::Window`] the
+    /// bulk transfer pipelines instead of stalling one round-trip per
+    /// block; the final marker acts as a barrier draining all acks.
+    ///
     /// # Errors
     ///
     /// Propagates device and transport failures; fails on any NAK.
     pub fn initial_sync<D: BlockDevice + ?Sized>(&mut self, source: &D) -> Result<(), ReplError> {
+        let before = self.writes_replicated;
         let geometry = source.geometry();
         for lba in geometry.range().iter() {
             let block = source.read_block_vec(lba)?;
@@ -185,30 +204,18 @@ impl ReplicationGroup {
                 body: PayloadBody::Full(block),
             }
             .to_bytes();
-            for replica in &self.replicas {
-                replica.send(&payload)?;
-            }
-            for (idx, replica) in self.replicas.iter().enumerate() {
-                let ack = replica.recv_timeout(self.ack_timeout)?;
-                if ack.as_slice() != [ACK] {
-                    return Err(ReplError::MissingAck { replica: idx });
-                }
-            }
+            self.replicate_payload(&payload)?;
         }
         let marker = Payload {
             lba: Lba(0),
             body: PayloadBody::SyncMarker,
         }
         .to_bytes();
-        for replica in &self.replicas {
-            replica.send(&marker)?;
-        }
-        for (idx, replica) in self.replicas.iter().enumerate() {
-            let ack = replica.recv_timeout(self.ack_timeout)?;
-            if ack.as_slice() != [ACK] {
-                return Err(ReplError::MissingAck { replica: idx });
-            }
-        }
+        self.replicate_payload(&marker)?;
+        self.drain_acks()?;
+        // Sync frames are not replicated writes: keep the counter the
+        // paper's model cares about (foreground writes) untouched.
+        self.writes_replicated = before;
         Ok(())
     }
 }
@@ -281,10 +288,11 @@ mod tests {
     use super::*;
     use prins_block::{BlockSize, MemDevice};
     use prins_net::{channel_pair, LinkModel};
-    use rand::{Rng as _, RngExt, SeedableRng};
+    use rand::{RngExt, SeedableRng};
     use std::sync::Arc;
 
     /// Spins up `n` replica threads and a group configured with `mode`.
+    #[allow(clippy::type_complexity)]
     fn group_with_replicas(
         mode: ReplicationMode,
         n: usize,
@@ -444,7 +452,7 @@ mod tests {
     }
 
     #[test]
-    fn replica_nak_surfaces_as_missing_ack() {
+    fn replica_nak_surfaces_as_nak() {
         // Replica device too small: first replicated write is out of
         // range there and NAKs.
         let (primary_side, replica_side) = channel_pair(LinkModel::t1());
@@ -456,8 +464,60 @@ mod tests {
         let old = vec![0u8; 4096];
         let new = vec![1u8; 4096];
         let err = group.replicate(Lba(5), &old, &new).unwrap_err();
-        assert!(matches!(err, ReplError::MissingAck { replica: 0 }), "{err}");
+        assert!(matches!(err, ReplError::Nak { replica: 0 }), "{err}");
         assert!(handle.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn garbage_ack_surfaces_byte_in_missing_ack() {
+        // A "replica" that answers every frame with garbage instead of
+        // an ACK/NAK byte.
+        let (primary_side, replica_side) = channel_pair(LinkModel::t1());
+        let handle = std::thread::spawn(move || {
+            let frame = replica_side.recv().unwrap();
+            assert!(!frame.is_empty());
+            replica_side.send(&[0x7f]).unwrap();
+        });
+        let mut group =
+            ReplicationGroup::new(ReplicationMode::Traditional, vec![Box::new(primary_side)]);
+        let err = group
+            .replicate(Lba(0), &[0u8; 4096], &[1u8; 4096])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReplError::MissingAck {
+                    replica: 0,
+                    got: Some(0x7f)
+                }
+            ),
+            "{err}"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn initial_sync_pipelines_under_windowed_acks() {
+        let primary = MemDevice::new(BlockSize::kb4(), 32);
+        let (mut group, replicas, handles) =
+            group_with_replicas(ReplicationMode::Prins, 2, BlockSize::kb4(), 32);
+        group = group.with_ack_policy(AckPolicy::Window(16));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for lba in 0..32u64 {
+            let mut block = vec![0u8; 4096];
+            rng.fill_bytes(&mut block);
+            primary.write_block(Lba(lba), &block).unwrap();
+        }
+        group.initial_sync(&primary).unwrap();
+        // The sync barrier drained everything and sync frames do not
+        // count as replicated writes.
+        assert_eq!(group.outstanding(), 0);
+        assert_eq!(group.writes_replicated(), 0);
+        drop(group);
+        for (h, dev) in handles.into_iter().zip(&replicas) {
+            h.join().unwrap().unwrap();
+            assert!(verify_consistent(&primary, &**dev).unwrap());
+        }
     }
 
     #[test]

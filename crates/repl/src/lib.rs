@@ -56,9 +56,7 @@ mod strategy;
 
 pub use apply::ReplicaApplier;
 pub use error::ReplError;
-pub use group::{run_replica, verify_consistent, AckPolicy, ReplicationGroup};
+pub use group::{run_replica, verify_consistent, AckPolicy, ReplicationGroup, ACK, NAK};
 pub use mode::ReplicationMode;
 pub use payload::{Payload, PayloadBody};
-pub use strategy::{
-    CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator,
-};
+pub use strategy::{CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator};

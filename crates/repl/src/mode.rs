@@ -1,14 +1,10 @@
 //! Replication mode selector.
 
-use serde::{Deserialize, Serialize};
-
-use crate::{
-    CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator,
-};
+use crate::{CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator};
 
 /// Which replication technique a node runs — the x-axis of every
 /// comparison in the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ReplicationMode {
     /// Replicate every changed block in full.
     Traditional,

@@ -198,5 +198,30 @@ mod tests {
             let p = Payload { lba: Lba(lba), body };
             prop_assert_eq!(Payload::from_bytes(&p.to_bytes()).unwrap(), p);
         }
+
+        /// Arbitrary bytes must decode to `Ok` or `Err` — never panic.
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = Payload::from_bytes(&bytes);
+        }
+
+        /// Every strict prefix of a valid encoding either still parses
+        /// (trailing data is body bytes) or errors cleanly — no panics
+        /// on truncation.
+        #[test]
+        fn prop_truncation_never_panics(lba in any::<u64>(), tag in 0u8..5,
+                                        cut in 0usize..64,
+                                        data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let body = match tag {
+                0 => PayloadBody::Full(data),
+                1 => PayloadBody::Compressed { block_len: data.len(), data },
+                2 => PayloadBody::Parity(data),
+                3 => PayloadBody::ParityCompressed { sparse_len: data.len(), data },
+                _ => PayloadBody::SyncMarker,
+            };
+            let wire = Payload { lba: Lba(lba), body }.to_bytes();
+            let keep = wire.len().saturating_sub(cut);
+            let _ = Payload::from_bytes(&wire[..keep]);
+        }
     }
 }

@@ -166,7 +166,7 @@ impl Replicator for PrinsReplicator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng as _, RngExt, SeedableRng};
+    use rand::{RngExt, SeedableRng};
 
     fn sample_write(change_bytes: usize) -> (Vec<u8>, Vec<u8>) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
@@ -200,7 +200,9 @@ mod tests {
     fn prins_beats_compression_on_incompressible_blocks() {
         // Random block content (worst case for LZSS, typical for PRINS).
         let (old, new) = sample_write(800);
-        let prins = PrinsReplicator::new().encode_write(Lba(1), &old, &new).len();
+        let prins = PrinsReplicator::new()
+            .encode_write(Lba(1), &old, &new)
+            .len();
         let comp = CompressedReplicator::default()
             .encode_write(Lba(1), &old, &new)
             .len();
@@ -220,7 +222,9 @@ mod tests {
     #[test]
     fn parity_compression_never_worse_than_plain_parity_plus_slack() {
         let (old, new) = sample_write(1000);
-        let plain = PrinsReplicator::new().encode_write(Lba(0), &old, &new).len();
+        let plain = PrinsReplicator::new()
+            .encode_write(Lba(0), &old, &new)
+            .len();
         let comp = PrinsReplicator::with_parity_compression()
             .encode_write(Lba(0), &old, &new)
             .len();

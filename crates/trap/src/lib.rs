@@ -64,6 +64,7 @@ pub struct TrapLog {
     chains: RwLock<HashMap<u64, Vec<TrapEntry>>>,
     seq: AtomicU64,
     wire_bytes: AtomicU64,
+    pruned_through: AtomicU64,
 }
 
 impl TrapLog {
@@ -145,7 +146,8 @@ impl TrapLog {
 
     /// Drops log entries with `seq <= up_to` (space reclamation once a
     /// recovery window expires). Blocks can no longer be recovered to
-    /// points at or before `up_to`.
+    /// points at or before `up_to`, and delta resync from such points
+    /// becomes impossible (see [`retains_since`](Self::retains_since)).
     pub fn prune(&self, up_to: u64) {
         let mut chains = self.chains.write();
         let mut freed = 0u64;
@@ -161,6 +163,56 @@ impl TrapLog {
         }
         chains.retain(|_, c| !c.is_empty());
         self.wire_bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.pruned_through.fetch_max(up_to, Ordering::SeqCst);
+    }
+
+    /// Highest sequence number ever pruned (0 = nothing pruned yet).
+    pub fn pruned_through(&self) -> u64 {
+        self.pruned_through.load(Ordering::SeqCst)
+    }
+
+    /// Whether the log still holds *every* entry with `seq > since` —
+    /// the precondition for parity-log delta resync from `since`. When
+    /// this is false a rejoining replica last synced at `since` cannot
+    /// be caught up by log replay alone and needs full-image blocks for
+    /// the gap.
+    pub fn retains_since(&self, since: u64) -> bool {
+        self.pruned_through() <= since
+    }
+
+    /// The entries of `lba`'s chain with `seq >= from`, in sequence
+    /// order — the per-block replay suffix a delta resync streams for
+    /// one dirty block.
+    ///
+    /// Callers must check that the log was never pruned at or past
+    /// `from` (`pruned_through() < from`), otherwise the suffix may be
+    /// missing entries.
+    pub fn chain_since(&self, lba: Lba, from: u64) -> Vec<TrapEntry> {
+        self.chains
+            .read()
+            .get(&lba.index())
+            .map(|chain| chain.iter().filter(|e| e.seq >= from).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All log entries with `seq > since`, tagged with their LBA, in
+    /// sequence order — the replay suffix a delta resync streams to a
+    /// rejoining replica.
+    ///
+    /// Callers must check [`retains_since`](Self::retains_since) first;
+    /// after pruning past `since` the returned suffix is incomplete.
+    pub fn entries_since(&self, since: u64) -> Vec<(Lba, TrapEntry)> {
+        let chains = self.chains.read();
+        let mut out: Vec<(Lba, TrapEntry)> = Vec::new();
+        for (lba, chain) in chains.iter() {
+            for entry in chain {
+                if entry.seq > since {
+                    out.push((Lba(*lba), entry.clone()));
+                }
+            }
+        }
+        out.sort_by_key(|(_, entry)| entry.seq);
+        out
     }
 }
 
@@ -230,7 +282,7 @@ impl<D: BlockDevice> std::fmt::Debug for TrapDevice<D> {
 mod tests {
     use super::*;
     use prins_block::BlockSize;
-    use rand::{Rng as _, RngExt, SeedableRng};
+    use rand::{RngExt, SeedableRng};
 
     fn dev() -> TrapDevice<MemDevice> {
         TrapDevice::new(MemDevice::new(BlockSize::kb4(), 8))
@@ -320,10 +372,82 @@ mod tests {
         assert!(d.log().stored_bytes() < before);
         let current = d.read_block_vec(Lba(0)).unwrap();
         // Recovery to seq 2 still works (entry 3 is retained).
-        assert_eq!(
-            d.log().recover_block(&current, Lba(0), 2),
-            vec![2u8; 4096]
-        );
+        assert_eq!(d.log().recover_block(&current, Lba(0), 2), vec![2u8; 4096]);
+    }
+
+    #[test]
+    fn entries_since_returns_ordered_replay_suffix() {
+        let d = dev();
+        d.write_block(Lba(0), &vec![1u8; 4096]).unwrap(); // seq 1
+        d.write_block(Lba(3), &vec![2u8; 4096]).unwrap(); // seq 2
+        d.write_block(Lba(0), &vec![3u8; 4096]).unwrap(); // seq 3
+        d.write_block(Lba(5), &vec![4u8; 4096]).unwrap(); // seq 4
+
+        let suffix = d.log().entries_since(2);
+        let seqs: Vec<u64> = suffix.iter().map(|(_, e)| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert_eq!(suffix[0].0, Lba(0));
+        assert_eq!(suffix[1].0, Lba(5));
+        assert!(d.log().entries_since(4).is_empty());
+        assert_eq!(d.log().entries_since(0).len(), 4);
+
+        let chain = d.log().chain_since(Lba(0), 2);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].seq, 3);
+        assert_eq!(d.log().chain_since(Lba(0), 1).len(), 2);
+        assert!(d.log().chain_since(Lba(7), 0).is_empty());
+    }
+
+    #[test]
+    fn replaying_suffix_catches_a_stale_copy_up() {
+        let d = dev();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        // Build some history, checkpoint a copy, keep writing.
+        let mut write_random = |lba: u64| {
+            let mut block = d.read_block_vec(Lba(lba)).unwrap();
+            let at = rng.random_range(0..4000);
+            for b in &mut block[at..at + 32] {
+                *b = rng.random();
+            }
+            d.write_block(Lba(lba), &block).unwrap();
+        };
+        for i in 0..6 {
+            write_random(i % 3);
+        }
+        let stale_at = d.log().current_seq();
+        let stale = d.log().recover_device(&d, stale_at).unwrap();
+        for i in 0..10 {
+            write_random(i % 3);
+        }
+
+        // Forward-replay the suffix onto the stale copy.
+        assert!(d.log().retains_since(stale_at));
+        for (lba, entry) in d.log().entries_since(stale_at) {
+            let mut block = stale.read_block_vec(lba).unwrap();
+            entry.parity.apply_to(&mut block);
+            stale.write_block(lba, &block).unwrap();
+        }
+        for i in 0..3u64 {
+            assert_eq!(
+                stale.read_block_vec(Lba(i)).unwrap(),
+                d.read_block_vec(Lba(i)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn prune_invalidates_delta_resync_from_older_points() {
+        let d = dev();
+        for _ in 0..4 {
+            d.write_block(Lba(0), &vec![1u8; 4096]).unwrap();
+        }
+        assert_eq!(d.log().pruned_through(), 0);
+        assert!(d.log().retains_since(0));
+        d.log().prune(2);
+        assert_eq!(d.log().pruned_through(), 2);
+        assert!(!d.log().retains_since(1));
+        assert!(d.log().retains_since(2));
+        assert!(d.log().retains_since(3));
     }
 
     #[test]

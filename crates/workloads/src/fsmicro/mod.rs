@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use prins_block::BlockDevice;
 use prins_fs::{tar, Fs, FsError};
@@ -186,7 +186,6 @@ impl FsMicro {
         }
         Ok(())
     }
-
 }
 
 fn pick_dirs<R: Rng>(config: &FsMicroConfig, rng: &mut R) -> Vec<usize> {
@@ -265,8 +264,7 @@ mod tests {
         // files overwrites the archive with mostly identical bytes.
         let dev = device(65_536);
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-        let mut micro =
-            FsMicro::setup(Arc::clone(&dev), FsMicroConfig::tiny(), &mut rng).unwrap();
+        let mut micro = FsMicro::setup(Arc::clone(&dev), FsMicroConfig::tiny(), &mut rng).unwrap();
         micro.run_round(&mut rng).unwrap();
         let first = micro.fs().read_file("/archive.tar").unwrap();
         micro.run_round(&mut rng).unwrap();

@@ -48,14 +48,14 @@ mod fsmicro;
 mod report;
 mod runner;
 mod text;
-mod trace;
 mod tpcc;
 mod tpcw;
+mod trace;
 
 pub use fsmicro::{FsMicro, FsMicroConfig};
 pub use report::RunReport;
 pub use runner::{run, RunConfig, ScalePreset, Workload, WorkloadError};
 pub use text::TpccRand;
-pub use trace::{capture_trace, WriteTrace};
 pub use tpcc::{TpccDatabase, TpccDriver, TpccScale, TxnKind, TxnMix};
 pub use tpcw::{TpcwDriver, TpcwScale};
+pub use trace::{capture_trace, WriteTrace};

@@ -270,9 +270,7 @@ fn tpcc_setup(workload: Workload, config: &RunConfig) -> (DbProfile, TpccScale) 
     match (workload, config.scale) {
         (Workload::TpccOracle, ScalePreset::Smoke) => (DbProfile::oracle(), TpccScale::tiny()),
         (Workload::TpccOracle, ScalePreset::Bench) => (DbProfile::oracle(), TpccScale::bench()),
-        (Workload::TpccPostgres, ScalePreset::Smoke) => {
-            (DbProfile::postgres(), TpccScale::tiny())
-        }
+        (Workload::TpccPostgres, ScalePreset::Smoke) => (DbProfile::postgres(), TpccScale::tiny()),
         (Workload::TpccPostgres, ScalePreset::Bench) => {
             // The paper's Postgres setup has twice the warehouses of the
             // Oracle one (10 vs 5); preserve the ratio.

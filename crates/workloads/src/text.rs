@@ -7,7 +7,7 @@
 //! realism matters here: the compressed baseline's ratio and PRINS's
 //! delta sizes both depend on it.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// TPC-C last-name syllables (clause 4.3.2.3).
 const SYLLABLES: [&str; 10] = [
@@ -16,10 +16,38 @@ const SYLLABLES: [&str; 10] = [
 
 /// Words used for file contents and DBMS comment fields.
 const WORDS: [&str; 32] = [
-    "the", "of", "replication", "storage", "parity", "block", "network", "system", "data",
-    "write", "node", "remote", "disk", "performance", "traffic", "bandwidth", "internet",
-    "protocol", "server", "database", "transaction", "customer", "order", "payment",
-    "warehouse", "district", "stock", "item", "delivery", "history", "level", "queue",
+    "the",
+    "of",
+    "replication",
+    "storage",
+    "parity",
+    "block",
+    "network",
+    "system",
+    "data",
+    "write",
+    "node",
+    "remote",
+    "disk",
+    "performance",
+    "traffic",
+    "bandwidth",
+    "internet",
+    "protocol",
+    "server",
+    "database",
+    "transaction",
+    "customer",
+    "order",
+    "payment",
+    "warehouse",
+    "district",
+    "stock",
+    "item",
+    "delivery",
+    "history",
+    "level",
+    "queue",
 ];
 
 /// Random-content helpers parameterized by any RNG.

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use prins_pagestore::{BTree, BufferPool, DbProfile, RecordId, Row, StoreError, Table, Value};
 
@@ -68,10 +68,7 @@ impl TpccScale {
     /// Rows the initial load creates (excluding history/orders).
     pub fn base_rows(&self) -> u64 {
         let w = self.warehouses;
-        w + w * self.districts
-            + w * self.districts * self.customers
-            + self.items
-            + w * self.items
+        w + w * self.districts + w * self.districts * self.customers + self.items + w * self.items
     }
 }
 
@@ -192,11 +189,11 @@ impl TpccDatabase {
     fn load_items<R: Rng>(&mut self, rng: &mut R) -> Result<(), StoreError> {
         for i in 1..=self.scale.items {
             let row = Row::new(vec![
-                Value::U64(i),                                   // i_id
-                Value::U64(rng.random_range(1..=10_000)),        // i_im_id
-                Value::Str(a_string(rng, 14, 24)),               // i_name
+                Value::U64(i),                                             // i_id
+                Value::U64(rng.random_range(1..=10_000)),                  // i_im_id
+                Value::Str(a_string(rng, 14, 24)),                         // i_name
                 Value::F64(rng.random_range(100..=10_000) as f64 / 100.0), // i_price
-                Value::Str(data_string(rng)),                    // i_data
+                Value::Str(data_string(rng)),                              // i_data
             ]);
             self.item.insert(keys::wh(i), &row)?;
         }
@@ -205,10 +202,10 @@ impl TpccDatabase {
 
     fn address<R: Rng>(rng: &mut R) -> [Value; 5] {
         [
-            Value::Str(a_string(rng, 10, 20)), // street_1
-            Value::Str(a_string(rng, 10, 20)), // street_2
-            Value::Str(a_string(rng, 10, 20)), // city
-            Value::Str(a_string(rng, 2, 2)),   // state
+            Value::Str(a_string(rng, 10, 20)),                // street_1
+            Value::Str(a_string(rng, 10, 20)),                // street_2
+            Value::Str(a_string(rng, 10, 20)),                // city
+            Value::Str(a_string(rng, 2, 2)),                  // state
             Value::Str(format!("{}11111", n_string(rng, 4))), // zip
         ]
     }
@@ -273,16 +270,16 @@ impl TpccDatabase {
         ];
         values.extend(Self::address(rng));
         values.extend([
-            Value::Str(n_string(rng, 16)),  // phone
-            Value::U64(0),                  // since (txn clock)
-            Value::Str(credit.into()),      // credit
-            Value::F64(50_000.0),           // credit_lim
+            Value::Str(n_string(rng, 16)),                            // phone
+            Value::U64(0),                                            // since (txn clock)
+            Value::Str(credit.into()),                                // credit
+            Value::F64(50_000.0),                                     // credit_lim
             Value::F64(rng.random_range(0..=5000) as f64 / 10_000.0), // discount
-            Value::F64(-10.0),              // balance
-            Value::F64(10.0),               // ytd_payment
-            Value::U64(1),                  // payment_cnt
-            Value::U64(0),                  // delivery_cnt
-            Value::Str(a_string(rng, 300, 500)), // c_data
+            Value::F64(-10.0),                                        // balance
+            Value::F64(10.0),                                         // ytd_payment
+            Value::U64(1),                                            // payment_cnt
+            Value::U64(0),                                            // delivery_cnt
+            Value::Str(a_string(rng, 300, 500)),                      // c_data
         ]);
         self.customer
             .insert(keys::cust(w, d, c), &Row::new(values))?;
@@ -299,10 +296,10 @@ impl TpccDatabase {
             values.push(Value::Str(a_string(rng, 24, 24))); // s_dist_XX
         }
         values.extend([
-            Value::U64(0),                 // s_ytd
-            Value::U64(0),                 // s_order_cnt
-            Value::U64(0),                 // s_remote_cnt
-            Value::Str(data_string(rng)),  // s_data
+            Value::U64(0),                // s_ytd
+            Value::U64(0),                // s_order_cnt
+            Value::U64(0),                // s_remote_cnt
+            Value::Str(data_string(rng)), // s_data
         ]);
         self.stock.insert(keys::stock(w, i), &Row::new(values))?;
         Ok(())
@@ -327,10 +324,7 @@ mod tests {
     use std::sync::Arc;
 
     fn build_tiny() -> TpccDatabase {
-        let pool = BufferPool::new(
-            Arc::new(MemDevice::new(BlockSize::kb8(), 4096)),
-            256,
-        );
+        let pool = BufferPool::new(Arc::new(MemDevice::new(BlockSize::kb8(), 4096)), 256);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         TpccDatabase::build(&pool, DbProfile::oracle(), TpccScale::tiny(), &mut rng).unwrap()
     }
@@ -372,7 +366,10 @@ mod tests {
         let mut ix = Indexed::create(&pool, DbProfile::oracle()).unwrap();
         let mut rids = Vec::new();
         for k in 0..6u64 {
-            rids.push(ix.insert(k, &Row::new(vec![Value::U64(k), Value::Str("aa".into())])).unwrap());
+            rids.push(
+                ix.insert(k, &Row::new(vec![Value::U64(k), Value::Str("aa".into())]))
+                    .unwrap(),
+            );
         }
         // Grow row 0 so it migrates off its 512-byte page.
         let big = Row::new(vec![Value::U64(0), Value::Str("B".repeat(300))]);

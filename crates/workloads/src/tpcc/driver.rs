@@ -1,6 +1,6 @@
 //! The five TPC-C transactions and the transaction mix.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use prins_pagestore::{Row, StoreError, Value};
 
@@ -336,8 +336,7 @@ impl TpccDriver {
         // delta than the numeric fields alone.
         if customer.values()[13] == Value::Str("BC".into()) {
             if let Value::Str(data) = &customer.values()[20] {
-                let mut new_data =
-                    format!("{c},{d},{w},{d},{w},{amount:.2};{data}");
+                let mut new_data = format!("{c},{d},{w},{d},{w},{amount:.2};{data}");
                 new_data.truncate(500);
                 customer.values_mut()[20] = Value::Str(new_data);
             }
@@ -479,7 +478,11 @@ mod tests {
     use rand::SeedableRng;
     use std::sync::Arc;
 
-    fn driver() -> (TpccDriver, Arc<InstrumentedDevice<MemDevice>>, rand::rngs::StdRng) {
+    fn driver() -> (
+        TpccDriver,
+        Arc<InstrumentedDevice<MemDevice>>,
+        rand::rngs::StdRng,
+    ) {
         let device = Arc::new(InstrumentedDevice::new(MemDevice::new(
             BlockSize::kb8(),
             8192,
@@ -524,28 +527,12 @@ mod tests {
     fn new_order_advances_district_counter() {
         let (mut driver, _device, mut rng) = driver();
         let before: u64 = (1..=2)
-            .map(|d| {
-                driver
-                    .db
-                    .district
-                    .get(keys::dist(1, d))
-                    .unwrap()
-                    .values()[10]
-                    .as_key()
-            })
+            .map(|d| driver.db.district.get(keys::dist(1, d)).unwrap().values()[10].as_key())
             .sum();
         driver = driver.with_mix(TxnMix::new([1, 0, 0, 0, 0]));
         driver.run(&mut rng, 20).unwrap();
         let after: u64 = (1..=2)
-            .map(|d| {
-                driver
-                    .db
-                    .district
-                    .get(keys::dist(1, d))
-                    .unwrap()
-                    .values()[10]
-                    .as_key()
-            })
+            .map(|d| driver.db.district.get(keys::dist(1, d)).unwrap().values()[10].as_key())
             .sum();
         assert_eq!(after - before, 20);
         assert_eq!(driver.db.order.table.len(), 20);

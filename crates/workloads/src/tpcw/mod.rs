@@ -19,7 +19,7 @@
 //! shapes (names, ISBNs, 100–500 char descriptions) so page deltas and
 //! compressibility are realistic.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use prins_pagestore::{BufferPool, DbProfile, Row, StoreError, Table, Value};
 
@@ -317,17 +317,20 @@ impl std::fmt::Debug for TpcwDriver {
 fn item_row<R: Rng>(rng: &mut R, i: u64) -> Row {
     Row::new(vec![
         Value::U64(i),
-        Value::Str(a_string(rng, 14, 60)),           // title
+        Value::Str(a_string(rng, 14, 60)), // title
         Value::Str(format!(
             "{} {}",
             a_string(rng, 3, 10),
             TpccRand::last_name(rng.random_range(0..1000))
-        )),                                          // author
-        Value::Str(a_string(rng, 4, 12)),            // subject
-        Value::Str({ let n = rng.random_range(100..500); prose(rng, n) }), // description
+        )), // author
+        Value::Str(a_string(rng, 4, 12)),  // subject
+        Value::Str({
+            let n = rng.random_range(100..500);
+            prose(rng, n)
+        }), // description
         Value::F64(rng.random_range(100..=10_000) as f64 / 100.0), // cost
-        Value::U64(rng.random_range(10..=30)),       // stock
-        Value::Str(n_string(rng, 13)),               // isbn
+        Value::U64(rng.random_range(10..=30)), // stock
+        Value::Str(n_string(rng, 13)),     // isbn
         Value::F64(rng.random_range(100..=12_000) as f64 / 100.0), // srp
         Value::Str(format!("img/{}.gif", n_string(rng, 6))),
     ])
@@ -337,16 +340,19 @@ fn customer_row<R: Rng>(rng: &mut R, c: u64) -> Row {
     Row::new(vec![
         Value::U64(c),
         Value::Str(format!("user{c}")),
-        Value::Str(a_string(rng, 8, 16)),  // passwd
-        Value::Str(a_string(rng, 8, 15)),  // fname
+        Value::Str(a_string(rng, 8, 16)), // passwd
+        Value::Str(a_string(rng, 8, 15)), // fname
         Value::Str(TpccRand::last_name(rng.random_range(0..1000))),
         Value::Str(a_string(rng, 10, 30)), // street
         Value::Str(a_string(rng, 4, 15)),  // city
         Value::Str(n_string(rng, 16)),     // phone
         Value::Str(format!("user{c}@example.org")),
-        Value::U64(0),                     // since
-        Value::F64(0.0),                   // balance
-        Value::Str({ let n = rng.random_range(100..400); prose(rng, n) }), // data
+        Value::U64(0),   // since
+        Value::F64(0.0), // balance
+        Value::Str({
+            let n = rng.random_range(100..400);
+            prose(rng, n)
+        }), // data
     ])
 }
 
@@ -357,7 +363,11 @@ mod tests {
     use rand::SeedableRng;
     use std::sync::Arc;
 
-    fn driver() -> (TpcwDriver, Arc<InstrumentedDevice<MemDevice>>, rand::rngs::StdRng) {
+    fn driver() -> (
+        TpcwDriver,
+        Arc<InstrumentedDevice<MemDevice>>,
+        rand::rngs::StdRng,
+    ) {
         let device = Arc::new(InstrumentedDevice::new(MemDevice::new(
             BlockSize::kb8(),
             8192,

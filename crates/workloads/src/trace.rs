@@ -239,10 +239,7 @@ impl std::fmt::Debug for WriteTrace {
 /// # Errors
 ///
 /// Propagates workload failures.
-pub fn capture_trace(
-    workload: Workload,
-    config: &RunConfig,
-) -> Result<WriteTrace, WorkloadError> {
+pub fn capture_trace(workload: Workload, config: &RunConfig) -> Result<WriteTrace, WorkloadError> {
     let trace = Arc::new(Mutex::new(WriteTrace::new(config.block_size)));
     let seen = Arc::new(Mutex::new(std::collections::HashSet::<u64>::new()));
     let sink = Arc::clone(&trace);
@@ -267,8 +264,9 @@ pub fn capture_trace(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng as _, RngExt, SeedableRng};
+    use rand::{RngExt, SeedableRng};
 
+    #[allow(clippy::type_complexity)]
     fn sample_trace() -> (WriteTrace, Vec<(Lba, Vec<u8>, Vec<u8>)>) {
         let bs = BlockSize::new(512).unwrap();
         let mut trace = WriteTrace::new(bs);
@@ -288,7 +286,9 @@ mod tests {
             for b in &mut new[at..at + 16] {
                 *b = rng.random();
             }
-            let first = expected.iter().all(|(l, _, _): &(Lba, _, _)| l.index() != lba);
+            let first = expected
+                .iter()
+                .all(|(l, _, _): &(Lba, _, _)| l.index() != lba);
             trace.record(Lba(lba), &old_copy, &new, first);
             expected.push((Lba(lba), old_copy, new.clone()));
             current.insert(lba, new);
@@ -317,7 +317,10 @@ mod tests {
         assert_eq!(back.len(), trace.len());
         let mut i = 0;
         back.replay(|lba, old, new| {
-            assert_eq!((lba, old, new), (expected[i].0, &expected[i].1[..], &expected[i].2[..]));
+            assert_eq!(
+                (lba, old, new),
+                (expected[i].0, &expected[i].1[..], &expected[i].2[..])
+            );
             i += 1;
         });
     }
@@ -352,9 +355,7 @@ mod tests {
         encode_varint(&mut orphan, 512);
         orphan.push(0); // tag Next
         encode_varint(&mut orphan, 3);
-        orphan.extend_from_slice(
-            &SparseCodec::default().encode(&vec![0u8; 512]).to_bytes(),
-        );
+        orphan.extend_from_slice(&SparseCodec::default().encode(&vec![0u8; 512]).to_bytes());
         assert!(WriteTrace::from_bytes(&orphan).is_err());
     }
 

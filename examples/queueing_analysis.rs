@@ -6,8 +6,7 @@
 //! ```
 
 use prins_queueing::figures::{
-    paper_populations, paper_rates, response_vs_population, router_queueing_vs_rate,
-    BytesPerWrite,
+    paper_populations, paper_rates, response_vs_population, router_queueing_vs_rate, BytesPerWrite,
 };
 use prins_queueing::NodalDelay;
 
@@ -35,12 +34,11 @@ fn main() {
     println!("Figure 10: router queueing time vs write rate (T1, 8KB)");
     let series = router_queueing_vs_rate(NodalDelay::t1(), &techniques, &paper_rates());
     for s in &series {
-        let saturation = s
-            .y
-            .iter()
-            .position(|v| v.is_nan())
-            .map(|i| format!("saturates at {} writes/s", s.x[i]))
-            .unwrap_or_else(|| "never saturates in range".to_string());
+        let saturation =
+            s.y.iter()
+                .position(|v| v.is_nan())
+                .map(|i| format!("saturates at {} writes/s", s.x[i]))
+                .unwrap_or_else(|| "never saturates in range".to_string());
         println!("  {:<12} {}", s.label, saturation);
     }
 }

@@ -17,7 +17,7 @@ use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
 use prins_net::{channel_pair, LinkModel, Transport};
 use prins_parity::SparseCodec;
 use prins_raid::{RaidArray, RaidLevel};
-use prins_repl::{run_replica, verify_consistent, Payload, PayloadBody};
+use prins_repl::{run_replica, Payload, PayloadBody};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Replica site.

@@ -13,7 +13,10 @@ use prins_workloads::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TPC-C (Oracle profile) on a replicated volume");
-    println!("{:>7} {:>14} {:>14} {:>14} {:>11}", "block", "traditional", "compressed", "prins", "trad/prins");
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>11}",
+        "block", "traditional", "compressed", "prins", "trad/prins"
+    );
     for block_size in BlockSize::paper_sweep() {
         let m = measure_traffic(Workload::TpccOracle, &TrafficConfig::smoke(block_size))?;
         println!(
@@ -26,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    let m = measure_traffic(Workload::TpccOracle, &TrafficConfig::smoke(BlockSize::kb8()))?;
+    let m = measure_traffic(
+        Workload::TpccOracle,
+        &TrafficConfig::smoke(BlockSize::kb8()),
+    )?;
     println!(
         "at 8 KB blocks each write changed {:.1}% of its block on average,",
         m.report.mean_change_ratio() * 100.0

@@ -75,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     target_thread.join().expect("join target")?;
 
     engine.flush()?;
-    println!("application wrote:       {} KB over iSCSI", app_bytes / 1024);
+    println!(
+        "application wrote:       {} KB over iSCSI",
+        app_bytes / 1024
+    );
     println!(
         "parity sent to replica:  {:.1} KB over the WAN link",
         wire_meter.payload_bytes_sent() as f64 / 1024.0

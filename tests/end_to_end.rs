@@ -17,6 +17,7 @@ use rand::SeedableRng;
 
 /// Builds a (engine, primary, replica, replica_thread) quad on an
 /// in-memory link.
+#[allow(clippy::type_complexity)]
 fn replicated_engine(
     mode: ReplicationMode,
     blocks: u64,
@@ -92,9 +93,12 @@ fn filesystem_on_prins_engine_mirrors_exactly() {
 
     let fs = Fs::format(Arc::clone(&engine) as Arc<dyn BlockDevice>, 256).expect("format");
     fs.create_dir("/project").unwrap();
-    fs.write_file("/project/readme.md", b"# PRINS reproduction\n").unwrap();
-    fs.write_file("/project/data.bin", &vec![0xa5u8; 100_000]).unwrap();
-    fs.write_at("/project/data.bin", 50_000, b"patched-in-place").unwrap();
+    fs.write_file("/project/readme.md", b"# PRINS reproduction\n")
+        .unwrap();
+    fs.write_file("/project/data.bin", &vec![0xa5u8; 100_000])
+        .unwrap();
+    fs.write_at("/project/data.bin", 50_000, b"patched-in-place")
+        .unwrap();
     prins_fs::tar::create(&fs, &["/project"], "/backup.tar").unwrap();
     fs.unlink("/project/data.bin").unwrap();
     engine.flush().expect("replication barrier");
@@ -147,7 +151,10 @@ fn raid5_backed_engine_survives_member_failure_and_stays_consistent() {
     let raid = Arc::new(RaidArray::new(RaidLevel::Raid5, members).unwrap());
 
     let (uplink, downlink) = channel_pair(LinkModel::t1());
-    let replica_volume = Arc::new(MemDevice::new(BlockSize::kb8(), raid.geometry().num_blocks()));
+    let replica_volume = Arc::new(MemDevice::new(
+        BlockSize::kb8(),
+        raid.geometry().num_blocks(),
+    ));
     let replica = ReplicaEngine::spawn(
         Arc::clone(&replica_volume) as Arc<dyn BlockDevice>,
         downlink,

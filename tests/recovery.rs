@@ -82,14 +82,20 @@ fn raid5_rebuild_restores_a_database_volume() {
     let mut raid = RaidArray::new(RaidLevel::Raid5, members).unwrap();
 
     // Run the filesystem workload directly on the array.
-    let fs_dev = Arc::new(MemDevice::new(BlockSize::kb8(), raid.geometry().num_blocks()));
+    let fs_dev = Arc::new(MemDevice::new(
+        BlockSize::kb8(),
+        raid.geometry().num_blocks(),
+    ));
     // (Build reference contents on a plain device with identical writes
     // so we can compare after rebuild.)
     let fs = Fs::format(Arc::clone(&fs_dev) as Arc<dyn BlockDevice>, 512).unwrap();
     fs.create_dir("/d").unwrap();
     for i in 0..20 {
-        fs.write_file(&format!("/d/f{i}"), format!("file {i} contents").repeat(50).as_bytes())
-            .unwrap();
+        fs.write_file(
+            &format!("/d/f{i}"),
+            format!("file {i} contents").repeat(50).as_bytes(),
+        )
+        .unwrap();
     }
     // Mirror those blocks onto the RAID array.
     for lba in fs_dev.geometry().range().iter() {
@@ -113,15 +119,12 @@ fn raid5_rebuild_restores_a_database_volume() {
     assert_eq!(raid.failed_members(), 0);
     assert!(raid.scrub().unwrap().is_clean());
     // A filesystem mounted off the healed array sees everything.
+    let healed = Fs::mount(Arc::new(CopyDev(Arc::new(raid_snapshot(&raid))))).unwrap();
     for i in 0..20 {
         assert_eq!(
-            Fs::mount(Arc::new(CopyDev(Arc::new(raid_snapshot(&raid)))))
-                .unwrap()
-                .read_file(&format!("/d/f{i}"))
-                .unwrap(),
+            healed.read_file(&format!("/d/f{i}")).unwrap(),
             format!("file {i} contents").repeat(50).as_bytes(),
         );
-        break; // mounting once is enough; file loop below reads directly
     }
 }
 
@@ -130,7 +133,8 @@ fn raid_snapshot(raid: &RaidArray) -> MemDevice {
     let geometry = raid.geometry();
     let out = MemDevice::new(geometry.block_size(), geometry.num_blocks());
     for lba in geometry.range().iter() {
-        out.write_block(lba, &raid.read_block_vec(lba).unwrap()).unwrap();
+        out.write_block(lba, &raid.read_block_vec(lba).unwrap())
+            .unwrap();
     }
     out
 }

@@ -57,7 +57,8 @@ fn replica_of_a_filesystem_passes_fsck() {
     let fs = Fs::format(Arc::new(engine) as Arc<dyn BlockDevice>, 256).unwrap();
     fs.create_dir("/data").unwrap();
     for i in 0..12 {
-        fs.write_file(&format!("/data/f{i}"), &vec![i as u8; 9_000]).unwrap();
+        fs.write_file(&format!("/data/f{i}"), &vec![i as u8; 9_000])
+            .unwrap();
     }
     fs.rename("/data/f0", "/data/renamed").unwrap();
     fs.unlink("/data/f1").unwrap();
@@ -74,7 +75,10 @@ fn replica_of_a_filesystem_passes_fsck() {
     let report = replica_fs.check().unwrap();
     assert!(report.is_clean(), "{:?}", report.issues);
     assert_eq!(report.files, 11); // 12 created - 1 unlinked
-    assert_eq!(replica_fs.read_file("/data/renamed").unwrap(), vec![0u8; 9_000]);
+    assert_eq!(
+        replica_fs.read_file("/data/renamed").unwrap(),
+        vec![0u8; 9_000]
+    );
     assert_eq!(replica_fs.metadata("/data/f2").unwrap().size, 100);
 }
 
@@ -84,9 +88,15 @@ fn replica_of_a_filesystem_passes_fsck() {
 #[test]
 fn traces_are_deterministic_and_workload_specific() {
     let config = RunConfig::smoke(BlockSize::kb4());
-    let a = capture_trace(Workload::FsMicro, &config).unwrap().to_bytes();
-    let b = capture_trace(Workload::FsMicro, &config).unwrap().to_bytes();
+    let a = capture_trace(Workload::FsMicro, &config)
+        .unwrap()
+        .to_bytes();
+    let b = capture_trace(Workload::FsMicro, &config)
+        .unwrap()
+        .to_bytes();
     assert_eq!(a, b, "same workload + seed must capture identical traces");
-    let c = capture_trace(Workload::TpcwMysql, &config).unwrap().to_bytes();
+    let c = capture_trace(Workload::TpcwMysql, &config)
+        .unwrap()
+        .to_bytes();
     assert_ne!(a, c);
 }

@@ -96,7 +96,10 @@ fn figure8_traditional_explodes_prins_stays_flat() {
     let last = table.rows.last().unwrap();
     // Growth from population 1 to 100.
     let trad_growth = parse(last, 1) / parse(first, 1);
-    assert!(trad_growth > 20.0, "traditional grew only {trad_growth:.1}x");
+    assert!(
+        trad_growth > 20.0,
+        "traditional grew only {trad_growth:.1}x"
+    );
     assert!(
         parse(last, 1) > 10.0 * parse(last, 3),
         "traditional must dominate prins at population 100"
