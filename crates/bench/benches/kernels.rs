@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use prins_compress::{Codec, Lzss, Rle};
 use prins_iscsi::{Opcode, Pdu};
-use prins_parity::{forward_parity, SparseCodec};
+use prins_parity::{forward_parity, scan_nonzero, xor_in_place, xor_in_place_scalar, SparseCodec};
 use rand::{RngExt, SeedableRng};
 
 fn sample_images(bs: usize, change: f64) -> (Vec<u8>, Vec<u8>) {
@@ -31,6 +31,59 @@ fn bench_xor(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, _| {
             b.iter(|| forward_parity(&old, &new))
         });
+    }
+    group.finish();
+}
+
+fn bench_xor_in_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/xor_in_place");
+    for bs in [4096usize, 8192, 65536] {
+        let (old, new) = sample_images(bs, 0.1);
+        group.throughput(Throughput::Bytes(bs as u64));
+        group.bench_with_input(BenchmarkId::new("wide", bs), &bs, |b, _| {
+            b.iter(|| {
+                let mut dst = old.clone();
+                xor_in_place(&mut dst, &new);
+                dst
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", bs), &bs, |b, _| {
+            b.iter(|| {
+                let mut dst = old.clone();
+                xor_in_place_scalar(&mut dst, &new);
+                dst
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nonzero_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/nonzero_scan");
+    for change in [0.05, 0.20] {
+        let (old, new) = sample_images(8192, change);
+        let parity = forward_parity(&old, &new);
+        group.throughput(Throughput::Bytes(8192));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", change * 100.0)),
+            &parity,
+            |b, p| {
+                b.iter(|| {
+                    // Walk every nonzero run, the codec's scan pattern.
+                    let mut runs = 0usize;
+                    let mut at = 0usize;
+                    while let Some(start) = scan_nonzero(p, at) {
+                        let end = p[start..]
+                            .iter()
+                            .position(|&b| b == 0)
+                            .map_or(p.len(), |i| start + i);
+                        runs += 1;
+                        at = end;
+                    }
+                    runs
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -95,6 +148,7 @@ fn bench_pdu(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_xor, bench_sparse_codec, bench_compression, bench_pdu
+    targets = bench_xor, bench_xor_in_place, bench_nonzero_scan, bench_sparse_codec,
+        bench_compression, bench_pdu
 }
 criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! figures fig8                # queueing figures (fed by a measured run)
 //! figures overhead writerate  # the §4/§3.3 scalar measurements
 //! figures resync              # replica catch-up traffic per resync strategy
+//! figures pipeline            # pipelined vs serial replication throughput
 //! figures --smoke all         # tiny databases (CI-friendly)
 //! ```
 
@@ -13,8 +14,8 @@ use std::process::ExitCode;
 
 use prins_bench::{
     fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw, fig7_fs_micro,
-    fig8_response_t1, fig9_response_t3, measure_traffic, overhead_experiment, resync_figure,
-    write_rate_experiment, TrafficConfig,
+    fig8_response_t1, fig9_response_t3, measure_traffic, overhead_experiment, pipeline_experiment,
+    pipeline_figure, resync_figure, write_rate_experiment, TrafficConfig,
 };
 use prins_block::BlockSize;
 use prins_workloads::Workload;
@@ -95,6 +96,11 @@ fn main() -> ExitCode {
             ran_any = true;
             println!("{}", resync_figure(ops, bench_scale)?);
         }
+        if want("pipeline") {
+            ran_any = true;
+            println!("{}\n", pipeline_experiment(ops, bench_scale)?);
+            println!("{}", pipeline_figure(ops, bench_scale)?);
+        }
         if want("overhead") {
             ran_any = true;
             println!("{}\n", overhead_experiment(5_000, BlockSize::kb8())?);
@@ -112,7 +118,7 @@ fn main() -> ExitCode {
     }
     if !ran_any {
         eprintln!(
-            "unknown figure selection {wanted:?}; try: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 resync overhead writerate"
+            "unknown figure selection {wanted:?}; try: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 resync pipeline overhead writerate"
         );
         return ExitCode::FAILURE;
     }

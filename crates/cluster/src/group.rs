@@ -72,6 +72,15 @@ struct Replica {
     resync_bytes: u64,
     deferred_writes: u64,
     acked_writes: u64,
+    /// Foreground writes sent but not yet acknowledged (FIFO — the
+    /// transport delivers and the replica acknowledges in order).
+    outstanding: VecDeque<(Lba, u64)>,
+    /// Responses to skip before interpreting the next frame: a sent
+    /// write whose ack *collection* failed (outage, timeout) was still
+    /// delivered, so its ack can surface after the link heals —
+    /// misaligned against the frames sent since. The write is already
+    /// booked as failed (dirty map), so its late response is noise.
+    stale_responses: u64,
 }
 
 impl Replica {
@@ -86,6 +95,8 @@ impl Replica {
             resync_bytes: 0,
             deferred_writes: 0,
             acked_writes: 0,
+            outstanding: VecDeque::new(),
+            stale_responses: 0,
         }
     }
 }
@@ -109,6 +120,9 @@ pub struct ReplicaStatus {
     pub deferred_writes: u64,
     /// Foreground writes this replica acknowledged.
     pub acked_writes: u64,
+    /// Foreground writes sent but not yet acknowledged (0 unless
+    /// [`ClusterConfig::ack_window`] > 1).
+    pub in_flight: usize,
 }
 
 /// Outcome of one degraded-mode write.
@@ -137,6 +151,14 @@ pub struct ClusterConfig {
     /// Consecutive send/ack failures before a Lagging replica is
     /// declared Offline.
     pub offline_after: u32,
+    /// In-flight (unacknowledged) foreground writes allowed per
+    /// replica before [`ClusterGroup::write`] collects acks (default
+    /// 1: every write waits, the paper's closed-loop model). Larger
+    /// windows pipeline WAN round-trips; [`ClusterGroup::drain`] is
+    /// the matching barrier. With a window > 1 the quorum check is
+    /// optimistic — a sent-but-unacknowledged replica counts until
+    /// its acknowledgement fails.
+    pub ack_window: usize,
 }
 
 impl Default for ClusterConfig {
@@ -146,6 +168,7 @@ impl Default for ClusterConfig {
             ack_timeout: Duration::from_secs(10),
             write_quorum: 0,
             offline_after: 3,
+            ack_window: 1,
         }
     }
 }
@@ -221,6 +244,7 @@ impl<D: BlockDevice> ClusterGroup<D> {
             resync_bytes: r.resync_bytes,
             deferred_writes: r.deferred_writes,
             acked_writes: r.acked_writes,
+            in_flight: r.outstanding.len(),
         }
     }
 
@@ -246,13 +270,13 @@ impl<D: BlockDevice> ClusterGroup<D> {
             deferred: 0,
             skipped: 0,
         };
-        let mut sent: Vec<usize> = Vec::new();
         for idx in 0..self.replicas.len() {
             match self.route_write(idx, lba, seq) {
                 Route::Send => match self.replicas[idx].transport.send(&payload) {
                     Ok(()) => {
-                        self.replicas[idx].foreground_bytes += payload.len() as u64;
-                        sent.push(idx);
+                        let r = &mut self.replicas[idx];
+                        r.foreground_bytes += payload.len() as u64;
+                        r.outstanding.push_back((lba, seq));
                     }
                     Err(_) => self.note_failure(idx, Some((lba, seq))),
                 },
@@ -266,18 +290,30 @@ impl<D: BlockDevice> ClusterGroup<D> {
                 }
             }
         }
-        for idx in sent {
-            match self.await_ack(idx) {
-                Ok(()) => {
-                    let r = &mut self.replicas[idx];
-                    r.consecutive_failures = 0;
-                    r.acked_writes += 1;
-                    outcome.acked += 1;
+        // Collect acknowledgements only where the window is full; with
+        // the default window of 1 every sent write is awaited right
+        // here (the closed-loop model). Acks retire writes
+        // oldest-first, matching the transport's FIFO delivery.
+        let window = self.config.ack_window.max(1);
+        for idx in 0..self.replicas.len() {
+            while self.replicas[idx].outstanding.len() >= window {
+                if let Some((_, retired)) = self.collect_oldest(idx) {
+                    if retired == seq {
+                        outcome.acked += 1;
+                    }
                 }
-                Err(_) => self.note_failure(idx, Some((lba, seq))),
             }
         }
-        if outcome.acked < self.config.write_quorum {
+        // Under a pipelined window a replica still holding this write
+        // in flight counts toward quorum optimistically; if its ack
+        // later fails, the replica degrades and the write is marked
+        // dirty for resync.
+        let in_flight = self
+            .replicas
+            .iter()
+            .filter(|r| r.outstanding.iter().any(|&(_, s)| s == seq))
+            .count();
+        if outcome.acked + in_flight < self.config.write_quorum {
             return Err(ClusterError::QuorumLost {
                 acked: outcome.acked,
                 quorum: self.config.write_quorum,
@@ -294,9 +330,61 @@ impl<D: BlockDevice> ClusterGroup<D> {
     /// [`ClusterError::InvalidTransition`] if already offline.
     pub fn mark_offline(&mut self, idx: usize) -> Result<(), ClusterError> {
         self.check_idx(idx)?;
+        self.drain_replica(idx);
         self.transition(idx, ReplicaState::Offline)?;
         self.replicas[idx].resync = None;
         Ok(())
+    }
+
+    /// Collects every outstanding foreground acknowledgement — the
+    /// barrier a flush needs when [`ClusterConfig::ack_window`] > 1.
+    /// Collection failures degrade the owning replica (and mark the
+    /// write dirty) rather than aborting the drain.
+    ///
+    /// Returns the number of writes confirmed by this call.
+    pub fn drain(&mut self) -> usize {
+        let mut retired = 0;
+        for idx in 0..self.replicas.len() {
+            retired += self.drain_replica(idx);
+        }
+        retired
+    }
+
+    /// Collects all of replica `idx`'s in-flight acknowledgements.
+    fn drain_replica(&mut self, idx: usize) -> usize {
+        let mut retired = 0;
+        while !self.replicas[idx].outstanding.is_empty() {
+            if self.collect_oldest(idx).is_some() {
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    /// Retires replica `idx`'s oldest in-flight write by collecting one
+    /// acknowledgement. Returns the retired `(lba, seq)` on success; on
+    /// failure the replica degrades and the write is marked dirty.
+    fn collect_oldest(&mut self, idx: usize) -> Option<(Lba, u64)> {
+        let (lba, seq) = self.replicas[idx].outstanding.pop_front()?;
+        match self.await_ack(idx) {
+            Ok(()) => {
+                let r = &mut self.replicas[idx];
+                r.consecutive_failures = 0;
+                r.acked_writes += 1;
+                Some((lba, seq))
+            }
+            Err(e) => {
+                // A recv failure means the response was NOT consumed —
+                // the delivered write's ack can still arrive after the
+                // link heals, ahead of any newer frame's. A NAK or
+                // garbage frame *was* this write's response.
+                if matches!(e, ClusterError::Repl(ReplError::Net(_))) {
+                    self.replicas[idx].stale_responses += 1;
+                }
+                self.note_failure(idx, Some((lba, seq)));
+                None
+            }
+        }
     }
 
     /// Starts catching replica `idx` up with `strategy`, moving it to
@@ -310,6 +398,9 @@ impl<D: BlockDevice> ClusterGroup<D> {
     /// Offline or Lagging.
     pub fn rejoin(&mut self, idx: usize, strategy: ResyncStrategy) -> Result<(), ClusterError> {
         self.check_idx(idx)?;
+        // Settle any in-flight acks first so failures land in the dirty
+        // map before the plan is built from it.
+        self.drain_replica(idx);
         self.transition(idx, ReplicaState::Resyncing)?;
         let plan = self.build_plan(idx, strategy);
         self.replicas[idx].resync = Some(plan);
@@ -331,6 +422,18 @@ impl<D: BlockDevice> ClusterGroup<D> {
     /// resumes rather than repeats.
     pub fn resync_step(&mut self, idx: usize, max_frames: usize) -> Result<usize, ClusterError> {
         self.check_idx(idx)?;
+        if self.replicas[idx].state != ReplicaState::Resyncing {
+            return Err(ClusterError::InvalidTransition {
+                replica: idx,
+                from: self.replicas[idx].state,
+                to: ReplicaState::Resyncing,
+            });
+        }
+        // Resync frames share the transport with foreground acks; under
+        // a pipelined window, collect those first so the FIFO ack
+        // stream stays aligned with the frames sent below. A failure
+        // here aborts the resync (the drain took the replica Offline).
+        self.drain_replica(idx);
         if self.replicas[idx].state != ReplicaState::Resyncing {
             return Err(ClusterError::InvalidTransition {
                 replica: idx,
@@ -376,7 +479,8 @@ impl<D: BlockDevice> ClusterGroup<D> {
 
         // Collect the batch's acks; record per-frame progress so an
         // abort mid-batch leaves the dirty map accurate.
-        for frame in in_flight {
+        let total = in_flight.len();
+        for (i, frame) in in_flight.into_iter().enumerate() {
             match self.await_ack(idx) {
                 Ok(()) => match frame {
                     ResyncFrame::Full(lba) => self.replicas[idx].dirty.clear(lba),
@@ -393,6 +497,17 @@ impl<D: BlockDevice> ClusterGroup<D> {
                     }
                 },
                 Err(e) => {
+                    // Every frame from here on was sent but its
+                    // response not consumed (minus this one's if the
+                    // error itself was a consumed NAK/garbage frame) —
+                    // all can surface late after the link heals.
+                    let unconsumed = (total - i) as u64;
+                    self.replicas[idx].stale_responses +=
+                        if matches!(e, ClusterError::Repl(ReplError::Net(_))) {
+                            unconsumed
+                        } else {
+                            unconsumed - 1
+                        };
                     self.abort_resync(idx);
                     return Err(e);
                 }
@@ -529,20 +644,28 @@ impl<D: BlockDevice> ClusterGroup<D> {
         r.state = ReplicaState::Offline;
     }
 
-    /// Waits for one ACK/NAK frame from replica `idx`.
-    fn await_ack(&self, idx: usize) -> Result<(), ClusterError> {
-        let frame = self.replicas[idx]
-            .transport
-            .recv_timeout(self.config.ack_timeout)
-            .map_err(ReplError::from)?;
-        match frame.as_slice() {
-            [ACK] => Ok(()),
-            [NAK] => Err(ReplError::Nak { replica: idx }.into()),
-            other => Err(ReplError::MissingAck {
-                replica: idx,
-                got: other.first().copied(),
+    /// Waits for one ACK/NAK frame from replica `idx`, discarding any
+    /// late responses to writes already booked as failed.
+    fn await_ack(&mut self, idx: usize) -> Result<(), ClusterError> {
+        loop {
+            let frame = self.replicas[idx]
+                .transport
+                .recv_timeout(self.config.ack_timeout)
+                .map_err(ReplError::from)?;
+            let r = &mut self.replicas[idx];
+            if r.stale_responses > 0 {
+                r.stale_responses -= 1;
+                continue;
             }
-            .into()),
+            return match frame.as_slice() {
+                [ACK] => Ok(()),
+                [NAK] => Err(ReplError::Nak { replica: idx }.into()),
+                other => Err(ReplError::MissingAck {
+                    replica: idx,
+                    got: other.first().copied(),
+                }
+                .into()),
+            };
         }
     }
 
@@ -932,6 +1055,91 @@ mod tests {
         // Offline twice is invalid.
         h.cluster.mark_offline(0).unwrap();
         assert!(h.cluster.mark_offline(0).is_err());
+    }
+
+    #[test]
+    fn windowed_acks_pipeline_and_drain_retires_them() {
+        let config = ClusterConfig {
+            ack_window: 8,
+            ..ClusterConfig::default()
+        };
+        let blocks = 16;
+        let mut h = harness(2, blocks, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+        }
+        // Sends run ahead of acks by up to window - 1 writes.
+        for idx in 0..2 {
+            let s = h.cluster.status(idx);
+            assert_eq!(s.in_flight, 7, "window 8 leaves 7 acks in flight");
+            assert_eq!(s.acked_writes + s.in_flight as u64, 20);
+            assert_eq!(h.cluster.state(idx), ReplicaState::Online);
+        }
+        assert_eq!(h.cluster.drain(), 14, "7 in flight on each replica");
+        for idx in 0..2 {
+            let s = h.cluster.status(idx);
+            assert_eq!(s.in_flight, 0);
+            assert_eq!(s.acked_writes, 20);
+        }
+        for dev in &h.devices {
+            assert!(verify_consistent(h.cluster.device(), &**dev).unwrap());
+        }
+        finish(h);
+    }
+
+    #[test]
+    fn quorum_counts_in_flight_writes_under_a_window() {
+        let config = ClusterConfig {
+            ack_window: 4,
+            write_quorum: 1,
+            ..ClusterConfig::default()
+        };
+        let mut h = harness(1, 8, config);
+        // None of these fails quorum even though the first few collect
+        // no acks at all: the in-flight copy counts optimistically.
+        for i in 0u64..6 {
+            h.cluster.write(Lba(i % 8), &[(i + 1) as u8; 4096]).unwrap();
+        }
+        h.cluster.drain();
+        assert_eq!(h.cluster.status(0).acked_writes, 6);
+        for dev in &h.devices {
+            assert!(verify_consistent(h.cluster.device(), &**dev).unwrap());
+        }
+        finish(h);
+    }
+
+    #[test]
+    fn severed_window_marks_in_flight_dirty_and_resyncs() {
+        let config = ClusterConfig {
+            ack_window: 4,
+            offline_after: 1,
+            ..ClusterConfig::default()
+        };
+        let blocks = 16;
+        let mut h = harness(1, blocks, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for _ in 0..6 {
+            random_write(&mut h.cluster, &mut rng, blocks).unwrap();
+        }
+        assert!(h.cluster.status(0).in_flight > 0);
+        // The link dies with acks in flight: draining fails them, marks
+        // the writes dirty, and degrades the replica.
+        h.links[0].sever();
+        h.cluster.drain();
+        assert_eq!(h.cluster.state(0), ReplicaState::Offline);
+        let status = h.cluster.status(0);
+        assert!(status.dirty_blocks > 0);
+        assert_eq!(status.in_flight, 0);
+
+        h.links[0].restore();
+        h.cluster.rejoin(0, ResyncStrategy::DirtyBitmap).unwrap();
+        h.cluster.resync_to_completion(0, 8).unwrap();
+        assert_eq!(h.cluster.state(0), ReplicaState::Online);
+        for dev in &h.devices {
+            assert!(verify_consistent(h.cluster.device(), &**dev).unwrap());
+        }
+        finish(h);
     }
 
     #[test]

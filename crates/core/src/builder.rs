@@ -7,9 +7,17 @@ use prins_block::BlockDevice;
 use prins_net::Transport;
 use prins_repl::{AckPolicy, ReplError, ReplicationGroup, ReplicationMode};
 
+use crate::pipeline::PipelineConfig;
 use crate::PrinsEngine;
 
 /// Configures and starts a [`PrinsEngine`].
+///
+/// Besides the replication strategy and replica set, the builder tunes
+/// the replication pipeline: [`encode_workers`](Self::encode_workers)
+/// sizes the parity-encoding pool, [`coalesce`](Self::coalesce) folds
+/// back-to-back writes to one LBA into a single parity, and
+/// [`batch_frames`](Self::batch_frames) packs queued payloads into one
+/// wire frame per acknowledgement round-trip.
 ///
 /// # Example
 ///
@@ -24,6 +32,7 @@ use crate::PrinsEngine;
 /// let device = Arc::new(MemDevice::new(BlockSize::kb8(), 16));
 /// let engine = EngineBuilder::new(device)
 ///     .mode(ReplicationMode::Prins)
+///     .encode_workers(4)
 ///     .build();
 /// # drop(engine);
 /// ```
@@ -31,8 +40,8 @@ pub struct EngineBuilder {
     device: Arc<dyn BlockDevice>,
     mode: ReplicationMode,
     replicas: Vec<Box<dyn Transport>>,
-    ack_timeout: Duration,
     ack_policy: AckPolicy,
+    config: PipelineConfig,
 }
 
 impl EngineBuilder {
@@ -42,8 +51,8 @@ impl EngineBuilder {
             device,
             mode: ReplicationMode::Prins,
             replicas: Vec::new(),
-            ack_timeout: Duration::from_secs(10),
             ack_policy: AckPolicy::PerWrite,
+            config: PipelineConfig::default(),
         }
     }
 
@@ -53,48 +62,101 @@ impl EngineBuilder {
         self
     }
 
-    /// Adds a replica connection.
+    /// Adds a replica connection (one sender lane each).
     pub fn replica(mut self, transport: Box<dyn Transport>) -> Self {
         self.replicas.push(transport);
         self
     }
 
-    /// Overrides how long the replication thread waits for each
+    /// Overrides how long a sender lane waits for each
     /// acknowledgement (default 10 s).
     pub fn ack_timeout(mut self, timeout: Duration) -> Self {
-        self.ack_timeout = timeout;
+        self.config.ack_timeout = timeout;
         self
     }
 
     /// Overrides the acknowledgement policy (default: per-write, the
     /// paper's conservative closed-loop model; a window pipelines
-    /// writes over the WAN).
+    /// frames over the WAN independently on every lane).
     pub fn ack_policy(mut self, policy: AckPolicy) -> Self {
         self.ack_policy = policy;
         self
     }
 
+    /// Sizes the parity-encoding worker pool (default 2). Payloads are
+    /// released to the senders in admission order regardless.
+    pub fn encode_workers(mut self, workers: usize) -> Self {
+        self.config.encode_workers = workers.max(1);
+        self
+    }
+
+    /// Enables XOR-folding write coalescing (default off): a write to
+    /// an LBA whose previous write is still queued folds into it,
+    /// shipping one parity `A_newest ⊕ A_oldest` for the pair.
+    pub fn coalesce(mut self, enabled: bool) -> Self {
+        self.config.coalesce = enabled;
+        self
+    }
+
+    /// Packs up to `max` queued payloads into one wire frame sharing a
+    /// single acknowledgement (default 1 = off).
+    pub fn batch_frames(mut self, max: usize) -> Self {
+        self.config.batch_frames = max.max(1);
+        self
+    }
+
+    /// Caps each sender lane's queue (default 1024 frames); a full
+    /// lane backpressures the encode pool.
+    pub fn sender_queue_cap(mut self, cap: usize) -> Self {
+        self.config.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Records every `(lba, seq)` each lane sends, readable via
+    /// [`PrinsEngine::send_logs`] — ordering-test instrumentation.
+    pub fn trace_sends(mut self, enabled: bool) -> Self {
+        self.config.trace_sends = enabled;
+        self
+    }
+
+    fn resolved_config(&self) -> PipelineConfig {
+        let mut config = self.config.clone();
+        config.ack_window = match self.ack_policy {
+            AckPolicy::PerWrite => 1,
+            AckPolicy::Window(n) => n.max(1),
+        };
+        config
+    }
+
     /// Pushes a full image of the local device to every replica before
     /// starting (the paper's initial sync), then builds the engine.
+    ///
+    /// The sync runs over a plain [`ReplicationGroup`] (windowed by the
+    /// configured ack policy); the transports are then handed to the
+    /// engine's pipeline.
     ///
     /// # Errors
     ///
     /// Propagates sync failures; no engine is started in that case.
     pub fn build_with_initial_sync(self) -> Result<PrinsEngine, ReplError> {
+        let config = self.resolved_config();
         let mut group = ReplicationGroup::new(self.mode, self.replicas)
-            .with_ack_timeout(self.ack_timeout)
-            .with_ack_policy(self.ack_policy);
+            .with_ack_timeout(config.ack_timeout)
+            .with_ack_policy(AckPolicy::Window(config.ack_window));
         group.initial_sync(&self.device)?;
-        Ok(PrinsEngine::start(self.device, group))
+        Ok(PrinsEngine::start(
+            self.device,
+            self.mode,
+            group.into_transports(),
+            config,
+        ))
     }
 
     /// Builds and starts the engine (replicas are assumed to already
     /// hold a copy of the device, e.g. fresh all-zero volumes).
     pub fn build(self) -> PrinsEngine {
-        let group = ReplicationGroup::new(self.mode, self.replicas)
-            .with_ack_timeout(self.ack_timeout)
-            .with_ack_policy(self.ack_policy);
-        PrinsEngine::start(self.device, group)
+        let config = self.resolved_config();
+        PrinsEngine::start(self.device, self.mode, self.replicas, config)
     }
 }
 
@@ -103,6 +165,7 @@ impl std::fmt::Debug for EngineBuilder {
         f.debug_struct("EngineBuilder")
             .field("mode", &self.mode)
             .field("replicas", &self.replicas.len())
+            .field("pipeline", &self.config)
             .finish_non_exhaustive()
     }
 }

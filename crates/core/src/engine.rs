@@ -1,138 +1,123 @@
 //! The primary-side PRINS engine.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use prins_block::{BlockDevice, BlockError, Geometry, Lba, Result};
-use prins_repl::{ReplError, ReplicationGroup};
+use prins_net::Transport;
+use prins_repl::{ReplicationMode, Replicator};
 
-use crate::EngineStats;
-
-pub(crate) enum Job {
-    Write {
-        lba: Lba,
-        old: Vec<u8>,
-        new: Vec<u8>,
-    },
-    Barrier(Sender<()>),
-    Shutdown,
-}
-
-#[derive(Default)]
-pub(crate) struct Shared {
-    pub writes: AtomicU64,
-    pub reads: AtomicU64,
-    pub writes_replicated: AtomicU64,
-    pub replicated_payload_bytes: AtomicU64,
-    pub local_write_nanos: AtomicU64,
-    pub overhead_nanos: AtomicU64,
-    pub send_nanos: AtomicU64,
-    pub replication_errors: AtomicU64,
-    pub last_error: Mutex<Option<String>>,
-}
+use crate::pipeline::{Pipeline, PipelineConfig, Shared};
+use crate::{EngineStats, LaneStats};
 
 /// The PRINS-engine: a [`BlockDevice`] wrapper that replicates every
-/// write through a background replication thread.
+/// write through a staged background pipeline.
 ///
 /// Construct with [`EngineBuilder`](crate::EngineBuilder). The write
 /// path performs the paper's forward step — capture `A_old`, write
-/// `A_new` locally, hand `(lba, A_old, A_new)` to the replication thread
-/// over a shared queue — and returns; parity encoding and transmission
-/// happen off the application's critical path.
+/// `A_new` locally, admit `(lba, A_old, A_new)` to the replication
+/// pipeline — and returns; parity encoding and transmission happen off
+/// the application's critical path, spread over an encode pool and one
+/// sender thread per replica (see [`crate::pipeline`] for the stage
+/// diagram and its ordering/coalescing invariants).
 ///
 /// [`flush`](BlockDevice::flush) acts as a replication barrier: it
-/// returns once every queued write has been acknowledged by every
+/// returns once every admitted write has been acknowledged by every
 /// replica, surfacing any replication error that occurred.
 pub struct PrinsEngine {
     device: Arc<dyn BlockDevice>,
-    tx: Sender<Job>,
     shared: Arc<Shared>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    pipeline: Pipeline,
     /// Per-LBA stripe locks: the old-image capture, the local write and
-    /// the queue submission must be atomic per block, or two concurrent
-    /// writers to one LBA would enqueue parities computed against the
-    /// same old image — and the replica's XOR chain would diverge.
+    /// the pipeline admission must be atomic per block, or two
+    /// concurrent writers to one LBA would admit parities computed
+    /// against the same old image — and the replica's XOR chain would
+    /// diverge.
     write_stripes: Vec<Mutex<()>>,
 }
 
 impl PrinsEngine {
-    pub(crate) fn start(device: Arc<dyn BlockDevice>, mut group: ReplicationGroup) -> Self {
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+    pub(crate) fn start(
+        device: Arc<dyn BlockDevice>,
+        mode: ReplicationMode,
+        transports: Vec<Box<dyn Transport>>,
+        config: PipelineConfig,
+    ) -> Self {
         let shared = Arc::new(Shared::default());
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name("prins-engine".into())
-            .spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    match job {
-                        Job::Write { lba, old, new } => {
-                            let t0 = Instant::now();
-                            let payload = group.encode(lba, &old, &new);
-                            worker_shared
-                                .overhead_nanos
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-
-                            let t1 = Instant::now();
-                            let result = group.replicate_payload(&payload);
-                            worker_shared
-                                .send_nanos
-                                .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            match result {
-                                Ok(()) => {
-                                    worker_shared
-                                        .writes_replicated
-                                        .store(group.writes_replicated(), Ordering::Relaxed);
-                                    worker_shared.replicated_payload_bytes.fetch_add(
-                                        payload.len() as u64 * group.replica_count().max(1) as u64,
-                                        Ordering::Relaxed,
-                                    );
-                                }
-                                Err(e) => record_error(&worker_shared, &e),
-                            }
-                        }
-                        Job::Barrier(done) => {
-                            // All prior jobs are processed; wait out any
-                            // pipelined acknowledgements, then release
-                            // the waiter.
-                            if let Err(e) = group.drain_acks() {
-                                record_error(&worker_shared, &e);
-                            }
-                            worker_shared
-                                .writes_replicated
-                                .store(group.writes_replicated(), Ordering::Relaxed);
-                            let _ = done.send(());
-                        }
-                        Job::Shutdown => break,
-                    }
-                }
-            })
-            .expect("spawn prins-engine thread");
+        let replicator: Arc<dyn Replicator> = Arc::from(mode.replicator());
+        let pipeline = Pipeline::start(replicator, transports, Arc::clone(&shared), &config);
         Self {
             device,
-            tx,
             shared,
-            worker: Mutex::new(Some(worker)),
+            pipeline,
             write_stripes: (0..64).map(|_| Mutex::new(())).collect(),
         }
     }
 
     /// Snapshot of the engine's counters.
+    ///
+    /// `writes_replicated` is the number of writes acknowledged by
+    /// *every* replica; `replicated_payload_bytes` counts each
+    /// successful transmission once per lane (a write sent to three
+    /// replicas contributes three payloads).
     pub fn stats(&self) -> EngineStats {
+        let lanes = self.pipeline.lanes();
+        let writes_replicated = if lanes.is_empty() {
+            self.shared.dispatched_writes.load(Ordering::Relaxed)
+        } else {
+            lanes
+                .iter()
+                .map(|l| l.acked_writes.load(Ordering::Relaxed))
+                .min()
+                .unwrap_or(0)
+        };
         EngineStats {
             writes: self.shared.writes.load(Ordering::Relaxed),
             reads: self.shared.reads.load(Ordering::Relaxed),
-            writes_replicated: self.shared.writes_replicated.load(Ordering::Relaxed),
-            replicated_payload_bytes: self.shared.replicated_payload_bytes.load(Ordering::Relaxed),
+            writes_replicated,
+            replicated_payload_bytes: lanes
+                .iter()
+                .map(|l| l.payload_bytes.load(Ordering::Relaxed))
+                .sum(),
             local_write_nanos: self.shared.local_write_nanos.load(Ordering::Relaxed),
             overhead_nanos: self.shared.overhead_nanos.load(Ordering::Relaxed),
-            send_nanos: self.shared.send_nanos.load(Ordering::Relaxed),
+            send_nanos: lanes
+                .iter()
+                .map(|l| l.send_nanos.load(Ordering::Relaxed) + l.ack_nanos.load(Ordering::Relaxed))
+                .sum(),
             replication_errors: self.shared.replication_errors.load(Ordering::Relaxed),
+            coalesced_writes: self.shared.coalesced_writes.load(Ordering::Relaxed),
+            queue_depth_hwm: self.shared.queue_depth_hwm.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-replica sender-lane counters, in replica order.
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        self.pipeline
+            .lanes()
+            .iter()
+            .map(|l| LaneStats {
+                sends: l.sends.load(Ordering::Relaxed),
+                acked_writes: l.acked_writes.load(Ordering::Relaxed),
+                payload_bytes: l.payload_bytes.load(Ordering::Relaxed),
+                send_nanos: l.send_nanos.load(Ordering::Relaxed),
+                ack_nanos: l.ack_nanos.load(Ordering::Relaxed),
+                errors: l.errors.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Per-lane `(lba, seq)` send logs, in send order.
+    ///
+    /// Empty unless the engine was built with
+    /// [`trace_sends`](crate::EngineBuilder::trace_sends); intended for
+    /// ordering tests — the transports deliver in send order, so each
+    /// log is exactly the replica's arrival order.
+    pub fn send_logs(&self) -> Vec<Vec<(Lba, u64)>> {
+        self.pipeline.lanes().iter().map(|l| l.send_log()).collect()
     }
 
     /// The wrapped local device.
@@ -140,22 +125,14 @@ impl PrinsEngine {
         &self.device
     }
 
-    /// Waits until the replication queue is drained.
+    /// Waits until every admitted write is replicated and acknowledged.
     ///
     /// # Errors
     ///
     /// Returns [`BlockError::DeviceFailed`] if any replication error
     /// occurred since the last check (the error is consumed).
     pub fn replication_barrier(&self) -> Result<()> {
-        let (done_tx, done_rx) = unbounded();
-        self.tx
-            .send(Job::Barrier(done_tx))
-            .map_err(|_| BlockError::DeviceFailed {
-                device: "prins replication thread is gone".into(),
-            })?;
-        done_rx.recv().map_err(|_| BlockError::DeviceFailed {
-            device: "prins replication thread exited before the barrier".into(),
-        })?;
+        self.pipeline.barrier();
         if let Some(err) = self.shared.last_error.lock().take() {
             return Err(BlockError::DeviceFailed {
                 device: format!("replication failed: {err}"),
@@ -164,7 +141,7 @@ impl PrinsEngine {
         Ok(())
     }
 
-    /// Stops the engine: drains the queue, joins the replication thread
+    /// Stops the engine: drains the pipeline, joins all worker threads
     /// and reports any outstanding replication error.
     ///
     /// # Errors
@@ -173,19 +150,8 @@ impl PrinsEngine {
     /// is unusable for further writes either way.
     pub fn shutdown(self) -> Result<()> {
         let result = self.replication_barrier();
-        let _ = self.tx.send(Job::Shutdown);
-        if let Some(worker) = self.worker.lock().take() {
-            let _ = worker.join();
-        }
+        self.pipeline.shutdown();
         result
-    }
-}
-
-fn record_error(shared: &Shared, e: &ReplError) {
-    shared.replication_errors.fetch_add(1, Ordering::Relaxed);
-    let mut slot = shared.last_error.lock();
-    if slot.is_none() {
-        *slot = Some(e.to_string());
     }
 }
 
@@ -201,7 +167,7 @@ impl BlockDevice for PrinsEngine {
     }
 
     fn write_block(&self, lba: Lba, buf: &[u8]) -> Result<()> {
-        // Serialize capture+write+enqueue per LBA stripe (see field doc).
+        // Serialize capture+write+admit per LBA stripe (see field doc).
         let _stripe = self.write_stripes[(lba.index() % 64) as usize].lock();
         // Forward step, part 1: capture the old image (the read a
         // RAID-4/5 small write performs anyway).
@@ -223,14 +189,10 @@ impl BlockDevice for PrinsEngine {
             .fetch_add(write_nanos, Ordering::Relaxed);
         self.shared.writes.fetch_add(1, Ordering::Relaxed);
 
-        self.tx
-            .send(Job::Write {
-                lba,
-                old,
-                new: buf.to_vec(),
-            })
+        self.pipeline
+            .admit(lba, old, buf.to_vec())
             .map_err(|_| BlockError::DeviceFailed {
-                device: "prins replication thread is gone".into(),
+                device: "prins replication pipeline is gone".into(),
             })
     }
 
@@ -243,10 +205,8 @@ impl BlockDevice for PrinsEngine {
 impl Drop for PrinsEngine {
     fn drop(&mut self) {
         // Best-effort teardown; errors were reportable via shutdown().
-        let _ = self.tx.send(Job::Shutdown);
-        if let Some(worker) = self.worker.lock().take() {
-            let _ = worker.join();
-        }
+        // The pipeline drains queued work before its threads exit.
+        self.pipeline.shutdown();
     }
 }
 

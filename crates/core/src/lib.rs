@@ -18,17 +18,19 @@
 //!  application / FS / DBMS
 //!          │ block writes
 //!          ▼
-//!   ┌─────────────────┐   shared queue    ┌──────────────────────┐
-//!   │  PrinsEngine    │ ───────────────▶  │  replication thread  │
-//!   │  (local write + │   (crossbeam)     │  encode P' → send →  │
-//!   │   old-image     │                   │  await replica acks  │
+//!   ┌─────────────────┐  admission queue  ┌──────────────────────┐
+//!   │  PrinsEngine    │ ───────────────▶  │ encode pool (N thr.) │
+//!   │  (local write + │  seq numbering +  │ P' = A_new ⊕ A_old   │
+//!   │   old-image     │  XOR coalescing   │ → reorder by seq     │
 //!   │   capture)      │                   └──────────┬───────────┘
-//!   └─────────────────┘                              │ iSCSI / TCP / channel
-//!                                                    ▼
-//!                                          ┌──────────────────┐
-//!                                          │  ReplicaEngine   │
-//!                                          │  A_new = P'⊕A_old│
-//!                                          └──────────────────┘
+//!   └─────────────────┘            per-replica sender lanes (1/replica)
+//!                                  batching + windowed acks   │
+//!                                                             │ iSCSI / TCP / channel
+//!                                                             ▼
+//!                                                   ┌──────────────────┐
+//!                                                   │  ReplicaEngine   │
+//!                                                   │  A_new = P'⊕A_old│
+//!                                                   └──────────────────┘
 //! ```
 //!
 //! [`PrinsEngine`] is itself a [`BlockDevice`], so filesystems, page
@@ -76,13 +78,14 @@
 
 mod builder;
 mod engine;
+pub mod pipeline;
 mod replica;
 mod stats;
 
 pub use builder::EngineBuilder;
 pub use engine::PrinsEngine;
 pub use replica::ReplicaEngine;
-pub use stats::EngineStats;
+pub use stats::{EngineStats, LaneStats};
 
 pub use prins_block::BlockDevice;
 pub use prins_repl::ReplicationMode;

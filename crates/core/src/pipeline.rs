@@ -1,0 +1,870 @@
+//! The primary's staged replication pipeline.
+//!
+//! The original engine pushed every write through one thread that
+//! encoded the parity, sent it to each replica in turn and waited for
+//! every acknowledgement — so a single slow link throttled all
+//! replicas, and encoding never overlapped transmission. This module
+//! rebuilds the path as independent stages:
+//!
+//! ```text
+//!  write_block (per-LBA stripe lock)
+//!       │  admit: sequence assignment + XOR-fold coalescing
+//!       ▼
+//!  [admission queue] ──▶ encode pool (N workers: P' = new ⊕ old, encode)
+//!       │  reorder buffer releases payloads in sequence order
+//!       ▼
+//!  ┌── sender lane 0: bounded queue ▷ batch ▷ send ▷ windowed acks
+//!  ├── sender lane 1:      "            "      "         "
+//!  └── sender lane k:      "            "      "         "
+//! ```
+//!
+//! Invariants:
+//!
+//! * **Per-LBA ordering.** Admission assigns a global sequence number
+//!   under one lock, the admission queue is FIFO, and the reorder
+//!   buffer releases encoded payloads strictly in sequence order —
+//!   so every lane observes all writes, and in particular all writes
+//!   to one LBA, in admission order. This is what keeps the replica's
+//!   XOR chain (`A_new = P' ⊕ A_old`) anchored to the right old image.
+//! * **Coalescing correctness.** A write to an LBA whose previous
+//!   write is still waiting in the admission queue *folds* into it:
+//!   the queued job keeps its original `old` image and adopts the
+//!   newest `new` image, so the eventual parity is
+//!   `P = A_newest ⊕ A_oldest = P₁ ⊕ P₂ ⊕ …` — XOR telescopes the
+//!   intermediate images away. No new sequence number is allocated,
+//!   so the sequence space stays dense and the reorder buffer never
+//!   waits on a hole.
+//! * **Barrier.** A flush first waits until every admitted write has
+//!   been encoded and released to the lanes, then sends a barrier
+//!   token down each lane; a lane drains its acknowledgement window
+//!   before arriving at the barrier.
+//!
+//! A lane that hits a transport error records it (surfaced at the next
+//! flush) and keeps retiring queued work, so a dead replica never
+//! wedges the barrier.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use prins_block::Lba;
+use prins_net::Transport;
+use prins_repl::{BatchFrame, ReplError, Replicator, ACK, NAK};
+
+/// Tuning knobs for the replication pipeline (set via
+/// [`EngineBuilder`](crate::EngineBuilder)).
+#[derive(Clone, Debug)]
+pub(crate) struct PipelineConfig {
+    /// Parity-encoding worker threads.
+    pub encode_workers: usize,
+    /// Fold a write into a still-queued write to the same LBA.
+    pub coalesce: bool,
+    /// Maximum payloads packed into one wire frame (≤ 1 disables
+    /// batching).
+    pub batch_frames: usize,
+    /// In-flight (unacknowledged) frames allowed per lane.
+    pub ack_window: usize,
+    /// Bounded sender-lane queue capacity (backpressure towards the
+    /// encode pool).
+    pub queue_cap: usize,
+    /// How long a lane waits for each acknowledgement.
+    pub ack_timeout: Duration,
+    /// Record every (lba, seq) a lane sends, for ordering tests.
+    pub trace_sends: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            encode_workers: 2,
+            coalesce: false,
+            batch_frames: 1,
+            ack_window: 1,
+            queue_cap: 1024,
+            ack_timeout: Duration::from_secs(10),
+            trace_sends: false,
+        }
+    }
+}
+
+/// Counters shared between the engine front-end and the pipeline
+/// stages.
+#[derive(Default)]
+pub(crate) struct Shared {
+    pub writes: AtomicU64,
+    pub reads: AtomicU64,
+    pub local_write_nanos: AtomicU64,
+    pub overhead_nanos: AtomicU64,
+    pub replication_errors: AtomicU64,
+    pub coalesced_writes: AtomicU64,
+    pub queue_depth_hwm: AtomicU64,
+    /// Writes released by the reorder stage to the sender lanes (with
+    /// no replicas configured this is the replicated count).
+    pub dispatched_writes: AtomicU64,
+    pub last_error: parking_lot::Mutex<Option<String>>,
+}
+
+pub(crate) fn record_error(shared: &Shared, e: &ReplError) {
+    shared.replication_errors.fetch_add(1, Ordering::Relaxed);
+    let mut slot = shared.last_error.lock();
+    if slot.is_none() {
+        *slot = Some(e.to_string());
+    }
+}
+
+/// A write waiting for the encode pool.
+struct EncodeJob {
+    seq: u64,
+    lba: Lba,
+    old: Vec<u8>,
+    new: Vec<u8>,
+    /// Writes folded into this job beyond the first.
+    folds: u64,
+}
+
+struct AdmitState {
+    /// FIFO of pending jobs; sequence numbers inside are consecutive
+    /// (folds reuse the queued job's number), so a job's position is
+    /// `seq - front.seq`.
+    queue: VecDeque<EncodeJob>,
+    /// LBA → sequence number of its still-queued job (coalescing only).
+    by_lba: HashMap<u64, u64>,
+    /// Next sequence number to assign.
+    seq_alloc: u64,
+    closed: bool,
+}
+
+/// An encoded payload waiting for its sequence turn.
+struct Ready {
+    lba: Lba,
+    writes: u64,
+    payload: Arc<[u8]>,
+}
+
+struct ReorderState {
+    /// Next sequence number to release to the lanes.
+    next_seq: u64,
+    ready: HashMap<u64, Ready>,
+}
+
+enum LaneMsg {
+    Payload {
+        seq: u64,
+        lba: Lba,
+        writes: u64,
+        bytes: Arc<[u8]>,
+    },
+    Barrier(Arc<BarrierGate>),
+    Shutdown,
+}
+
+/// Countdown the flush barrier waits on: one arrival per lane.
+struct BarrierGate {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl BarrierGate {
+    fn new(lanes: usize) -> Self {
+        Self {
+            remaining: Mutex::new(lanes),
+            done: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+/// One replica's sender lane: a bounded queue plus its counters.
+///
+/// The queue is hand-rolled over `std::sync` because the vendored
+/// crossbeam only ships unbounded channels and backpressure here is
+/// the point: a full lane stalls the encode pool, not the application.
+pub(crate) struct LaneState {
+    queue: Mutex<VecDeque<LaneMsg>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+    pub sends: AtomicU64,
+    pub acked_writes: AtomicU64,
+    pub payload_bytes: AtomicU64,
+    pub send_nanos: AtomicU64,
+    pub ack_nanos: AtomicU64,
+    pub errors: AtomicU64,
+    send_log: Option<Mutex<Vec<(Lba, u64)>>>,
+}
+
+impl LaneState {
+    fn new(cap: usize, trace_sends: bool) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+            sends: AtomicU64::new(0),
+            acked_writes: AtomicU64::new(0),
+            payload_bytes: AtomicU64::new(0),
+            send_nanos: AtomicU64::new(0),
+            ack_nanos: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            send_log: trace_sends.then(|| Mutex::new(Vec::new())),
+        }
+    }
+
+    fn push(&self, msg: LaneMsg) {
+        let mut q = self.queue.lock().unwrap();
+        while q.len() >= self.cap {
+            q = self.not_full.wait(q).unwrap();
+        }
+        q.push_back(msg);
+        self.not_empty.notify_one();
+    }
+
+    fn pop(&self) -> LaneMsg {
+        let mut q = self.queue.lock().unwrap();
+        while q.is_empty() {
+            q = self.not_empty.wait(q).unwrap();
+        }
+        let msg = q.pop_front().expect("non-empty lane queue");
+        self.not_full.notify_one();
+        msg
+    }
+
+    /// Pops the next message only if it is a payload — batching must
+    /// not reorder across barriers.
+    fn try_pop_payload(&self) -> Option<LaneMsg> {
+        let mut q = self.queue.lock().unwrap();
+        if matches!(q.front(), Some(LaneMsg::Payload { .. })) {
+            let msg = q.pop_front();
+            self.not_full.notify_one();
+            msg
+        } else {
+            None
+        }
+    }
+
+    fn record_sent(&self, trace: &[(Lba, u64)]) {
+        if let Some(log) = &self.send_log {
+            log.lock().unwrap().extend_from_slice(trace);
+        }
+    }
+
+    pub fn send_log(&self) -> Vec<(Lba, u64)> {
+        self.send_log
+            .as_ref()
+            .map(|log| log.lock().unwrap().clone())
+            .unwrap_or_default()
+    }
+}
+
+/// State shared by the admission front-end, the encode pool and the
+/// barrier.
+struct Inner {
+    admit: Mutex<AdmitState>,
+    admit_cv: Condvar,
+    reorder: Mutex<ReorderState>,
+    reorder_cv: Condvar,
+    lanes: Vec<Arc<LaneState>>,
+    shared: Arc<Shared>,
+}
+
+pub(crate) struct Pipeline {
+    inner: Arc<Inner>,
+    coalesce: bool,
+    encode_handles: Mutex<Vec<JoinHandle<()>>>,
+    lane_handles: Mutex<Option<Vec<JoinHandle<()>>>>,
+}
+
+impl Pipeline {
+    pub fn start(
+        replicator: Arc<dyn Replicator>,
+        transports: Vec<Box<dyn Transport>>,
+        shared: Arc<Shared>,
+        config: &PipelineConfig,
+    ) -> Self {
+        let lanes: Vec<Arc<LaneState>> = transports
+            .iter()
+            .map(|_| Arc::new(LaneState::new(config.queue_cap, config.trace_sends)))
+            .collect();
+        let inner = Arc::new(Inner {
+            admit: Mutex::new(AdmitState {
+                queue: VecDeque::new(),
+                by_lba: HashMap::new(),
+                seq_alloc: 0,
+                closed: false,
+            }),
+            admit_cv: Condvar::new(),
+            reorder: Mutex::new(ReorderState {
+                next_seq: 0,
+                ready: HashMap::new(),
+            }),
+            reorder_cv: Condvar::new(),
+            lanes,
+            shared,
+        });
+
+        let mut encode_handles = Vec::new();
+        for worker in 0..config.encode_workers.max(1) {
+            let inner = Arc::clone(&inner);
+            let replicator = Arc::clone(&replicator);
+            encode_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("prins-encode-{worker}"))
+                    .spawn(move || run_encoder(&inner, &*replicator))
+                    .expect("spawn prins encode worker"),
+            );
+        }
+
+        let mut lane_handles = Vec::new();
+        for (idx, transport) in transports.into_iter().enumerate() {
+            let lane = Arc::clone(&inner.lanes[idx]);
+            let shared = Arc::clone(&inner.shared);
+            let cfg = config.clone();
+            lane_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("prins-sender-{idx}"))
+                    .spawn(move || run_lane(idx, &*transport, &lane, &shared, &cfg))
+                    .expect("spawn prins sender lane"),
+            );
+        }
+
+        Self {
+            inner,
+            coalesce: config.coalesce,
+            encode_handles: Mutex::new(encode_handles),
+            lane_handles: Mutex::new(Some(lane_handles)),
+        }
+    }
+
+    pub fn lanes(&self) -> &[Arc<LaneState>] {
+        &self.inner.lanes
+    }
+
+    /// Admits a write: folds it into a still-queued job for the same
+    /// LBA (when coalescing) or assigns the next sequence number.
+    ///
+    /// Callers hold the engine's per-LBA stripe lock, so the captured
+    /// `old` image is exactly the block content the previous admission
+    /// for this LBA left behind.
+    pub fn admit(&self, lba: Lba, old: Vec<u8>, new: Vec<u8>) -> Result<(), ReplError> {
+        let mut st = self.inner.admit.lock().unwrap();
+        if st.closed {
+            return Err(ReplError::Net(prins_net::NetError::Disconnected));
+        }
+        if self.coalesce {
+            if let Some(&seq) = st.by_lba.get(&lba.0) {
+                let front_seq = st.queue.front().expect("by_lba entry implies queue").seq;
+                let job = &mut st.queue[(seq - front_seq) as usize];
+                debug_assert_eq!(job.seq, seq);
+                job.new = new;
+                job.folds += 1;
+                self.inner
+                    .shared
+                    .coalesced_writes
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        let seq = st.seq_alloc;
+        st.seq_alloc += 1;
+        if self.coalesce {
+            st.by_lba.insert(lba.0, seq);
+        }
+        st.queue.push_back(EncodeJob {
+            seq,
+            lba,
+            old,
+            new,
+            folds: 0,
+        });
+        self.inner
+            .shared
+            .queue_depth_hwm
+            .fetch_max(st.queue.len() as u64, Ordering::Relaxed);
+        drop(st);
+        self.inner.admit_cv.notify_one();
+        Ok(())
+    }
+
+    /// Waits until every write admitted before the call has been
+    /// encoded, released in order and acknowledged by every lane.
+    pub fn barrier(&self) {
+        let target = self.inner.admit.lock().unwrap().seq_alloc;
+        let mut ro = self.inner.reorder.lock().unwrap();
+        while ro.next_seq < target {
+            ro = self.inner.reorder_cv.wait(ro).unwrap();
+        }
+        drop(ro);
+        if self.inner.lanes.is_empty() {
+            return;
+        }
+        let gate = Arc::new(BarrierGate::new(self.inner.lanes.len()));
+        for lane in &self.inner.lanes {
+            lane.push(LaneMsg::Barrier(Arc::clone(&gate)));
+        }
+        gate.wait();
+    }
+
+    /// Stops the pipeline: drains the admission queue, joins the
+    /// encode pool, then retires the lanes. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.admit.lock().unwrap().closed = true;
+        self.inner.admit_cv.notify_all();
+        for handle in self.encode_handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handles) = self.lane_handles.lock().unwrap().take() {
+            for lane in &self.inner.lanes {
+                lane.push(LaneMsg::Shutdown);
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Encode-pool worker: drains the admission queue, encodes payloads
+/// concurrently with its peers and releases them through the reorder
+/// buffer in sequence order.
+fn run_encoder(inner: &Inner, replicator: &dyn Replicator) {
+    loop {
+        let job = {
+            let mut st = inner.admit.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    if st.by_lba.get(&job.lba.0) == Some(&job.seq) {
+                        // The job is now being encoded; later writes to
+                        // this LBA must queue fresh, not fold.
+                        st.by_lba.remove(&job.lba.0);
+                    }
+                    break Some(job);
+                }
+                if st.closed {
+                    break None;
+                }
+                st = inner.admit_cv.wait(st).unwrap();
+            }
+        };
+        let Some(job) = job else { return };
+
+        let t0 = Instant::now();
+        let payload: Arc<[u8]> = replicator.encode_write(job.lba, &job.old, &job.new).into();
+        inner
+            .shared
+            .overhead_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        let mut ro = inner.reorder.lock().unwrap();
+        ro.ready.insert(
+            job.seq,
+            Ready {
+                lba: job.lba,
+                writes: 1 + job.folds,
+                payload,
+            },
+        );
+        // Release every consecutive payload that is now ready; peers
+        // that finish out of order leave theirs for whoever holds the
+        // next sequence number.
+        loop {
+            let seq = ro.next_seq;
+            let Some(ready) = ro.ready.remove(&seq) else {
+                break;
+            };
+            ro.next_seq += 1;
+            inner
+                .shared
+                .dispatched_writes
+                .fetch_add(ready.writes, Ordering::Relaxed);
+            for lane in &inner.lanes {
+                lane.push(LaneMsg::Payload {
+                    seq,
+                    lba: ready.lba,
+                    writes: ready.writes,
+                    bytes: Arc::clone(&ready.payload),
+                });
+            }
+        }
+        drop(ro);
+        inner.reorder_cv.notify_all();
+    }
+}
+
+/// Sender-lane thread: batches queued payloads into frames, sends them
+/// and retires acknowledgements within the configured window.
+fn run_lane(
+    idx: usize,
+    transport: &dyn Transport,
+    lane: &LaneState,
+    shared: &Shared,
+    cfg: &PipelineConfig,
+) {
+    // Writes carried by each in-flight (sent, unacknowledged) frame.
+    let mut outstanding: VecDeque<u64> = VecDeque::new();
+    loop {
+        match lane.pop() {
+            LaneMsg::Shutdown => {
+                collect_all(idx, transport, lane, shared, cfg, &mut outstanding);
+                return;
+            }
+            LaneMsg::Barrier(gate) => {
+                collect_all(idx, transport, lane, shared, cfg, &mut outstanding);
+                gate.arrive();
+            }
+            LaneMsg::Payload {
+                seq,
+                lba,
+                writes,
+                bytes,
+            } => {
+                let mut trace = vec![(lba, seq)];
+                let mut total_writes = writes;
+                let mut extra: Vec<Arc<[u8]>> = Vec::new();
+                while extra.len() + 1 < cfg.batch_frames {
+                    match lane.try_pop_payload() {
+                        Some(LaneMsg::Payload {
+                            seq,
+                            lba,
+                            writes,
+                            bytes,
+                        }) => {
+                            trace.push((lba, seq));
+                            total_writes += writes;
+                            extra.push(bytes);
+                        }
+                        _ => break,
+                    }
+                }
+                let frame: Vec<u8>;
+                let wire: &[u8] = if extra.is_empty() {
+                    &bytes
+                } else {
+                    let mut payloads = Vec::with_capacity(1 + extra.len());
+                    payloads.push(bytes.to_vec());
+                    payloads.extend(extra.iter().map(|p| p.to_vec()));
+                    frame = BatchFrame { payloads }.to_bytes();
+                    &frame
+                };
+
+                let t0 = Instant::now();
+                let sent = transport.send(wire);
+                lane.send_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                match sent {
+                    Ok(()) => {
+                        lane.sends.fetch_add(1, Ordering::Relaxed);
+                        lane.payload_bytes
+                            .fetch_add(wire.len() as u64, Ordering::Relaxed);
+                        lane.record_sent(&trace);
+                        outstanding.push_back(total_writes);
+                        while outstanding.len() >= cfg.ack_window.max(1) {
+                            collect_one(idx, transport, lane, shared, cfg, &mut outstanding);
+                        }
+                    }
+                    Err(e) => {
+                        // The frame retires unsent; the error surfaces
+                        // at the next flush.
+                        lane.errors.fetch_add(1, Ordering::Relaxed);
+                        record_error(shared, &e.into());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Retires the oldest in-flight frame with one acknowledgement.
+fn collect_one(
+    idx: usize,
+    transport: &dyn Transport,
+    lane: &LaneState,
+    shared: &Shared,
+    cfg: &PipelineConfig,
+    outstanding: &mut VecDeque<u64>,
+) {
+    let frame_writes = outstanding.pop_front().expect("outstanding frame");
+    let t0 = Instant::now();
+    let answer = transport.recv_timeout(cfg.ack_timeout);
+    lane.ack_nanos
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let result: Result<(), ReplError> = match answer {
+        Ok(bytes) => match bytes.as_slice() {
+            [ACK] => {
+                lane.acked_writes.fetch_add(frame_writes, Ordering::Relaxed);
+                return;
+            }
+            [NAK] => Err(ReplError::Nak { replica: idx }),
+            other => Err(ReplError::MissingAck {
+                replica: idx,
+                got: other.first().copied(),
+            }),
+        },
+        Err(e) => Err(e.into()),
+    };
+    if let Err(e) = result {
+        lane.errors.fetch_add(1, Ordering::Relaxed);
+        record_error(shared, &e);
+    }
+}
+
+fn collect_all(
+    idx: usize,
+    transport: &dyn Transport,
+    lane: &LaneState,
+    shared: &Shared,
+    cfg: &PipelineConfig,
+    outstanding: &mut VecDeque<u64>,
+) {
+    while !outstanding.is_empty() {
+        collect_one(idx, transport, lane, shared, cfg, outstanding);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
+    use prins_net::{channel_pair, FaultTransport, LinkHandle, LinkModel};
+    use prins_repl::{verify_consistent, AckPolicy, ReplError};
+    use proptest::prelude::*;
+    use rand::{RngExt, SeedableRng};
+
+    use crate::{EngineBuilder, PrinsEngine, ReplicaEngine};
+
+    type ReplicaHandle = std::thread::JoinHandle<Result<u64, ReplError>>;
+
+    /// `n` replicas behind FaultTransports, so tests can slow links down.
+    #[allow(clippy::type_complexity)]
+    fn faulted_replicas(
+        n: usize,
+        blocks: u64,
+    ) -> (
+        Vec<Box<dyn prins_net::Transport>>,
+        Vec<LinkHandle>,
+        Vec<Arc<MemDevice>>,
+        Vec<ReplicaHandle>,
+    ) {
+        let mut transports: Vec<Box<dyn prins_net::Transport>> = Vec::new();
+        let mut links = Vec::new();
+        let mut devices = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let (uplink, downlink) = channel_pair(LinkModel::t1());
+            let (faulty, link) = FaultTransport::new(uplink);
+            let device = Arc::new(MemDevice::new(BlockSize::kb4(), blocks));
+            handles.push(ReplicaEngine::spawn(
+                Arc::clone(&device) as Arc<dyn BlockDevice>,
+                downlink,
+            ));
+            transports.push(Box::new(faulty));
+            links.push(link);
+            devices.push(device);
+        }
+        (transports, links, devices, handles)
+    }
+
+    fn shutdown_all(engine: PrinsEngine, replicas: Vec<ReplicaHandle>) {
+        engine.shutdown().unwrap();
+        for handle in replicas {
+            handle.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn coalescing_never_changes_replica_contents() {
+        // Randomized multi-writer trace over a slow lane: the slow link
+        // backs the pipeline up, so admissions fold aggressively — and
+        // the replicas must still end bit-identical to the primary.
+        let (transports, links, replica_devs, replica_threads) = faulted_replicas(3, 8);
+        links[2].set_send_cost(Duration::from_micros(300), Duration::ZERO);
+        let primary = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
+        let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
+            .coalesce(true)
+            .encode_workers(4)
+            .ack_policy(AckPolicy::Window(8))
+            .sender_queue_cap(4);
+        for transport in transports {
+            builder = builder.replica(transport);
+        }
+        let engine = Arc::new(builder.build());
+
+        let mut writers = Vec::new();
+        for t in 0..4u64 {
+            let engine = Arc::clone(&engine);
+            writers.push(std::thread::spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(t + 100);
+                for i in 0..80u64 {
+                    let lba = Lba((t * 3 + i) % 8);
+                    let mut block = vec![0u8; 4096];
+                    rng.fill_bytes(&mut block);
+                    engine.write_block(lba, &block).unwrap();
+                }
+            }));
+        }
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        engine.flush().unwrap();
+
+        let stats = engine.stats();
+        assert_eq!(stats.writes, 320);
+        assert_eq!(stats.replication_errors, 0);
+        // Every write is replicated — folded ones ride their partner's
+        // parity and are counted when it is acknowledged.
+        assert_eq!(stats.writes_replicated, 320);
+        assert!(
+            stats.coalesced_writes > 0,
+            "slow lane should force folds: {stats:?}"
+        );
+        assert!(stats.queue_depth_hwm > 0);
+
+        let engine = Arc::try_unwrap(engine).map_err(|_| "shared").unwrap();
+        shutdown_all(engine, replica_threads);
+        for dev in &replica_devs {
+            assert!(verify_consistent(&*primary, &**dev).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_frames_cut_messages_on_a_slow_link() {
+        let (transports, links, replica_devs, replica_threads) = faulted_replicas(1, 16);
+        links[0].set_send_cost(Duration::from_millis(1), Duration::ZERO);
+        let primary = Arc::new(MemDevice::new(BlockSize::kb4(), 16));
+        let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
+            .batch_frames(8)
+            .ack_policy(AckPolicy::Window(4));
+        for transport in transports {
+            builder = builder.replica(transport);
+        }
+        let engine = builder.build();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for i in 0..60u64 {
+            let lba = Lba(i % 16);
+            let mut block = engine.read_block_vec(lba).unwrap();
+            let at = rng.random_range(0..4000);
+            block[at] ^= 0x5a;
+            engine.write_block(lba, &block).unwrap();
+        }
+        engine.flush().unwrap();
+
+        let stats = engine.stats();
+        assert_eq!(stats.writes_replicated, 60);
+        assert_eq!(stats.replication_errors, 0);
+        let lanes = engine.lane_stats();
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].acked_writes, 60);
+        assert!(
+            lanes[0].sends < 40,
+            "1 ms/frame should force batching: {} sends",
+            lanes[0].sends
+        );
+        assert!(lanes[0].send_nanos > 0 && lanes[0].ack_nanos > 0);
+
+        shutdown_all(engine, replica_threads);
+        assert!(verify_consistent(&*primary, &*replica_devs[0]).unwrap());
+    }
+
+    #[test]
+    fn lane_stats_account_per_replica_bytes() {
+        let (transports, _links, _devs, replica_threads) = faulted_replicas(2, 4);
+        let primary = Arc::new(MemDevice::new(BlockSize::kb4(), 4));
+        let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>);
+        for transport in transports {
+            builder = builder.replica(transport);
+        }
+        let engine = builder.build();
+        let mut block = vec![0u8; 4096];
+        block[..32].fill(7);
+        engine.write_block(Lba(1), &block).unwrap();
+        engine.flush().unwrap();
+
+        let lanes = engine.lane_stats();
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].payload_bytes, lanes[1].payload_bytes);
+        // Satellite accounting fix: the global counter is the sum of
+        // per-lane successful sends, not payload × replica count by fiat.
+        let stats = engine.stats();
+        assert_eq!(
+            stats.replicated_payload_bytes,
+            lanes[0].payload_bytes + lanes[1].payload_bytes
+        );
+        shutdown_all(engine, replica_threads);
+    }
+
+    /// Replays `writes` through a tracing engine and asserts that each
+    /// lane's send log shows strictly increasing sequence numbers per
+    /// LBA (the pipeline's ordering invariant, observed at the wire).
+    fn assert_per_lba_ordering(writes: &[(u64, u8)], encode_workers: usize) {
+        let (transports, _links, replica_devs, replica_threads) = faulted_replicas(2, 8);
+        let primary = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
+        let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
+            .encode_workers(encode_workers)
+            .ack_policy(AckPolicy::Window(16))
+            .trace_sends(true);
+        for transport in transports {
+            builder = builder.replica(transport);
+        }
+        let engine = builder.build();
+
+        for (i, &(lba, fill)) in writes.iter().enumerate() {
+            let lba = Lba(lba % 8);
+            let mut block = engine.read_block_vec(lba).unwrap();
+            block[i % 4096] = fill;
+            engine.write_block(lba, &block).unwrap();
+        }
+        engine.flush().unwrap();
+
+        let logs = engine.send_logs();
+        assert_eq!(logs.len(), 2);
+        for log in &logs {
+            assert_eq!(log.len(), writes.len(), "every write sent exactly once");
+            let mut last_seq_for: HashMap<u64, u64> = HashMap::new();
+            let mut prev_seq: Option<u64> = None;
+            for &(lba, seq) in log {
+                if let Some(prev) = prev_seq {
+                    assert!(seq > prev, "global sequence order violated");
+                }
+                prev_seq = Some(seq);
+                if let Some(&last) = last_seq_for.get(&lba.0) {
+                    assert!(seq > last, "per-LBA sequence regressed on {lba:?}");
+                }
+                last_seq_for.insert(lba.0, seq);
+            }
+        }
+        shutdown_all(engine, replica_threads);
+        for dev in &replica_devs {
+            assert!(verify_consistent(&*primary, &**dev).unwrap());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_sequences_are_monotonic_per_lba(
+            writes in proptest::collection::vec((0u64..8, any::<u8>()), 1..80),
+            workers in 1usize..5,
+        ) {
+            assert_per_lba_ordering(&writes, workers);
+        }
+    }
+}

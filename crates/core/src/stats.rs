@@ -26,6 +26,12 @@ pub struct EngineStats {
     /// Replication failures observed (payloads NAKed or transports
     /// down).
     pub replication_errors: u64,
+    /// Writes folded into a still-queued write to the same LBA
+    /// (XOR-coalescing; zero unless enabled on the builder).
+    pub coalesced_writes: u64,
+    /// High-water mark of the encode admission queue depth — how far
+    /// the application ran ahead of the pipeline.
+    pub queue_depth_hwm: u64,
 }
 
 impl EngineStats {
@@ -57,6 +63,39 @@ impl EngineStats {
         } else {
             self.replicated_payload_bytes as f64 / self.writes_replicated as f64
         }
+    }
+}
+
+/// Counters for one per-replica sender lane (see
+/// [`PrinsEngine::lane_stats`](crate::PrinsEngine::lane_stats)).
+///
+/// The split between `send_nanos` (time in `Transport::send`) and
+/// `ack_nanos` (time waiting for acknowledgements) is what makes a
+/// slow replica visible: its lane accumulates ack time while the
+/// other lanes keep draining.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Wire frames transmitted (a batch frame counts once).
+    pub sends: u64,
+    /// Writes acknowledged by this replica (folded writes count each
+    /// original write).
+    pub acked_writes: u64,
+    /// Payload bytes successfully handed to this transport.
+    pub payload_bytes: u64,
+    /// Nanoseconds inside `Transport::send`.
+    pub send_nanos: u64,
+    /// Nanoseconds waiting for acknowledgements.
+    pub ack_nanos: u64,
+    /// Send or acknowledgement failures on this lane.
+    pub errors: u64,
+}
+
+impl LaneStats {
+    /// Mean round-trip-inclusive acknowledgement wait per frame.
+    pub fn mean_ack_wait(&self) -> Duration {
+        self.ack_nanos
+            .checked_div(self.sends)
+            .map_or(Duration::ZERO, Duration::from_nanos)
     }
 }
 

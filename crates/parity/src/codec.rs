@@ -212,37 +212,35 @@ impl SparseCodec {
     }
 
     /// Extracts the nonzero extents of `parity`.
+    ///
+    /// Zero runs — the bulk of a PRINS parity — are skipped with the
+    /// word-at-a-time [`scan_nonzero`](crate::scan_nonzero), so a
+    /// mostly-zero block is scanned at memory bandwidth rather than one
+    /// byte-compare per position.
     pub fn encode(&self, parity: &[u8]) -> SparseParity {
         let mut segments: Vec<Segment> = Vec::new();
-        let mut i = 0usize;
         let n = parity.len();
-        while i < n {
-            if parity[i] == 0 {
-                i += 1;
-                continue;
-            }
-            // Start of a nonzero run.
-            let start = i;
-            let mut end = i + 1;
-            let mut zeros = 0usize;
-            let mut last_nonzero = i + 1;
-            while end < n {
-                if parity[end] == 0 {
-                    zeros += 1;
-                    if zeros >= self.min_gap {
+        let mut next = crate::scan_nonzero(parity, 0);
+        while let Some(start) = next {
+            // Grow the segment: alternate nonzero stretches with zero
+            // gaps shorter than `min_gap`, which stay inline.
+            let mut last_nonzero = start + 1;
+            loop {
+                while last_nonzero < n && parity[last_nonzero] != 0 {
+                    last_nonzero += 1;
+                }
+                match crate::scan_nonzero(parity, last_nonzero) {
+                    Some(nz) if nz - last_nonzero < self.min_gap => last_nonzero = nz + 1,
+                    later => {
+                        next = later;
                         break;
                     }
-                } else {
-                    zeros = 0;
-                    last_nonzero = end + 1;
                 }
-                end += 1;
             }
             segments.push(Segment {
                 offset: start,
                 data: parity[start..last_nonzero].to_vec(),
             });
-            i = end;
         }
         SparseParity {
             block_len: n,
@@ -493,6 +491,48 @@ mod tests {
             let mut block = old.clone();
             sp.apply_to(&mut block);
             prop_assert_eq!(block, new);
+        }
+
+        /// Correctness of XOR-folding write coalescing: for any chain
+        /// old → mid → new, applying the folded parity
+        /// `old ⊕ new = (old ⊕ mid) ⊕ (mid ⊕ new)` in one step leaves
+        /// the block exactly where applying the two per-write parities
+        /// in sequence would.
+        #[test]
+        fn prop_folded_parity_equals_sequential_application(
+            old in proptest::collection::vec(any::<u8>(), 1..1024),
+            mid_seed in any::<u64>(),
+            new_seed in any::<u64>()) {
+            let mutate = |base: &[u8], seed: u64| -> Vec<u8> {
+                // Sparse-ish mutation: flip a few regions.
+                let mut out = base.to_vec();
+                let n = out.len();
+                for k in 0..1 + (seed % 4) as usize {
+                    let at = (seed.wrapping_mul(k as u64 * 2 + 7) as usize) % n;
+                    let len = 1 + (seed.wrapping_shr(8) as usize + k) % 32;
+                    for b in &mut out[at..(at + len).min(n)] {
+                        *b ^= (seed.wrapping_shr(16) as u8) | 1;
+                    }
+                }
+                out
+            };
+            let mid = mutate(&old, mid_seed);
+            let new = mutate(&mid, new_seed);
+            let codec = SparseCodec::default();
+
+            let p1 = codec.encode(&forward_parity(&old, &mid));
+            let p2 = codec.encode(&forward_parity(&mid, &new));
+            let folded = codec.encode(&forward_parity(&old, &new));
+
+            let mut sequential = old.clone();
+            p1.apply_to(&mut sequential);
+            p2.apply_to(&mut sequential);
+
+            let mut one_shot = old.clone();
+            folded.apply_to(&mut one_shot);
+
+            prop_assert_eq!(&sequential, &new);
+            prop_assert_eq!(one_shot, sequential);
         }
 
         #[test]

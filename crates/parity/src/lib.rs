@@ -58,4 +58,4 @@ mod xor;
 pub use codec::{CodecError, Segment, SparseCodec, SparseParity};
 pub use delta::{apply_parity, apply_parity_in_place, forward_parity, DeltaStats};
 pub use varint::{decode_varint, encode_varint};
-pub use xor::{xor_bytes, xor_in_place, xor_into};
+pub use xor::{scan_nonzero, xor_bytes, xor_in_place, xor_in_place_scalar, xor_into};

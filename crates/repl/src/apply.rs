@@ -4,7 +4,7 @@ use prins_block::{BlockDevice, Lba};
 use prins_compress::{Codec, Lzss};
 use prins_parity::SparseCodec;
 
-use crate::{Payload, PayloadBody, ReplError};
+use crate::{BatchFrame, Payload, PayloadBody, ReplError};
 
 /// Applies replication payloads to a replica's local device.
 ///
@@ -36,8 +36,14 @@ impl<'d, D: BlockDevice + ?Sized> ReplicaApplier<'d, D> {
         self.applied
     }
 
-    /// Decodes and applies one payload. Returns `true` for data payloads
-    /// and `false` for the end-of-sync marker.
+    /// Decodes and applies one message — a bare payload or a
+    /// [`BatchFrame`] (whose inner payloads are applied in order).
+    /// Returns `true` for data payloads and `false` for the end-of-sync
+    /// marker (an empty batch also returns `false`).
+    ///
+    /// A batch is *not* atomic: a malformed or rejected inner payload
+    /// aborts the batch with earlier payloads already applied — exactly
+    /// the state a reconnecting primary reconciles anyway.
     ///
     /// # Errors
     ///
@@ -45,6 +51,14 @@ impl<'d, D: BlockDevice + ?Sized> ReplicaApplier<'d, D> {
     ///   [`ReplError::Compress`] on undecodable payloads,
     /// * [`ReplError::Block`] if the local device rejects the write.
     pub fn apply(&mut self, payload_bytes: &[u8]) -> Result<bool, ReplError> {
+        if BatchFrame::is_batch(payload_bytes) {
+            let frame = BatchFrame::from_bytes(payload_bytes)?;
+            let mut any_data = false;
+            for inner in &frame.payloads {
+                any_data |= self.apply(inner)?;
+            }
+            return Ok(any_data);
+        }
         let payload = Payload::from_bytes(payload_bytes)?;
         let bs = self.device.geometry().block_size().bytes();
         match payload.body {
@@ -192,5 +206,51 @@ mod tests {
         let replica = MemDevice::new(BlockSize::kb4(), 4);
         let mut applier = ReplicaApplier::new(&replica);
         assert!(applier.apply(&[200, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn batch_frame_applies_all_inner_payloads_in_order() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let replicator = PrinsReplicator::new();
+        // A chain of two writes to the same block, packed in one frame:
+        // applying out of order would XOR against the wrong base.
+        let a = vec![0u8; 4096];
+        let mut b = a.clone();
+        b[10..20].fill(7);
+        let mut c = b.clone();
+        c[15..40].fill(9);
+        let frame = BatchFrame {
+            payloads: vec![
+                replicator.encode_write(Lba(2), &a, &b),
+                replicator.encode_write(Lba(2), &b, &c),
+                TraditionalReplicator.encode_write(Lba(0), &a, &b),
+            ],
+        };
+        assert!(applier.apply(&frame.to_bytes()).unwrap());
+        assert_eq!(applier.applied(), 3);
+        assert_eq!(replica.read_block_vec(Lba(2)).unwrap(), c);
+        assert_eq!(replica.read_block_vec(Lba(0)).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_batch_counts_as_no_data() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        assert!(!applier.apply(&BatchFrame::default().to_bytes()).unwrap());
+        assert_eq!(applier.applied(), 0);
+    }
+
+    #[test]
+    fn bad_inner_payload_aborts_batch_after_earlier_applies() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let good = TraditionalReplicator.encode_write(Lba(1), &[0u8; 4096], &[3u8; 4096]);
+        let frame = BatchFrame {
+            payloads: vec![good, vec![200, 1, 2]],
+        };
+        assert!(applier.apply(&frame.to_bytes()).is_err());
+        // The first payload landed before the abort.
+        assert_eq!(replica.read_block_vec(Lba(1)).unwrap(), vec![3u8; 4096]);
     }
 }

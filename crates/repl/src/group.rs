@@ -93,6 +93,18 @@ impl ReplicationGroup {
         self.writes_replicated
     }
 
+    /// Deconstructs the group, returning the replica transports.
+    ///
+    /// Used to hand connections from a synchronous group (e.g. after
+    /// [`initial_sync`](Self::initial_sync)) to the engine's pipelined
+    /// per-replica senders. In-flight acknowledgements are drained
+    /// first on a best-effort basis so the next owner starts with a
+    /// quiet wire.
+    pub fn into_transports(mut self) -> Vec<Box<dyn Transport>> {
+        let _ = self.drain_acks();
+        self.replicas
+    }
+
     /// Total payload bytes sent to replica `idx` so far (from its
     /// transport meter).
     ///

@@ -58,5 +58,5 @@ pub use apply::ReplicaApplier;
 pub use error::ReplError;
 pub use group::{run_replica, verify_consistent, AckPolicy, ReplicationGroup, ACK, NAK};
 pub use mode::ReplicationMode;
-pub use payload::{Payload, PayloadBody};
+pub use payload::{BatchFrame, Payload, PayloadBody, BATCH_TAG};
 pub use strategy::{CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator};

@@ -14,6 +14,16 @@
 //! The LBA travels with the data, mirroring the paper's "results of the
 //! forward parity computation are then sent together with meta-data such
 //! as LBA to replica nodes".
+//!
+//! A [`BatchFrame`] packs several payloads into one message (and one
+//! acknowledgement round-trip):
+//!
+//! ```text
+//! batch := tag(5) varint(count) { varint(len) payload-bytes }*count
+//! ```
+//!
+//! The batch tag is disjoint from the payload tags, so a receiver
+//! dispatches on the first byte.
 
 use prins_block::Lba;
 use prins_parity::{decode_varint, encode_varint};
@@ -130,6 +140,88 @@ impl Payload {
     }
 }
 
+/// Wire tag of a [`BatchFrame`] (the payload tags are 0–4).
+pub const BATCH_TAG: u8 = 5;
+
+/// Several serialized payloads packed into a single wire message.
+///
+/// Small PRINS parities pay one network/ack round-trip each; batching
+/// amortizes that per-message cost — the replica applies every inner
+/// payload in order and answers with a *single* acknowledgement.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchFrame {
+    /// The packed payloads, each a serialized [`Payload`], in apply
+    /// order.
+    pub payloads: Vec<Vec<u8>>,
+}
+
+impl BatchFrame {
+    /// Whether `bytes` starts like a batch frame (vs a bare payload).
+    pub fn is_batch(bytes: &[u8]) -> bool {
+        bytes.first() == Some(&BATCH_TAG)
+    }
+
+    /// Serializes the frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(8 + self.payloads.iter().map(|p| p.len() + 4).sum::<usize>());
+        out.push(BATCH_TAG);
+        encode_varint(&mut out, self.payloads.len() as u64);
+        for p in &self.payloads {
+            encode_varint(&mut out, p.len() as u64);
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Parses a frame serialized by [`to_bytes`](Self::to_bytes).
+    ///
+    /// The inner payloads are *not* decoded — apply them one by one so
+    /// a malformed element surfaces at its own position.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::Malformed`] on a wrong tag, truncated length
+    /// prefixes, or payloads running past the end of the message.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReplError> {
+        let (&tag, mut rest) = bytes
+            .split_first()
+            .ok_or_else(|| ReplError::Malformed("empty batch frame".into()))?;
+        if tag != BATCH_TAG {
+            return Err(ReplError::Malformed(format!(
+                "batch frame tag {tag} != {BATCH_TAG}"
+            )));
+        }
+        let (count, used) = decode_varint(rest)
+            .ok_or_else(|| ReplError::Malformed("truncated batch count".into()))?;
+        rest = &rest[used..];
+        // An attacker-controlled count must not drive allocation; cap
+        // the pre-allocation by what the message could possibly hold.
+        let mut payloads = Vec::with_capacity((count as usize).min(rest.len()));
+        for i in 0..count {
+            let (len, used) = decode_varint(rest)
+                .ok_or_else(|| ReplError::Malformed(format!("truncated length of payload {i}")))?;
+            rest = &rest[used..];
+            let len = len as usize;
+            if len > rest.len() {
+                return Err(ReplError::Malformed(format!(
+                    "payload {i} length {len} exceeds remaining {}",
+                    rest.len()
+                )));
+            }
+            payloads.push(rest[..len].to_vec());
+            rest = &rest[len..];
+        }
+        if !rest.is_empty() {
+            return Err(ReplError::Malformed(format!(
+                "{} trailing bytes after batch",
+                rest.len()
+            )));
+        }
+        Ok(Self { payloads })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +276,49 @@ mod tests {
         assert!(Payload::from_bytes(&[0, 0x80]).is_err());
     }
 
+    #[test]
+    fn batch_frame_roundtrips() {
+        let frame = BatchFrame {
+            payloads: vec![
+                Payload {
+                    lba: Lba(1),
+                    body: PayloadBody::Parity(vec![1, 2, 3]),
+                }
+                .to_bytes(),
+                Payload {
+                    lba: Lba(900),
+                    body: PayloadBody::Full(vec![0; 64]),
+                }
+                .to_bytes(),
+                Vec::new(),
+            ],
+        };
+        let bytes = frame.to_bytes();
+        assert!(BatchFrame::is_batch(&bytes));
+        assert_eq!(BatchFrame::from_bytes(&bytes).unwrap(), frame);
+        // A bare payload is not mistaken for a batch.
+        let bare = Payload {
+            lba: Lba(0),
+            body: PayloadBody::SyncMarker,
+        }
+        .to_bytes();
+        assert!(!BatchFrame::is_batch(&bare));
+        assert!(BatchFrame::from_bytes(&bare).is_err());
+    }
+
+    #[test]
+    fn batch_frame_rejects_bad_structure() {
+        assert!(BatchFrame::from_bytes(&[]).is_err());
+        // count says 1 but no length follows
+        assert!(BatchFrame::from_bytes(&[BATCH_TAG, 1]).is_err());
+        // length runs past the end
+        assert!(BatchFrame::from_bytes(&[BATCH_TAG, 1, 5, 0xaa]).is_err());
+        // trailing garbage after the declared payloads
+        assert!(BatchFrame::from_bytes(&[BATCH_TAG, 1, 1, 0xaa, 0xbb]).is_err());
+        // huge declared count must not allocate or panic
+        assert!(BatchFrame::from_bytes(&[BATCH_TAG, 0xff, 0xff, 0xff, 0xff, 0x7f]).is_err());
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip(lba in any::<u64>(), tag in 0u8..5,
@@ -222,6 +357,35 @@ mod tests {
             let wire = Payload { lba: Lba(lba), body }.to_bytes();
             let keep = wire.len().saturating_sub(cut);
             let _ = Payload::from_bytes(&wire[..keep]);
+        }
+
+        /// Batch frames round-trip through encode/decode for arbitrary
+        /// packed payload bytes.
+        #[test]
+        fn prop_batch_roundtrip(payloads in proptest::collection::vec(
+                                    proptest::collection::vec(any::<u8>(), 0..64), 0..12)) {
+            let frame = BatchFrame { payloads };
+            let back = BatchFrame::from_bytes(&frame.to_bytes()).unwrap();
+            prop_assert_eq!(back, frame);
+        }
+
+        /// Every truncation of a valid batch frame is rejected cleanly —
+        /// never a panic, and never a silent partial decode.
+        #[test]
+        fn prop_batch_truncation_rejected(payloads in proptest::collection::vec(
+                                              proptest::collection::vec(any::<u8>(), 0..32), 1..8),
+                                          cut in 1usize..64) {
+            let wire = BatchFrame { payloads }.to_bytes();
+            let keep = wire.len().saturating_sub(cut.min(wire.len() - 1)); // keep >= 1 (the tag)
+            if keep < wire.len() {
+                prop_assert!(BatchFrame::from_bytes(&wire[..keep]).is_err());
+            }
+        }
+
+        /// Arbitrary bytes never panic the batch decoder.
+        #[test]
+        fn prop_batch_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = BatchFrame::from_bytes(&bytes);
         }
     }
 }
