@@ -21,3 +21,9 @@ cargo bench --workspace --no-run     # criterion benches must keep compiling
 # CI boxes and turn timing-tolerant tests flaky.
 RUST_TEST_THREADS=4 cargo test -q --release              # tier-1 gate (root package)
 RUST_TEST_THREADS=4 cargo test -q --release --workspace  # every crate, incl. vendored stubs
+# Fault-schedule fuzzing: replay the checked-in regression seeds plus a
+# few fresh random ones. A failing seed is printed with its minimized
+# schedule (replay it locally with `sim-replay <seed>`) and appended to
+# the corpus so it stays covered on every future run.
+cargo run -q --release -p prins-sim --bin sim-replay -- \
+    corpus tests/sim_seeds.txt --fresh 5 --append-failures

@@ -7,19 +7,36 @@
 //! * dirty-bitmap resync pushes a full image of each dirty block,
 //! * parity-log resync replays each dirty block's log chain from the
 //!   recorded first-missed sequence number.
+//!
+//! A dirty block can additionally be **uncertain**: a frame carrying a
+//! write to it was handed to the transport but its acknowledgement never
+//! came back, so the primary cannot know whether the replica applied it.
+//! Replaying the parity chain over an already-applied parity would XOR
+//! it in twice and silently corrupt the block (`P' ⊕ (A_old ⊕ P')`
+//! instead of `A_old`), so parity-log resync must fall back to a full
+//! image for uncertain blocks. Blocks that were never sent (routed
+//! around an offline replica) are *certain*: the chain replay is sound.
 
 use std::collections::BTreeMap;
 
 use prins_block::Lba;
 
+#[derive(Clone, Copy, Debug)]
+struct DirtyEntry {
+    first_missed: u64,
+    uncertain: bool,
+}
+
 /// The set of blocks one replica is missing writes for.
 ///
 /// Maps each dirty LBA to the sequence number of the *first* write to
 /// that block the replica missed: the replica's copy reflects the
-/// block's chain strictly before that sequence number.
+/// block's chain strictly before that sequence number — unless the
+/// block is [`uncertain`](Self::is_uncertain), in which case the
+/// replica's state within the chain is unknown.
 #[derive(Clone, Debug, Default)]
 pub struct DirtyMap {
-    blocks: BTreeMap<u64, u64>,
+    blocks: BTreeMap<u64, DirtyEntry>,
 }
 
 impl DirtyMap {
@@ -29,12 +46,34 @@ impl DirtyMap {
     }
 
     /// Records that the replica missed the write with sequence number
-    /// `seq` to `lba`. Keeps the earliest miss if already dirty.
+    /// `seq` to `lba` — the write was *never delivered* (skipped or
+    /// deferred). Keeps the earliest miss if already dirty; an existing
+    /// uncertain flag is preserved.
     pub fn mark(&mut self, lba: Lba, seq: u64) {
         self.blocks
             .entry(lba.index())
-            .and_modify(|s| *s = (*s).min(seq))
-            .or_insert(seq);
+            .and_modify(|e| e.first_missed = e.first_missed.min(seq))
+            .or_insert(DirtyEntry {
+                first_missed: seq,
+                uncertain: false,
+            });
+    }
+
+    /// Records a miss whose delivery status is unknown: the frame was
+    /// sent but its acknowledgement never arrived, so the replica may
+    /// or may not have applied it. Parity-log resync must not replay
+    /// the chain over such a block (see module docs).
+    pub fn mark_uncertain(&mut self, lba: Lba, seq: u64) {
+        self.blocks
+            .entry(lba.index())
+            .and_modify(|e| {
+                e.first_missed = e.first_missed.min(seq);
+                e.uncertain = true;
+            })
+            .or_insert(DirtyEntry {
+                first_missed: seq,
+                uncertain: true,
+            });
     }
 
     /// Whether `lba` has missed writes.
@@ -42,9 +81,15 @@ impl DirtyMap {
         self.blocks.contains_key(&lba.index())
     }
 
+    /// Whether `lba` is dirty with unknown replica-side state (a sent
+    /// write whose acknowledgement was lost).
+    pub fn is_uncertain(&self, lba: Lba) -> bool {
+        self.blocks.get(&lba.index()).is_some_and(|e| e.uncertain)
+    }
+
     /// The first missed sequence number for `lba`, if dirty.
     pub fn missed_from(&self, lba: Lba) -> Option<u64> {
-        self.blocks.get(&lba.index()).copied()
+        self.blocks.get(&lba.index()).map(|e| e.first_missed)
     }
 
     /// Clears one block (it has been resynced).
@@ -70,7 +115,9 @@ impl DirtyMap {
     /// Dirty blocks in ascending LBA order with their first-missed
     /// sequence numbers.
     pub fn iter(&self) -> impl Iterator<Item = (Lba, u64)> + '_ {
-        self.blocks.iter().map(|(&lba, &seq)| (Lba(lba), seq))
+        self.blocks
+            .iter()
+            .map(|(&lba, e)| (Lba(lba), e.first_missed))
     }
 
     /// Coalesced `[start, end)` runs of dirty LBAs — the compact
@@ -124,6 +171,35 @@ mod tests {
         d.mark(Lba(5), 2);
         let lbas: Vec<u64> = d.iter().map(|(lba, _)| lba.index()).collect();
         assert_eq!(lbas, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn uncertainty_is_sticky_and_per_block() {
+        let mut d = DirtyMap::new();
+        d.mark(Lba(1), 5);
+        assert!(!d.is_uncertain(Lba(1)));
+        // A later lost-ack send on the same block taints it...
+        d.mark_uncertain(Lba(1), 9);
+        assert!(d.is_uncertain(Lba(1)));
+        assert_eq!(d.missed_from(Lba(1)), Some(5));
+        // ...and further certain misses don't clean it.
+        d.mark(Lba(1), 11);
+        assert!(d.is_uncertain(Lba(1)));
+        // Other blocks are unaffected; clearing resets the flag.
+        d.mark(Lba(2), 6);
+        assert!(!d.is_uncertain(Lba(2)));
+        d.clear(Lba(1));
+        d.mark(Lba(1), 20);
+        assert!(!d.is_uncertain(Lba(1)));
+    }
+
+    #[test]
+    fn mark_uncertain_keeps_earliest_miss() {
+        let mut d = DirtyMap::new();
+        d.mark_uncertain(Lba(4), 8);
+        d.mark_uncertain(Lba(4), 3);
+        assert_eq!(d.missed_from(Lba(4)), Some(3));
+        assert!(d.is_uncertain(Lba(4)));
     }
 
     #[test]

@@ -278,7 +278,9 @@ impl<D: BlockDevice> ClusterGroup<D> {
                         r.foreground_bytes += payload.len() as u64;
                         r.outstanding.push_back((lba, seq));
                     }
-                    Err(_) => self.note_failure(idx, Some((lba, seq))),
+                    // The frame never left: the replica certainly did
+                    // not apply it.
+                    Err(_) => self.note_failure(idx, Some((lba, seq)), false),
                 },
                 Route::Defer => {
                     self.replicas[idx].deferred_writes += 1;
@@ -381,7 +383,10 @@ impl<D: BlockDevice> ClusterGroup<D> {
                 if matches!(e, ClusterError::Repl(ReplError::Net(_))) {
                     self.replicas[idx].stale_responses += 1;
                 }
-                self.note_failure(idx, Some((lba, seq)));
+                // The frame *was* sent; the replica may have applied it
+                // before the link died. Replaying its parity chain
+                // could double-XOR, so the block is uncertain.
+                self.note_failure(idx, Some((lba, seq)), true);
                 None
             }
         }
@@ -402,6 +407,15 @@ impl<D: BlockDevice> ClusterGroup<D> {
         // map before the plan is built from it.
         self.drain_replica(idx);
         self.transition(idx, ReplicaState::Resyncing)?;
+        // A rejoin opens a fresh response stream. Stray responses still
+        // queued from before the outage are noise (their writes are
+        // already booked as failed, their blocks marked uncertain), and
+        // a skip budget held for responses that were *lost* with the
+        // link — untagged acks make the two indistinguishable — would
+        // swallow one real resync ack per batch forever. Purge both.
+        let r = &mut self.replicas[idx];
+        while r.transport.recv_timeout(Duration::ZERO).is_ok() {}
+        r.stale_responses = 0;
         let plan = self.build_plan(idx, strategy);
         self.replicas[idx].resync = Some(plan);
         Ok(())
@@ -480,9 +494,9 @@ impl<D: BlockDevice> ClusterGroup<D> {
         // Collect the batch's acks; record per-frame progress so an
         // abort mid-batch leaves the dirty map accurate.
         let total = in_flight.len();
-        for (i, frame) in in_flight.into_iter().enumerate() {
+        for i in 0..total {
             match self.await_ack(idx) {
-                Ok(()) => match frame {
+                Ok(()) => match in_flight[i] {
                     ResyncFrame::Full(lba) => self.replicas[idx].dirty.clear(lba),
                     ResyncFrame::Parity(lba, seq, _) => {
                         // The replica's copy now reflects the chain
@@ -508,6 +522,19 @@ impl<D: BlockDevice> ClusterGroup<D> {
                         } else {
                             unconsumed - 1
                         };
+                    // Those frames may also have been *applied* — the
+                    // replica's position in each block's chain is now
+                    // unknown, so a later parity-log rejoin must not
+                    // replay over them (full image instead).
+                    for frame in &in_flight[i..] {
+                        let lba = match frame {
+                            ResyncFrame::Full(lba) | ResyncFrame::Parity(lba, _, _) => *lba,
+                        };
+                        let r = &mut self.replicas[idx];
+                        if let Some(from) = r.dirty.missed_from(lba) {
+                            r.dirty.mark_uncertain(lba, from);
+                        }
+                    }
                     self.abort_resync(idx);
                     return Err(e);
                 }
@@ -610,11 +637,17 @@ impl<D: BlockDevice> ClusterGroup<D> {
     }
 
     /// Books a send/ack failure: dirty marking, failure counting, and
-    /// the lifecycle transition it triggers.
-    fn note_failure(&mut self, idx: usize, write: Option<(Lba, u64)>) {
+    /// the lifecycle transition it triggers. `uncertain` says whether
+    /// the frame was handed to the transport (delivery unknown — see
+    /// [`DirtyMap::mark_uncertain`]) or never left the primary.
+    fn note_failure(&mut self, idx: usize, write: Option<(Lba, u64)>, uncertain: bool) {
         let r = &mut self.replicas[idx];
         if let Some((lba, seq)) = write {
-            r.dirty.mark(lba, seq);
+            if uncertain {
+                r.dirty.mark_uncertain(lba, seq);
+            } else {
+                r.dirty.mark(lba, seq);
+            }
         }
         r.consecutive_failures += 1;
         match r.state {
@@ -690,9 +723,12 @@ impl<D: BlockDevice> ClusterGroup<D> {
                 let log: &TrapLog = self.device.log();
                 for (lba, missed_from) in r.dirty.iter() {
                     // Delta replay needs every entry from the first
-                    // miss; a pruned log forces the full-image path for
-                    // this block.
-                    if log.pruned_through() >= missed_from {
+                    // miss *and* a known base: a pruned log or an
+                    // uncertain block (a sent write whose ack was lost —
+                    // the replica may already hold part of the chain,
+                    // and XORing it in again would corrupt the block)
+                    // forces the full-image path.
+                    if log.pruned_through() >= missed_from || r.dirty.is_uncertain(lba) {
                         queue.push_back(ResyncFrame::Full(lba));
                         pending_full.insert(lba.index());
                     } else {

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use prins_block::BlockDevice;
-use prins_net::Transport;
+use prins_net::{Clock, Transport, WallClock};
 use prins_repl::{AckPolicy, ReplError, ReplicationGroup, ReplicationMode};
 
 use crate::pipeline::PipelineConfig;
@@ -42,6 +42,7 @@ pub struct EngineBuilder {
     replicas: Vec<Box<dyn Transport>>,
     ack_policy: AckPolicy,
     config: PipelineConfig,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl EngineBuilder {
@@ -53,6 +54,7 @@ impl EngineBuilder {
             replicas: Vec::new(),
             ack_policy: AckPolicy::PerWrite,
             config: PipelineConfig::default(),
+            clock: None,
         }
     }
 
@@ -119,6 +121,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Injects the time source used for all latency accounting
+    /// (default: the OS monotonic clock). The simulation harness passes
+    /// a shared virtual clock so stats reflect simulated time.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Runs the pipeline without worker threads (default off): admitted
+    /// writes sit in the queues until [`PrinsEngine::step`] or a flush
+    /// drives encode → reorder → send → ack on the calling thread.
+    /// With [`clock`](Self::clock) and a simulated transport this makes
+    /// the whole replication path single-threaded and deterministic.
+    pub fn manual_stepping(mut self, enabled: bool) -> Self {
+        self.config.manual = enabled;
+        self
+    }
+
     fn resolved_config(&self) -> PipelineConfig {
         let mut config = self.config.clone();
         config.ack_window = match self.ack_policy {
@@ -140,6 +160,9 @@ impl EngineBuilder {
     /// Propagates sync failures; no engine is started in that case.
     pub fn build_with_initial_sync(self) -> Result<PrinsEngine, ReplError> {
         let config = self.resolved_config();
+        let clock = self
+            .clock
+            .unwrap_or_else(|| Arc::new(WallClock::new()) as Arc<dyn Clock>);
         let mut group = ReplicationGroup::new(self.mode, self.replicas)
             .with_ack_timeout(config.ack_timeout)
             .with_ack_policy(AckPolicy::Window(config.ack_window));
@@ -149,6 +172,7 @@ impl EngineBuilder {
             self.mode,
             group.into_transports(),
             config,
+            clock,
         ))
     }
 
@@ -156,7 +180,10 @@ impl EngineBuilder {
     /// hold a copy of the device, e.g. fresh all-zero volumes).
     pub fn build(self) -> PrinsEngine {
         let config = self.resolved_config();
-        PrinsEngine::start(self.device, self.mode, self.replicas, config)
+        let clock = self
+            .clock
+            .unwrap_or_else(|| Arc::new(WallClock::new()) as Arc<dyn Clock>);
+        PrinsEngine::start(self.device, self.mode, self.replicas, config, clock)
     }
 }
 

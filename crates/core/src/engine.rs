@@ -2,12 +2,11 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use prins_block::{BlockDevice, BlockError, Geometry, Lba, Result};
-use prins_net::Transport;
+use prins_net::{Clock, Transport};
 use prins_repl::{ReplicationMode, Replicator};
 
 use crate::pipeline::{Pipeline, PipelineConfig, Shared};
@@ -31,6 +30,7 @@ pub struct PrinsEngine {
     device: Arc<dyn BlockDevice>,
     shared: Arc<Shared>,
     pipeline: Pipeline,
+    clock: Arc<dyn Clock>,
     /// Per-LBA stripe locks: the old-image capture, the local write and
     /// the pipeline admission must be atomic per block, or two
     /// concurrent writers to one LBA would admit parities computed
@@ -45,16 +45,35 @@ impl PrinsEngine {
         mode: ReplicationMode,
         transports: Vec<Box<dyn Transport>>,
         config: PipelineConfig,
+        clock: Arc<dyn Clock>,
     ) -> Self {
         let shared = Arc::new(Shared::default());
         let replicator: Arc<dyn Replicator> = Arc::from(mode.replicator());
-        let pipeline = Pipeline::start(replicator, transports, Arc::clone(&shared), &config);
+        let pipeline = Pipeline::start(
+            replicator,
+            transports,
+            Arc::clone(&shared),
+            &config,
+            Arc::clone(&clock),
+        );
         Self {
             device,
             shared,
             pipeline,
+            clock,
             write_stripes: (0..64).map(|_| Mutex::new(())).collect(),
         }
+    }
+
+    /// Drives one pipeline round when the engine was built with
+    /// [`manual_stepping`](crate::EngineBuilder::manual_stepping):
+    /// encodes every admitted write and lets each sender lane transmit
+    /// and collect acknowledgements, all on the calling thread.
+    ///
+    /// Returns whether any work was performed; always `false` on a
+    /// threaded engine.
+    pub fn step(&self) -> bool {
+        self.pipeline.step()
     }
 
     /// Snapshot of the engine's counters.
@@ -171,15 +190,15 @@ impl BlockDevice for PrinsEngine {
         let _stripe = self.write_stripes[(lba.index() % 64) as usize].lock();
         // Forward step, part 1: capture the old image (the read a
         // RAID-4/5 small write performs anyway).
-        let t0 = Instant::now();
+        let t0 = self.clock.now_nanos();
         let mut old = self.geometry().block_size().zeroed();
         self.device.read_block(lba, &mut old)?;
-        let capture_nanos = t0.elapsed().as_nanos() as u64;
+        let capture_nanos = self.clock.now_nanos().saturating_sub(t0);
 
         // The local write itself.
-        let t1 = Instant::now();
+        let t1 = self.clock.now_nanos();
         self.device.write_block(lba, buf)?;
-        let write_nanos = t1.elapsed().as_nanos() as u64;
+        let write_nanos = self.clock.now_nanos().saturating_sub(t1);
 
         self.shared
             .overhead_nanos

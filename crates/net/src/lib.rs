@@ -17,7 +17,11 @@
 //! * [`TrafficMeter`] — atomic counters of messages, payload bytes, wire
 //!   bytes (payload + per-packet header overhead) and packets,
 //! * [`FaultTransport`] — a wrapper whose link a test harness can sever
-//!   and restore, for replica-outage experiments.
+//!   and restore, for replica-outage experiments,
+//! * [`Clock`] / [`SimNet`] — the determinism seam: an injectable time
+//!   source and a discrete-event simulated network with virtual time and
+//!   scripted faults (delay, drop, duplicate, reorder, link flap), used
+//!   by the `prins-sim` harness.
 //!
 //! # Example
 //!
@@ -36,17 +40,21 @@
 //! ```
 
 mod channel;
+mod clock;
 mod error;
 mod fault;
 mod link;
 mod meter;
+mod sim;
 mod tcp;
 mod transport;
 
 pub use channel::{channel_pair, ChannelTransport};
+pub use clock::{Clock, WallClock};
 pub use error::NetError;
 pub use fault::{FaultTransport, LinkHandle};
 pub use link::LinkModel;
 pub use meter::TrafficMeter;
+pub use sim::{Dir, MsgRecord, SimClock, SimLinkCtl, SimNet, SimTransport};
 pub use tcp::TcpTransport;
 pub use transport::Transport;

@@ -1,0 +1,202 @@
+//! Seed replay and corpus runner for the simulation fuzzer.
+//!
+//! ```text
+//! sim-replay <seed>                  replay one fuzz seed, print trace + verdict
+//! sim-replay scenario <name|all>     run named scenario(s)
+//! sim-replay corpus <file> [--fresh N] [--append-failures]
+//!                                    run every seed in <file> plus N fresh
+//!                                    random seeds; print failing seeds;
+//!                                    optionally append them to <file>
+//! ```
+//!
+//! Seeds parse as decimal or `0x`-prefixed hex. Exit code is non-zero
+//! if any seed or scenario fails.
+
+use std::fs;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use prins_sim::{fuzz_seed, run_scenario, run_seed, SCENARIOS};
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn replay_one(seed: u64) -> bool {
+    let report = run_seed(seed);
+    println!("{}", report.trace);
+    match report.verdict {
+        Ok(()) => {
+            println!("seed {seed:#x}: ok");
+            true
+        }
+        Err(_) => match fuzz_seed(seed) {
+            Err(failure) => {
+                println!("seed {seed:#x}: FAILED: {}", failure.message);
+                println!("minimized schedule ({} ops):", failure.minimized.len());
+                for op in &failure.minimized {
+                    println!("  {op:?}");
+                }
+                false
+            }
+            Ok(()) => {
+                println!("seed {seed:#x}: FAILED (not reproducible through fuzz_seed?)");
+                false
+            }
+        },
+    }
+}
+
+fn run_corpus(path: &str, fresh: usize, append_failures: bool) -> bool {
+    let mut seeds: Vec<u64> = Vec::new();
+    match fs::read_to_string(path) {
+        Ok(text) => {
+            for line in text.lines() {
+                let line = line.split('#').next().unwrap_or("").trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_seed(line) {
+                    Some(seed) => seeds.push(seed),
+                    None => eprintln!("corpus {path}: skipping unparsable line '{line}'"),
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("corpus {path}: {e}");
+            return false;
+        }
+    }
+    let corpus_len = seeds.len();
+    // Fresh seeds are the one place entropy is allowed: the whole point
+    // is that whatever they find is pinned by printing the seed.
+    let entropy = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    for i in 0..fresh {
+        seeds.push(
+            entropy
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+    }
+    let mut failures: Vec<u64> = Vec::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let origin = if i < corpus_len { "corpus" } else { "fresh" };
+        match fuzz_seed(seed) {
+            Ok(()) => println!("{origin} seed {seed:#x}: ok"),
+            Err(failure) => {
+                println!("{origin} seed {seed:#x}: FAILED: {}", failure.message);
+                println!("  minimized schedule ({} ops):", failure.minimized.len());
+                for op in &failure.minimized {
+                    println!("    {op:?}");
+                }
+                println!("  replay with: sim-replay {seed:#x}");
+                failures.push(seed);
+            }
+        }
+    }
+    if append_failures && !failures.is_empty() {
+        match fs::OpenOptions::new().append(true).open(path) {
+            Ok(mut f) => {
+                for seed in &failures {
+                    let _ = writeln!(f, "{seed:#x} # regression, auto-appended");
+                }
+                println!("appended {} failing seed(s) to {path}", failures.len());
+            }
+            Err(e) => eprintln!("could not append failures to {path}: {e}"),
+        }
+    }
+    println!(
+        "corpus run: {} seed(s) ({corpus_len} corpus + {fresh} fresh), {} failure(s)",
+        seeds.len(),
+        failures.len()
+    );
+    failures.is_empty()
+}
+
+fn run_scenarios(name: &str) -> bool {
+    if name == "all" {
+        let mut ok = true;
+        for (name, _) in SCENARIOS {
+            match run_scenario(name) {
+                Ok(()) => println!("scenario {name}: ok"),
+                Err(e) => {
+                    println!("scenario {name}: FAILED: {e}");
+                    ok = false;
+                }
+            }
+        }
+        ok
+    } else {
+        match run_scenario(name) {
+            Ok(()) => {
+                println!("scenario {name}: ok");
+                true
+            }
+            Err(e) => {
+                println!("scenario {name}: FAILED: {e}");
+                false
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ok = match args.first().map(String::as_str) {
+        Some("scenario") => match args.get(1) {
+            Some(name) => run_scenarios(name),
+            None => {
+                eprintln!("usage: sim-replay scenario <name|all>");
+                false
+            }
+        },
+        Some("corpus") => match args.get(1) {
+            Some(path) => {
+                let mut fresh = 0usize;
+                let mut append = false;
+                let mut it = args[2..].iter();
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--fresh" => {
+                            fresh = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                        }
+                        "--append-failures" => append = true,
+                        other => eprintln!("ignoring unknown flag '{other}'"),
+                    }
+                }
+                run_corpus(path, fresh, append)
+            }
+            None => {
+                eprintln!("usage: sim-replay corpus <file> [--fresh N] [--append-failures]");
+                false
+            }
+        },
+        Some(seed_str) => match parse_seed(seed_str) {
+            Some(seed) => replay_one(seed),
+            None => {
+                eprintln!("unparsable seed '{seed_str}'");
+                false
+            }
+        },
+        None => {
+            eprintln!(
+                "usage: sim-replay <seed> | sim-replay scenario <name|all> | \
+                 sim-replay corpus <file> [--fresh N] [--append-failures]"
+            );
+            false
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,324 @@
+//! Seeded scenario fuzzer: a `u64` seed deterministically expands into
+//! a workload plus fault schedule, runs against a [`ClusterWorld`] with
+//! the per-op and post-quiescence invariants, and — on failure — greedy
+//! chunk removal shrinks the schedule to a minimal reproducing trace.
+//!
+//! Same seed, same binary → byte-identical event trace and verdict, so
+//! a failing seed printed by CI replays exactly on a developer machine:
+//!
+//! ```text
+//! cargo run -p prins-sim --bin sim-replay -- 0xdeadbeef
+//! ```
+//!
+//! Generation is constrained to schedules the protocol *claims* to
+//! survive:
+//!
+//! * Duplication and reordering are injected on the ack direction only
+//!   — duplicating a PRINS data frame double-applies a parity; no
+//!   storage protocol survives a network that rewrites payload
+//!   streams.
+//! * Silent *data*-frame drops are generated only for `ack_window == 1`
+//!   schedules without duplicated acks. The harness itself proved the
+//!   limitation (seeds minimize to three ops): acks carry no frame
+//!   identity, so inside an optimistic window — or against a stray
+//!   surplus ack — the FIFO credit stream shifts one ahead and the
+//!   *next* ack silently credits the lost write. The deployed fault
+//!   model is a reliable session (iSCSI over TCP) where loss surfaces
+//!   as disconnection; severs model that and are generated freely, as
+//!   are ack drops (the dropped ack's write was applied, so
+//!   misattribution only shuffles credit among applied writes and the
+//!   final timeout lands safely in the uncertain-dirty set).
+
+use std::time::Duration;
+
+use prins_cluster::{ClusterConfig, ReplicaState, ResyncStrategy};
+use prins_net::Dir;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::world::ClusterWorld;
+
+/// One step of a generated schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimOp {
+    /// Foreground write of a deterministic block derived from
+    /// `(lba, tag)`.
+    Write {
+        /// Target block.
+        lba: u64,
+        /// Content discriminator.
+        tag: u8,
+    },
+    /// Cut a replica's link.
+    Sever {
+        /// Replica index.
+        link: usize,
+    },
+    /// Bring a replica's link back.
+    Restore {
+        /// Replica index.
+        link: usize,
+    },
+    /// Silently drop the next `n` data frames toward a replica.
+    DropData {
+        /// Replica index.
+        link: usize,
+        /// Frames to drop.
+        n: u32,
+    },
+    /// Silently drop the next `n` acknowledgements from a replica.
+    DropAcks {
+        /// Replica index.
+        link: usize,
+        /// Frames to drop.
+        n: u32,
+    },
+    /// Duplicate the next acknowledgement from a replica.
+    DupAck {
+        /// Replica index.
+        link: usize,
+    },
+    /// Reorder the next two acknowledgements from a replica.
+    ReorderAcks {
+        /// Replica index.
+        link: usize,
+    },
+    /// Collect all in-flight acknowledgements.
+    Drain,
+    /// Attempt a parity-log rejoin plus a bounded resync step.
+    Rejoin {
+        /// Replica index.
+        link: usize,
+    },
+    /// Prune the primary's parity log up to the current sequence.
+    Prune,
+}
+
+/// A fully expanded fuzz case: topology plus schedule.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// Replica count (2 or 3).
+    pub replicas: usize,
+    /// Blocks per device.
+    pub blocks: u64,
+    /// Foreground ack window.
+    pub ack_window: usize,
+    /// The schedule.
+    pub ops: Vec<SimOp>,
+}
+
+/// Outcome of one case: the verdict plus the full deterministic event
+/// trace (network trace + verdict line).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// `Ok` or the first violated invariant.
+    pub verdict: Result<(), String>,
+    /// Byte-identical across runs of the same case.
+    pub trace: String,
+}
+
+/// A failing seed with its shrunk schedule.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// The violated invariant.
+    pub message: String,
+    /// Greedily minimized schedule that still reproduces a failure.
+    pub minimized: Vec<SimOp>,
+}
+
+/// Expands `seed` into a case. Deterministic: the schedule depends on
+/// nothing but the seed.
+pub fn generate(seed: u64) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let replicas = rng.random_range(2usize..=3);
+    let blocks = 8u64;
+    let ack_window = [1usize, 2, 4][rng.random_range(0usize..3)];
+    // Silent data loss is only attributable with a closed-loop window
+    // and a surplus-free ack stream (see module docs): such schedules
+    // drop data frames but never duplicate acks; all others vice versa.
+    let data_drops = ack_window == 1 && rng.random_bool(0.5);
+    let n_ops = rng.random_range(24usize..=64);
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let link = rng.random_range(0usize..replicas);
+        let roll = rng.random_range(0u32..100);
+        ops.push(match roll {
+            0..=54 => SimOp::Write {
+                lba: rng.random_range(0..blocks),
+                tag: rng.random_range(0u32..=255) as u8,
+            },
+            55..=62 => SimOp::Sever { link },
+            63..=72 => SimOp::Restore { link },
+            73..=78 => {
+                let n = rng.random_range(1u32..=2);
+                if data_drops {
+                    SimOp::DropData { link, n }
+                } else {
+                    SimOp::DropAcks { link, n }
+                }
+            }
+            79..=84 => SimOp::DropAcks {
+                link,
+                n: rng.random_range(1u32..=2),
+            },
+            85..=88 => {
+                if data_drops {
+                    SimOp::ReorderAcks { link }
+                } else {
+                    SimOp::DupAck { link }
+                }
+            }
+            89..=91 => SimOp::ReorderAcks { link },
+            92..=94 => SimOp::Drain,
+            95..=97 => SimOp::Rejoin { link },
+            _ => SimOp::Prune,
+        });
+    }
+    FuzzCase {
+        seed,
+        replicas,
+        blocks,
+        ack_window,
+        ops,
+    }
+}
+
+fn apply(w: &mut ClusterWorld, op: SimOp, replicas: usize) {
+    match op {
+        SimOp::Write { lba, tag } => {
+            let _ = w.write_tag(lba, tag);
+        }
+        SimOp::Sever { link } => {
+            let ctl = w.ctl(link % replicas);
+            if ctl.is_up() {
+                ctl.sever();
+            }
+        }
+        SimOp::Restore { link } => {
+            let ctl = w.ctl(link % replicas);
+            if !ctl.is_up() {
+                ctl.restore();
+            }
+        }
+        SimOp::DropData { link, n } => w.ctl(link % replicas).drop_next(Dir::AtoB, n),
+        SimOp::DropAcks { link, n } => w.ctl(link % replicas).drop_next(Dir::BtoA, n),
+        SimOp::DupAck { link } => w.ctl(link % replicas).dup_next(Dir::BtoA, 1),
+        SimOp::ReorderAcks { link } => w.ctl(link % replicas).reorder_next(Dir::BtoA),
+        SimOp::Drain => {
+            w.cluster_mut().drain();
+        }
+        SimOp::Rejoin { link } => {
+            let r = link % replicas;
+            if w.cluster().state(r) != ReplicaState::Online && w.ctl(r).is_up() {
+                let _ = w.cluster_mut().rejoin(r, ResyncStrategy::ParityLog);
+                let _ = w.cluster_mut().resync_step(r, 2);
+            }
+        }
+        SimOp::Prune => {
+            let log = w.cluster().log();
+            log.prune(log.current_seq());
+        }
+    }
+}
+
+/// Runs one case to quiescence: the mid-run historical invariant after
+/// every op, then heal + resync + the full invariant set.
+pub fn run_case(case: &FuzzCase) -> RunReport {
+    let config = ClusterConfig {
+        ack_timeout: Duration::from_millis(50),
+        write_quorum: 0,
+        offline_after: 2,
+        ack_window: case.ack_window,
+        ..Default::default()
+    };
+    let mut w = ClusterWorld::new(
+        case.blocks,
+        case.replicas,
+        config,
+        Duration::from_micros(200),
+    );
+    let mut verdict = Ok(());
+    for (i, &op) in case.ops.iter().enumerate() {
+        apply(&mut w, op, case.replicas);
+        if let Err(e) = w.check_historical() {
+            verdict = Err(format!("after op {i} ({op:?}): {e}"));
+            break;
+        }
+    }
+    if verdict.is_ok() {
+        verdict = w
+            .quiesce(ResyncStrategy::ParityLog)
+            .and_then(|()| w.check_invariants());
+    }
+    let mut trace = w.net().trace().join("\n");
+    trace.push_str("\nverdict: ");
+    match &verdict {
+        Ok(()) => trace.push_str("ok"),
+        Err(e) => trace.push_str(e),
+    }
+    RunReport { verdict, trace }
+}
+
+/// Expands and runs one seed.
+pub fn run_seed(seed: u64) -> RunReport {
+    run_case(&generate(seed))
+}
+
+/// Greedy chunk-removal shrink: repeatedly delete op ranges that keep
+/// the case failing, halving the chunk size down to single ops.
+pub fn minimize(case: &FuzzCase) -> FuzzCase {
+    let still_fails = |ops: &[SimOp]| {
+        let candidate = FuzzCase {
+            ops: ops.to_vec(),
+            ..case.clone()
+        };
+        run_case(&candidate).verdict.is_err()
+    };
+    let mut ops = case.ops.clone();
+    let mut chunk = (ops.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < ops.len() {
+            let mut candidate = ops.clone();
+            candidate.drain(i..(i + chunk).min(candidate.len()));
+            if still_fails(&candidate) {
+                ops = candidate;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    FuzzCase {
+        ops,
+        ..case.clone()
+    }
+}
+
+/// Runs `seed`; on failure, shrinks the schedule and reports it.
+///
+/// # Errors
+///
+/// The violated invariant plus the minimized schedule.
+pub fn fuzz_seed(seed: u64) -> Result<(), FuzzFailure> {
+    let case = generate(seed);
+    match run_case(&case).verdict {
+        Ok(()) => Ok(()),
+        Err(message) => {
+            let minimized = minimize(&case);
+            let message = run_case(&minimized).verdict.err().unwrap_or(message);
+            Err(FuzzFailure {
+                seed,
+                message,
+                minimized: minimized.ops,
+            })
+        }
+    }
+}

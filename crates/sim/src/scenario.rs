@@ -1,0 +1,322 @@
+//! Named fault scenarios: scripted schedules over the simulation
+//! worlds, each ending in quiescence and the full invariant set.
+//!
+//! Every scenario is a plain function returning `Ok(())` or a
+//! description of the violated invariant; the [`SCENARIOS`] table maps
+//! names to functions for the test suite and the `sim-replay` binary.
+
+use std::time::Duration;
+
+use prins_cluster::{ClusterConfig, ClusterError, ReplicaState, ResyncStrategy};
+use prins_net::Dir;
+
+use crate::world::{ClusterWorld, EngineWorld, EngineWorldConfig};
+
+fn cluster_config(ack_window: usize, write_quorum: usize) -> ClusterConfig {
+    ClusterConfig {
+        // Virtual milliseconds: generous against µs link delays, free
+        // against the wall clock.
+        ack_timeout: Duration::from_millis(50),
+        write_quorum,
+        offline_after: 2,
+        ack_window,
+        ..Default::default()
+    }
+}
+
+/// A link repeatedly drops and recovers while writes keep flowing; the
+/// flapping replica degrades, misses writes, and must delta-resync back
+/// to bit-identity.
+pub fn link_flap() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
+    let mut tag = 0u8;
+    for flap in 0..4 {
+        for i in 0..6 {
+            tag = tag.wrapping_add(1);
+            w.write_tag((flap * 3 + i) % 16, tag).map_err(op_err)?;
+        }
+        w.ctl(0).sever();
+        for i in 0..6 {
+            tag = tag.wrapping_add(1);
+            w.write_tag((flap * 5 + i) % 16, tag).map_err(op_err)?;
+        }
+        w.check_historical()?;
+        w.ctl(0).restore();
+        w.quiesce(ResyncStrategy::ParityLog)?;
+        w.check_invariants()?;
+    }
+    Ok(())
+}
+
+/// The replica's link dies *while a parity-log resync is replaying*:
+/// already-sent but unacknowledged resync frames must be re-marked
+/// uncertain, and the second resync must fall back to full images for
+/// them instead of double-applying parity chains.
+pub fn crash_mid_resync() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
+    for lba in 0..8 {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    // Miss a batch of writes while offline.
+    w.ctl(0).sever();
+    for lba in 0..8 {
+        w.write_tag(lba, 2).map_err(op_err)?;
+        w.write_tag(lba, 3).map_err(op_err)?;
+    }
+    w.ctl(0).restore();
+    // Start a resync, then kill the link partway: ack collection for
+    // the in-flight batch fails and aborts the resync.
+    w.cluster_mut()
+        .rejoin(0, ResyncStrategy::ParityLog)
+        .map_err(op_err)?;
+    let _ = w.cluster_mut().resync_step(0, 3);
+    w.ctl(0).sever();
+    let _ = w.cluster_mut().resync_step(0, 3);
+    if w.cluster().state(0) == ReplicaState::Online {
+        return Err("resync reported completion across a dead link".into());
+    }
+    w.check_historical()?;
+    w.ctl(0).restore();
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()
+}
+
+/// Acknowledgements come back out of order (and one pair of
+/// distinct-LBA data frames swaps on the wire); per-LBA apply order and
+/// final bit-identity must survive.
+pub fn reorder() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(4, 0), Duration::from_micros(200));
+    w.ctl(0).reorder_next(Dir::BtoA);
+    for lba in 0..8 {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    w.cluster_mut().drain();
+    // Swap two data frames going to distinct blocks: they commute.
+    w.ctl(0).reorder_next(Dir::AtoB);
+    w.write_tag(10, 2).map_err(op_err)?;
+    w.write_tag(11, 2).map_err(op_err)?;
+    w.cluster_mut().drain();
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()
+}
+
+/// An acknowledgement is duplicated on the wire. The ack-stream
+/// alignment logic must absorb the stray ack without crediting a write
+/// that was never applied.
+pub fn dup() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(2, 0), Duration::from_micros(200));
+    w.ctl(0).dup_next(Dir::BtoA, 1);
+    for lba in 0..8 {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    w.cluster_mut().drain();
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()
+}
+
+/// A high-latency, per-byte-priced WAN link: correctness is unchanged
+/// and the virtual clock (not the wall clock) pays for the distance.
+pub fn slow_wan() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(4, 0), Duration::from_micros(200));
+    w.ctl(0).set_delay(
+        Dir::AtoB,
+        Duration::from_millis(10),
+        Duration::from_millis(1),
+    );
+    w.ctl(0)
+        .set_delay(Dir::BtoA, Duration::from_millis(10), Duration::ZERO);
+    for round in 0..4u8 {
+        for lba in 0..8 {
+            w.write_tag(lba, round + 1).map_err(op_err)?;
+        }
+    }
+    w.cluster_mut().drain();
+    let now = w.net().clock().now();
+    if now < 20_000_000 {
+        return Err(format!("WAN round-trips cost only {now} virtual ns"));
+    }
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()
+}
+
+/// Every replica link dies under a `write_quorum` of 2: writes must
+/// fail with `QuorumLost` (while still landing on the primary), and the
+/// cluster must recover to bit-identity once links return.
+pub fn quorum_loss() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(1, 2), Duration::from_micros(200));
+    for lba in 0..4 {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    w.ctl(0).sever();
+    w.ctl(1).sever();
+    let mut quorum_losses = 0;
+    for lba in 0..4 {
+        match w.write_tag(lba, 2) {
+            Err(ClusterError::QuorumLost { .. }) => quorum_losses += 1,
+            Ok(_) => {}
+            Err(e) => return Err(format!("unexpected write error: {e}")),
+        }
+    }
+    if quorum_losses == 0 {
+        return Err("no write reported quorum loss with every link dead".into());
+    }
+    w.check_historical()?;
+    w.quiesce(ResyncStrategy::DirtyBitmap)?;
+    w.check_invariants()
+}
+
+/// Engine pipeline: XOR-fold coalescing under load, then a link dies
+/// mid-stream ("crash"). The flush must report the failure, surviving
+/// replicas must be bit-identical, and the dead replica must hold a
+/// historical prefix — never a torn or double-applied state.
+pub fn fold_then_crash() -> Result<(), String> {
+    let mut w = EngineWorld::new(EngineWorldConfig {
+        coalesce: true,
+        ack_window: 8,
+        blocks: 8,
+        ..Default::default()
+    });
+    // Hot blocks: plenty of same-LBA folds while frames queue.
+    for round in 0..10u8 {
+        for lba in 0..4 {
+            w.write_tag(lba, round)?;
+        }
+    }
+    w.step();
+    w.ctl(0).sever();
+    for round in 10..20u8 {
+        for lba in 0..4 {
+            w.write_tag(lba, round)?;
+        }
+    }
+    if w.flush().is_ok() {
+        return Err("flush succeeded across a severed link".into());
+    }
+    w.check_historical()?;
+    w.check_order()?;
+    w.check_conservation()?;
+    if w.engine().stats().coalesced_writes == 0 {
+        return Err("workload produced no coalesced writes".into());
+    }
+    Ok(())
+}
+
+/// The primary prunes its parity log past a lagging replica's first
+/// miss; a parity-log rejoin must detect the gap and fall back to full
+/// block images instead of replaying a truncated chain.
+pub fn prune_then_rejoin() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
+    for lba in 0..8 {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    w.ctl(0).sever();
+    for lba in 0..8 {
+        w.write_tag(lba, 2).map_err(op_err)?;
+    }
+    // Prune the whole log: the replica's chain suffix is gone.
+    let log = w.cluster().log();
+    log.prune(log.current_seq());
+    w.ctl(0).restore();
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()?;
+    let resync_bytes = w.cluster().status(0).resync_bytes;
+    if resync_bytes == 0 {
+        return Err("pruned-log rejoin shipped no resync bytes".into());
+    }
+    Ok(())
+}
+
+/// Engine pipeline: `flush()` is called while a replica link is down.
+/// The barrier must complete (not hang), report the lane failure, and
+/// leave the surviving replica bit-identical after a second, clean
+/// flush.
+pub fn flush_during_link_failure() -> Result<(), String> {
+    let mut w = EngineWorld::new(EngineWorldConfig {
+        ack_window: 4,
+        ..Default::default()
+    });
+    for lba in 0..8 {
+        w.write_tag(lba, 1)?;
+    }
+    w.flush()?;
+    w.check_identity()?;
+    w.ctl(0).sever();
+    for lba in 0..8 {
+        w.write_tag(lba, 2)?;
+    }
+    if w.flush().is_ok() {
+        return Err("flush succeeded across a severed link".into());
+    }
+    w.check_historical()?;
+    w.check_order()?;
+    w.check_conservation()?;
+    // The other replica kept receiving: a fresh write + flush round
+    // must still fail (lane 0 is dead for good) but replica 1 tracks.
+    w.write_tag(3, 3)?;
+    let _ = w.flush();
+    w.check_historical()
+}
+
+/// A data frame is silently dropped by the network (the sender's
+/// `send()` succeeds). The lost acknowledgement times out, the block is
+/// marked *uncertain*-dirty, and the delta resync must ship a full
+/// image — a parity replay could not know whether the frame arrived.
+pub fn drop_data_frame() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
+    w.write_tag(5, 1).map_err(op_err)?;
+    w.ctl(0).drop_next(Dir::AtoB, 1);
+    let _ = w.write_tag(5, 2); // ack times out; replica 0 degrades
+    w.check_historical()?;
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()
+}
+
+/// The mirror image of [`drop_data_frame`]: the frame arrives and is
+/// applied, but its *acknowledgement* is dropped. The primary cannot
+/// distinguish the two cases; replaying the parity chain here would XOR
+/// the parity in twice. The uncertain-dirty fallback must keep the
+/// replica on a historical state.
+pub fn lost_ack_resync() -> Result<(), String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
+    w.write_tag(5, 1).map_err(op_err)?;
+    w.ctl(0).drop_next(Dir::BtoA, 1);
+    let _ = w.write_tag(5, 2); // applied on the replica, ack lost
+    w.check_historical()?;
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()
+}
+
+fn op_err(e: impl std::fmt::Display) -> String {
+    format!("unexpected operation failure: {e}")
+}
+
+/// A named scenario: a zero-argument run returning `Ok` or the
+/// violated invariant.
+pub type ScenarioFn = fn() -> Result<(), String>;
+
+/// Every named scenario, in a stable order.
+pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
+    ("link_flap", link_flap),
+    ("crash_mid_resync", crash_mid_resync),
+    ("reorder", reorder),
+    ("dup", dup),
+    ("slow_wan", slow_wan),
+    ("quorum_loss", quorum_loss),
+    ("fold_then_crash", fold_then_crash),
+    ("prune_then_rejoin", prune_then_rejoin),
+    ("flush_during_link_failure", flush_during_link_failure),
+    ("drop_data_frame", drop_data_frame),
+    ("lost_ack_resync", lost_ack_resync),
+];
+
+/// Runs one scenario by name.
+///
+/// # Errors
+///
+/// The invariant violation, or an unknown-name error.
+pub fn run_scenario(name: &str) -> Result<(), String> {
+    match SCENARIOS.iter().find(|(n, _)| *n == name) {
+        Some((_, f)) => f(),
+        None => Err(format!("unknown scenario '{name}'")),
+    }
+}

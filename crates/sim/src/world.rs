@@ -1,0 +1,578 @@
+//! Simulation worlds: the *real* engine and cluster code wired to a
+//! [`SimNet`], plus the invariant checkers run against them.
+//!
+//! A world owns the primary (a [`ClusterGroup`] or a stepped
+//! [`PrinsEngine`]), one simulated link per replica with an
+//! apply-and-acknowledge actor on the far side, and an oracle: the
+//! per-LBA history of every content the primary ever gave a block.
+//! Replicas may lag the primary, but at every instant each replica
+//! block must hold *some* historical state — a stale-base XOR or a
+//! double-applied parity produces a block that never existed on the
+//! primary, which the oracle catches immediately.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
+use prins_cluster::{
+    ClusterConfig, ClusterError, ClusterGroup, ReplicaState, ResyncStrategy, WriteOutcome,
+};
+use prins_core::{EngineBuilder, PrinsEngine};
+use prins_net::{SimLinkCtl, SimNet, SimTransport, Transport};
+use prins_repl::{AckPolicy, BatchFrame, Payload, ReplicaApplier, ACK, NAK};
+
+/// FNV-1a over a block image — the oracle's content fingerprint.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-LBA history of primary content hashes, oldest first.
+#[derive(Debug, Default)]
+pub struct History {
+    states: BTreeMap<u64, Vec<u64>>,
+}
+
+impl History {
+    fn seed(blocks: u64, block_size: usize) -> Self {
+        let zero = content_hash(&vec![0u8; block_size]);
+        Self {
+            states: (0..blocks).map(|lba| (lba, vec![zero])).collect(),
+        }
+    }
+
+    fn record(&mut self, lba: u64, hash: u64) {
+        let chain = self.states.entry(lba).or_default();
+        if chain.last() != Some(&hash) {
+            chain.push(hash);
+        }
+    }
+
+    fn contains(&self, lba: u64, hash: u64) -> bool {
+        self.states
+            .get(&lba)
+            .is_some_and(|chain| chain.contains(&hash))
+    }
+}
+
+/// Builds one replica behind a fresh [`SimNet`] link: a zeroed device
+/// and an actor that applies every delivered frame and acknowledges it.
+fn spawn_replica(
+    net: &SimNet,
+    idx: usize,
+    block_size: BlockSize,
+    blocks: u64,
+    delay: Duration,
+) -> (SimTransport, SimLinkCtl, Arc<MemDevice>, usize) {
+    let (a, b, ctl) = net.add_link(&format!("replica{idx}"), delay);
+    let device = Arc::new(MemDevice::new(block_size, blocks));
+    let dev = Arc::clone(&device);
+    let tr = b.clone();
+    let replica_ep = b.endpoint_index();
+    net.set_actor(
+        &b,
+        Box::new(move || {
+            let mut applier = ReplicaApplier::new(&*dev);
+            while let Ok(Some(frame)) = tr.try_recv() {
+                let ok = applier.apply(&frame).is_ok();
+                let _ = tr.send(&[if ok { ACK } else { NAK }]);
+            }
+        }),
+    );
+    (a, ctl, device, replica_ep)
+}
+
+/// Extracts the LBAs a wire frame writes to (batch frames recurse).
+fn frame_lbas(bytes: &[u8]) -> Vec<u64> {
+    if BatchFrame::is_batch(bytes) {
+        match BatchFrame::from_bytes(bytes) {
+            Ok(frame) => frame
+                .payloads
+                .iter()
+                .flat_map(|inner| frame_lbas(inner))
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    } else {
+        match Payload::from_bytes(bytes) {
+            Ok(p) => vec![p.lba.index()],
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+/// Per-LBA delivery-order + no-duplicate-delivery check over the
+/// network's message log, for the given replica-side endpoints.
+fn check_delivery_order(net: &SimNet, replica_eps: &[usize]) -> Result<(), String> {
+    let msgs = net.message_log();
+    let deliveries = net.delivery_log();
+    for &ep in replica_eps {
+        let mut delivered: BTreeSet<u64> = BTreeSet::new();
+        let mut last_for_lba: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(_, id) in deliveries.iter().filter(|&&(t, _)| t == ep) {
+            let msg = &msgs[id as usize];
+            if !delivered.insert(id) {
+                return Err(format!(
+                    "duplicate delivery of data frame m{id} to endpoint {ep}"
+                ));
+            }
+            for lba in frame_lbas(&msg.payload) {
+                if let Some(&last) = last_for_lba.get(&lba) {
+                    if id < last {
+                        return Err(format!(
+                            "per-LBA apply order violated at endpoint {ep}: \
+                             m{id} (lba {lba}) delivered after m{last}"
+                        ));
+                    }
+                }
+                last_for_lba.insert(lba, id);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks every replica block holds some historical primary state.
+fn check_historical(
+    history: &History,
+    blocks: u64,
+    replica_devs: &[Arc<MemDevice>],
+) -> Result<(), String> {
+    for (idx, dev) in replica_devs.iter().enumerate() {
+        for lba in 0..blocks {
+            let content = dev
+                .read_block_vec(Lba(lba))
+                .map_err(|e| format!("replica {idx} read lba {lba}: {e}"))?;
+            let hash = content_hash(&content);
+            if !history.contains(lba, hash) {
+                return Err(format!(
+                    "replica {idx} lba {lba} holds a state the primary never had \
+                     (hash {hash:#018x}) — stale-base XOR or double-applied parity"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_identity(
+    primary: &dyn BlockDevice,
+    blocks: u64,
+    replica_devs: &[Arc<MemDevice>],
+) -> Result<(), String> {
+    for (idx, dev) in replica_devs.iter().enumerate() {
+        for lba in 0..blocks {
+            let p = primary
+                .read_block_vec(Lba(lba))
+                .map_err(|e| format!("primary read lba {lba}: {e}"))?;
+            let r = dev
+                .read_block_vec(Lba(lba))
+                .map_err(|e| format!("replica {idx} read lba {lba}: {e}"))?;
+            if p != r {
+                return Err(format!(
+                    "replica {idx} lba {lba} differs from primary at quiescence"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A [`ClusterGroup`] over simulated links: degraded writes, resync and
+/// the full invariant set, all in virtual time.
+pub struct ClusterWorld {
+    net: SimNet,
+    cluster: ClusterGroup<MemDevice>,
+    ctls: Vec<SimLinkCtl>,
+    primary_ends: Vec<SimTransport>,
+    replica_devs: Vec<Arc<MemDevice>>,
+    replica_eps: Vec<usize>,
+    history: History,
+    blocks: u64,
+    block_size: usize,
+}
+
+impl ClusterWorld {
+    /// A fresh world: zeroed primary and replicas, all links up, no
+    /// faults scheduled.
+    pub fn new(blocks: u64, replicas: usize, config: ClusterConfig, delay: Duration) -> Self {
+        let net = SimNet::new();
+        let block_size = BlockSize::kb4();
+        let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+        let mut ctls = Vec::new();
+        let mut primary_ends = Vec::new();
+        let mut replica_devs = Vec::new();
+        let mut replica_eps = Vec::new();
+        for idx in 0..replicas {
+            let (a, ctl, dev, ep) = spawn_replica(&net, idx, block_size, blocks, delay);
+            primary_ends.push(a.clone());
+            transports.push(Box::new(a));
+            ctls.push(ctl);
+            replica_devs.push(dev);
+            replica_eps.push(ep);
+        }
+        let cluster = ClusterGroup::new(MemDevice::new(block_size, blocks), config, transports);
+        Self {
+            net,
+            cluster,
+            ctls,
+            primary_ends,
+            replica_devs,
+            replica_eps,
+            history: History::seed(blocks, block_size.bytes()),
+            blocks,
+            block_size: block_size.bytes(),
+        }
+    }
+
+    /// The simulated network (trace, clock, message log).
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Fault controls for replica `idx`'s link.
+    pub fn ctl(&self, idx: usize) -> &SimLinkCtl {
+        &self.ctls[idx]
+    }
+
+    /// The cluster under test.
+    pub fn cluster(&self) -> &ClusterGroup<MemDevice> {
+        &self.cluster
+    }
+
+    /// Mutable access to the cluster under test.
+    pub fn cluster_mut(&mut self) -> &mut ClusterGroup<MemDevice> {
+        &mut self.cluster
+    }
+
+    /// Replica `idx`'s backing device.
+    pub fn replica_dev(&self, idx: usize) -> &Arc<MemDevice> {
+        &self.replica_devs[idx]
+    }
+
+    /// Number of blocks per device.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Writes `data` through the cluster, recording the new content in
+    /// the oracle (also on quorum loss — the primary applied it).
+    pub fn write(&mut self, lba: u64, data: &[u8]) -> Result<WriteOutcome, ClusterError> {
+        let res = self.cluster.write(Lba(lba), data);
+        match &res {
+            Ok(_) | Err(ClusterError::QuorumLost { .. }) => {
+                self.history.record(lba, content_hash(data));
+            }
+            Err(_) => {}
+        }
+        res
+    }
+
+    /// Writes a deterministic sparse block derived from `(lba, tag)` —
+    /// a few header bytes over zeros, so PRINS parities stay small.
+    pub fn write_tag(&mut self, lba: u64, tag: u8) -> Result<WriteOutcome, ClusterError> {
+        let mut data = vec![0u8; self.block_size];
+        data[..8].copy_from_slice(&lba.to_le_bytes());
+        data[8] = tag;
+        data[9] = tag.wrapping_mul(31).wrapping_add(7);
+        self.write(lba, &data)
+    }
+
+    /// Heals every link, drains in-flight work, and resyncs every
+    /// non-online replica with `strategy` until the cluster is fully
+    /// online (bounded retries).
+    ///
+    /// # Errors
+    ///
+    /// If a replica cannot be brought back online.
+    pub fn quiesce(&mut self, strategy: ResyncStrategy) -> Result<(), String> {
+        for ctl in &self.ctls {
+            ctl.clear_faults();
+            if !ctl.is_up() {
+                ctl.restore();
+            }
+        }
+        self.net.run_until_idle();
+        self.cluster.drain();
+        for idx in 0..self.cluster.replica_count() {
+            let mut attempts = 0;
+            let mut last_err = String::new();
+            while self.cluster.state(idx) != ReplicaState::Online {
+                attempts += 1;
+                if attempts > 8 {
+                    return Err(format!(
+                        "replica {idx} stuck {:?} after {attempts} rejoin attempts \
+                         (last error: {last_err})",
+                        self.cluster.state(idx)
+                    ));
+                }
+                if matches!(
+                    self.cluster.state(idx),
+                    ReplicaState::Offline | ReplicaState::Lagging
+                ) {
+                    if let Err(e) = self.cluster.rejoin(idx, strategy) {
+                        last_err = e.to_string();
+                    }
+                }
+                if self.cluster.state(idx) == ReplicaState::Resyncing {
+                    if let Err(e) = self.cluster.resync_to_completion(idx, 4) {
+                        last_err = e.to_string();
+                    }
+                }
+            }
+        }
+        self.cluster.drain();
+        self.net.run_until_idle();
+        Ok(())
+    }
+
+    /// Cheap mid-run invariant: every replica block is a historical
+    /// primary state (corruption shows up here before quiescence).
+    pub fn check_historical(&self) -> Result<(), String> {
+        check_historical(&self.history, self.blocks, &self.replica_devs)
+    }
+
+    /// The full post-quiescence invariant set: every replica online
+    /// with an empty dirty map, bit-identical to the primary, holding
+    /// only historical states, with per-LBA delivery order intact and
+    /// the cluster's byte accounting equal to the wire meters.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for idx in 0..self.cluster.replica_count() {
+            let status = self.cluster.status(idx);
+            if status.state != ReplicaState::Online {
+                return Err(format!("replica {idx} not online: {:?}", status.state));
+            }
+            if status.dirty_blocks != 0 {
+                return Err(format!(
+                    "replica {idx} still dirty at quiescence: {} blocks",
+                    status.dirty_blocks
+                ));
+            }
+        }
+        check_identity(self.cluster.device(), self.blocks, &self.replica_devs)?;
+        self.check_historical()?;
+        check_delivery_order(&self.net, &self.replica_eps)?;
+        self.check_conservation()
+    }
+
+    /// Byte conservation: what the cluster booked as sent (foreground +
+    /// resync) must equal what actually hit each wire.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for idx in 0..self.cluster.replica_count() {
+            let status = self.cluster.status(idx);
+            let sent = self.primary_ends[idx].meter().payload_bytes_sent();
+            let booked = status.foreground_bytes + status.resync_bytes;
+            if sent != booked {
+                return Err(format!(
+                    "replica {idx} byte accounting: wire saw {sent}, cluster booked {booked}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ClusterWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterWorld")
+            .field("blocks", &self.blocks)
+            .field("replicas", &self.replica_devs.len())
+            .field("net", &self.net)
+            .finish()
+    }
+}
+
+/// Configuration for [`EngineWorld`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineWorldConfig {
+    /// Replica count.
+    pub replicas: usize,
+    /// Blocks per device.
+    pub blocks: u64,
+    /// Enable XOR-fold coalescing.
+    pub coalesce: bool,
+    /// Frames batched per wire message (1 = off).
+    pub batch_frames: usize,
+    /// In-flight frames allowed per lane.
+    pub ack_window: usize,
+    /// Symmetric per-frame link delay (virtual).
+    pub delay: Duration,
+}
+
+impl Default for EngineWorldConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            blocks: 8,
+            coalesce: false,
+            batch_frames: 1,
+            ack_window: 4,
+            delay: Duration::from_micros(100),
+        }
+    }
+}
+
+/// A stepped [`PrinsEngine`] over simulated links — the foreground
+/// pipeline (coalescing, batching, windowed acks) in virtual time.
+///
+/// The engine has no resync layer, so a fault here is *permanent* lag:
+/// the invariants are prefix-consistency (every replica block is a
+/// historical state — behind is fine, garbage is not), per-LBA send
+/// order, and byte conservation; bit-identity holds only after a flush
+/// that saw no faults.
+pub struct EngineWorld {
+    net: SimNet,
+    engine: PrinsEngine,
+    primary: Arc<MemDevice>,
+    ctls: Vec<SimLinkCtl>,
+    primary_ends: Vec<SimTransport>,
+    replica_devs: Vec<Arc<MemDevice>>,
+    replica_eps: Vec<usize>,
+    history: History,
+    blocks: u64,
+    block_size: usize,
+}
+
+impl EngineWorld {
+    /// Builds the world: zeroed devices, manual stepping, virtual clock.
+    pub fn new(cfg: EngineWorldConfig) -> Self {
+        let net = SimNet::new();
+        let block_size = BlockSize::kb4();
+        let primary = Arc::new(MemDevice::new(block_size, cfg.blocks));
+        let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
+            .manual_stepping(true)
+            .clock(net.clock())
+            .trace_sends(true)
+            .coalesce(cfg.coalesce)
+            .batch_frames(cfg.batch_frames)
+            .ack_policy(AckPolicy::Window(cfg.ack_window))
+            .ack_timeout(Duration::from_millis(50));
+        let mut ctls = Vec::new();
+        let mut primary_ends = Vec::new();
+        let mut replica_devs = Vec::new();
+        let mut replica_eps = Vec::new();
+        for idx in 0..cfg.replicas {
+            let (a, ctl, dev, ep) = spawn_replica(&net, idx, block_size, cfg.blocks, cfg.delay);
+            primary_ends.push(a.clone());
+            builder = builder.replica(Box::new(a));
+            ctls.push(ctl);
+            replica_devs.push(dev);
+            replica_eps.push(ep);
+        }
+        let engine = builder.build();
+        Self {
+            net,
+            engine,
+            primary,
+            ctls,
+            primary_ends,
+            replica_devs,
+            replica_eps,
+            history: History::seed(cfg.blocks, block_size.bytes()),
+            blocks: cfg.blocks,
+            block_size: block_size.bytes(),
+        }
+    }
+
+    /// The simulated network.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Fault controls for replica `idx`'s link.
+    pub fn ctl(&self, idx: usize) -> &SimLinkCtl {
+        &self.ctls[idx]
+    }
+
+    /// The engine under test.
+    pub fn engine(&self) -> &PrinsEngine {
+        &self.engine
+    }
+
+    /// Writes a deterministic sparse block derived from `(lba, tag)`.
+    pub fn write_tag(&mut self, lba: u64, tag: u8) -> Result<(), String> {
+        let mut data = vec![0u8; self.block_size];
+        data[..8].copy_from_slice(&lba.to_le_bytes());
+        data[8] = tag;
+        data[9] = tag.wrapping_mul(31).wrapping_add(7);
+        self.engine
+            .write_block(Lba(lba), &data)
+            .map_err(|e| format!("write lba {lba}: {e}"))?;
+        self.history.record(lba, content_hash(&data));
+        Ok(())
+    }
+
+    /// Drives one pipeline round (see [`PrinsEngine::step`]).
+    pub fn step(&self) -> bool {
+        self.engine.step()
+    }
+
+    /// Replication barrier; the error carries any lane failure since
+    /// the last flush.
+    pub fn flush(&self) -> Result<(), String> {
+        self.engine.flush().map_err(|e| e.to_string())
+    }
+
+    /// Prefix-consistency: every replica block is a historical state.
+    pub fn check_historical(&self) -> Result<(), String> {
+        check_historical(&self.history, self.blocks, &self.replica_devs)
+    }
+
+    /// Bit-identity with the primary — call after a clean flush.
+    pub fn check_identity(&self) -> Result<(), String> {
+        check_identity(&*self.primary, self.blocks, &self.replica_devs)
+    }
+
+    /// Per-LBA ordering at two levels: the engine's own send logs
+    /// (sequence numbers monotonic per LBA on every lane) and the
+    /// network's delivery log (no duplicates, per-LBA delivery order).
+    pub fn check_order(&self) -> Result<(), String> {
+        for (lane, log) in self.engine.send_logs().iter().enumerate() {
+            let mut last: BTreeMap<u64, u64> = BTreeMap::new();
+            for &(lba, seq) in log {
+                if let Some(&prev) = last.get(&lba.index()) {
+                    if seq <= prev {
+                        return Err(format!(
+                            "lane {lane} sent lba {} seq {seq} after seq {prev}",
+                            lba.index()
+                        ));
+                    }
+                }
+                last.insert(lba.index(), seq);
+            }
+        }
+        check_delivery_order(&self.net, &self.replica_eps)
+    }
+
+    /// Byte conservation: the engine's `replicated_payload_bytes` must
+    /// equal the sum of payload bytes that actually hit the wires.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let booked = self.engine.stats().replicated_payload_bytes;
+        let sent: u64 = self
+            .primary_ends
+            .iter()
+            .map(|t| t.meter().payload_bytes_sent())
+            .sum();
+        if booked != sent {
+            return Err(format!(
+                "engine booked {booked} replicated payload bytes, wires saw {sent}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for EngineWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineWorld")
+            .field("blocks", &self.blocks)
+            .field("replicas", &self.replica_devs.len())
+            .field("net", &self.net)
+            .finish()
+    }
+}

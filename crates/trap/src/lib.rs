@@ -451,6 +451,93 @@ mod tests {
     }
 
     #[test]
+    fn empty_replay_suffix_for_an_up_to_date_replica() {
+        let d = dev();
+        for i in 0..4u64 {
+            d.write_block(Lba(i), &vec![6u8; 4096]).unwrap();
+        }
+        let now = d.log().current_seq();
+        // A replica synced at the current sequence needs nothing: the
+        // suffix is empty (not an error) and replaying it is a no-op.
+        assert!(d.log().entries_since(now).is_empty());
+        assert!(d.log().chain_since(Lba(0), now + 1).is_empty());
+        assert!(d.log().retains_since(now));
+        let copy = d.log().recover_device(&d, now).unwrap();
+        for (lba, entry) in d.log().entries_since(now) {
+            let mut block = copy.read_block_vec(lba).unwrap();
+            entry.parity.apply_to(&mut block);
+            copy.write_block(lba, &block).unwrap();
+        }
+        for i in 0..4u64 {
+            assert_eq!(
+                copy.read_block_vec(Lba(i)).unwrap(),
+                d.read_block_vec(Lba(i)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn prune_exactly_to_the_replica_boundary_keeps_delta_resync_viable() {
+        let d = dev();
+        d.write_block(Lba(0), &vec![1u8; 4096]).unwrap(); // seq 1
+        d.write_block(Lba(0), &vec![2u8; 4096]).unwrap(); // seq 2
+        let stale_at = d.log().current_seq();
+        let stale = d.log().recover_device(&d, stale_at).unwrap();
+        d.write_block(Lba(0), &vec![3u8; 4096]).unwrap(); // seq 3
+        d.write_block(Lba(1), &vec![4u8; 4096]).unwrap(); // seq 4
+
+        // Prune precisely up to the replica's sync point: everything it
+        // still needs (seq > stale_at) is retained, so the boundary is
+        // inclusive-safe.
+        d.log().prune(stale_at);
+        assert_eq!(d.log().pruned_through(), stale_at);
+        assert!(d.log().retains_since(stale_at));
+        assert!(!d.log().retains_since(stale_at - 1));
+        let suffix = d.log().entries_since(stale_at);
+        assert_eq!(suffix.len(), 2);
+        for (lba, entry) in suffix {
+            let mut block = stale.read_block_vec(lba).unwrap();
+            entry.parity.apply_to(&mut block);
+            stale.write_block(lba, &block).unwrap();
+        }
+        assert_eq!(stale.read_block_vec(Lba(0)).unwrap(), vec![3u8; 4096]);
+        assert_eq!(stale.read_block_vec(Lba(1)).unwrap(), vec![4u8; 4096]);
+    }
+
+    #[test]
+    fn replay_after_prune_is_incomplete_and_must_be_guarded() {
+        let d = dev();
+        // Values chosen so no partial XOR chain collapses back onto a
+        // historical state: 0x11 ⊕ (0x47 ⊕ 0x22) = 0x74 ∉ {0, 0x11,
+        // 0x22, 0x47}.
+        d.write_block(Lba(0), &vec![0x11u8; 4096]).unwrap(); // seq 1
+        let stale_at = d.log().current_seq();
+        let stale = d.log().recover_device(&d, stale_at).unwrap();
+        d.write_block(Lba(0), &vec![0x22u8; 4096]).unwrap(); // seq 2
+        d.write_block(Lba(0), &vec![0x47u8; 4096]).unwrap(); // seq 3
+
+        // Prune past the replica's sync point: seq 2 is gone.
+        d.log().prune(stale_at + 1);
+        assert!(!d.log().retains_since(stale_at));
+
+        // An unguarded replay of what's left applies seq 3's parity to
+        // seq 1's base — a stale-base XOR yielding a state the primary
+        // never held. This is exactly why callers must check
+        // `retains_since` and fall back to full images.
+        for (lba, entry) in d.log().entries_since(stale_at) {
+            let mut block = stale.read_block_vec(lba).unwrap();
+            entry.parity.apply_to(&mut block);
+            stale.write_block(lba, &block).unwrap();
+        }
+        let replayed = stale.read_block_vec(Lba(0)).unwrap();
+        assert_ne!(replayed, d.read_block_vec(Lba(0)).unwrap());
+        for historical in [vec![0u8; 4096], vec![0x11u8; 4096], vec![0x22u8; 4096]] {
+            assert_ne!(replayed, historical);
+        }
+        assert_eq!(replayed, vec![0x74u8; 4096]);
+    }
+
+    #[test]
     fn unwritten_blocks_recover_to_themselves() {
         let d = dev();
         d.write_block(Lba(0), &vec![5u8; 4096]).unwrap();
