@@ -12,6 +12,8 @@
 set -eu
 cd "$(dirname "$0")"
 
+# --all/--workspace keep the gates covering every crate, including the
+# prins-obs metrics crate and any future additions.
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
@@ -27,3 +29,11 @@ RUST_TEST_THREADS=4 cargo test -q --release --workspace  # every crate, incl. ve
 # the corpus so it stays covered on every future run.
 cargo run -q --release -p prins-sim --bin sim-replay -- \
     corpus tests/sim_seeds.txt --fresh 5 --append-failures
+# Observability determinism gate: the obs-dump run is a virtual-time
+# simulation, so its event-count summary at a fixed --ops must be
+# byte-identical on every machine. A diff here means either the
+# pipeline's event instrumentation changed (regenerate the golden with
+# the command below) or nondeterminism crept into the engine/sim stack
+# (find it before it breaks seed replay).
+cargo run -q --release -p prins-bench --bin obs-dump -- --ops 300 --summary \
+    | diff tests/obs_golden.json -

@@ -80,7 +80,7 @@ fn ablate_change_ratio(c: &mut Criterion) {
         println!(
             "{:>7.0}%  {trad:>12}  {prins:>12}  {:>7.1}x",
             change * 100.0,
-            trad as f64 / prins as f64
+            trad as f64 / prins.max(1) as f64
         );
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{:.0}%", change * 100.0)),

@@ -28,6 +28,7 @@
 //! ```
 
 mod figures;
+mod obs;
 mod pipeline;
 mod resync;
 mod traffic;
@@ -37,6 +38,7 @@ pub use figures::{
     fig8_response_t1, fig9_response_t3, overhead_experiment, write_rate_experiment, FigureTable,
     OverheadReport, WriteRateReport,
 };
+pub use obs::obs_experiment;
 pub use pipeline::{pipeline_experiment, pipeline_figure, PipelineKnobs, PipelineMeasurement};
 pub use resync::{resync_experiment, resync_figure, ResyncMeasurement};
 pub use traffic::{measure_traffic, ModeTraffic, TrafficConfig, TrafficMeasurement};

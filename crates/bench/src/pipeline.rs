@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use prins_block::{BlockDevice, Lba, MemDevice};
 use prins_core::EngineBuilder;
-use prins_net::{channel_pair, FaultTransport, LinkModel, Transport};
+use prins_net::{channel_pair, FaultTransport, LinkModel, MeterSnapshot, TrafficMeter, Transport};
 use prins_repl::{
     run_replica, verify_consistent, AckPolicy, ReplError, ReplicationGroup, ReplicationMode,
 };
@@ -77,6 +77,12 @@ pub struct PipelineMeasurement {
     pub coalesced_writes: u64,
     /// Admission-queue high-water mark observed by the pipeline.
     pub queue_depth_hwm: u64,
+    /// Wire bytes the serial baseline put on its links during the timed
+    /// window (a [`MeterSnapshot`] delta, excluding settle traffic).
+    pub serial_wire_bytes: u64,
+    /// Wire bytes the pipelined engine put on its links during the
+    /// timed window.
+    pub pipelined_wire_bytes: u64,
 }
 
 impl PipelineMeasurement {
@@ -102,7 +108,7 @@ impl fmt::Display for PipelineMeasurement {
             f,
             "pipeline: {} writes x {} replicas (one link 10x slow); \
              serial {:.0} w/s, pipelined {:.0} w/s = {:.1}x \
-             ({} coalesced, queue hwm {})",
+             ({} coalesced, queue hwm {}, wire {} -> {} KB)",
             self.writes,
             self.replicas,
             self.serial_writes_per_sec(),
@@ -110,19 +116,21 @@ impl fmt::Display for PipelineMeasurement {
             self.speedup(),
             self.coalesced_writes,
             self.queue_depth_hwm,
+            self.serial_wire_bytes / 1024,
+            self.pipelined_wire_bytes / 1024,
         )
     }
 }
 
 /// A trace flattened for replay plus each touched block's pre-trace
 /// image and the device size the stream needs.
-struct TraceStream {
-    writes: Vec<(Lba, Vec<u8>)>,
-    initial: Vec<(Lba, Vec<u8>)>,
-    num_blocks: u64,
+pub(crate) struct TraceStream {
+    pub(crate) writes: Vec<(Lba, Vec<u8>)>,
+    pub(crate) initial: Vec<(Lba, Vec<u8>)>,
+    pub(crate) num_blocks: u64,
 }
 
-fn trace_writes(trace: &WriteTrace) -> TraceStream {
+pub(crate) fn trace_writes(trace: &WriteTrace) -> TraceStream {
     let mut writes = Vec::with_capacity(trace.len());
     let mut initial = Vec::new();
     let mut seen = HashSet::new();
@@ -222,7 +230,8 @@ fn run_serial(
     stream: &TraceStream,
     set: ReplicaSet,
     primary: &MemDevice,
-) -> Result<Duration, Box<dyn std::error::Error>> {
+) -> Result<(Duration, u64), Box<dyn std::error::Error>> {
+    let (meters, before) = meter_window(&set.transports);
     let mut group = ReplicationGroup::new(ReplicationMode::Prins, set.transports);
     let start = Instant::now();
     for (lba, new) in &stream.writes {
@@ -231,13 +240,32 @@ fn run_serial(
         group.replicate(*lba, &old, new)?;
     }
     let elapsed = start.elapsed();
+    let wire_bytes = window_wire_bytes(&meters, &before);
     let remainder = ReplicaSet {
         transports: group.into_transports(),
         devices: set.devices,
         workers: set.workers,
     };
     settle(primary, remainder)?;
-    Ok(elapsed)
+    Ok((elapsed, wire_bytes))
+}
+
+/// Clones each transport's meter and snapshots it, opening a
+/// measurement window: the matching [`window_wire_bytes`] call reads
+/// only the traffic sent in between.
+fn meter_window(transports: &[Box<dyn Transport>]) -> (Vec<Arc<TrafficMeter>>, Vec<MeterSnapshot>) {
+    let meters: Vec<Arc<TrafficMeter>> = transports.iter().map(|t| Arc::clone(t.meter())).collect();
+    let before = meters.iter().map(|m| m.snapshot()).collect();
+    (meters, before)
+}
+
+/// Closes a [`meter_window`]: total wire bytes sent since it opened.
+fn window_wire_bytes(meters: &[Arc<TrafficMeter>], before: &[MeterSnapshot]) -> u64 {
+    meters
+        .iter()
+        .zip(before)
+        .map(|(m, b)| m.snapshot().delta(b).wire_bytes_sent)
+        .sum()
 }
 
 /// The pipelined side: the same trace through a [`prins_core`] engine
@@ -247,7 +275,8 @@ fn run_pipelined(
     set: ReplicaSet,
     primary: Arc<MemDevice>,
     knobs: PipelineKnobs,
-) -> Result<(Duration, prins_core::EngineStats), Box<dyn std::error::Error>> {
+) -> Result<(Duration, prins_core::EngineStats, u64), Box<dyn std::error::Error>> {
+    let (meters, before) = meter_window(&set.transports);
     let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
         .mode(ReplicationMode::Prins)
         .encode_workers(knobs.encode_workers)
@@ -264,6 +293,7 @@ fn run_pipelined(
     }
     engine.flush()?;
     let elapsed = start.elapsed();
+    let wire_bytes = window_wire_bytes(&meters, &before);
     let stats = engine.stats();
     engine.shutdown()?;
     let remainder = ReplicaSet {
@@ -272,7 +302,7 @@ fn run_pipelined(
         workers: set.workers,
     };
     settle(&primary, remainder)?;
-    Ok((elapsed, stats))
+    Ok((elapsed, stats, wire_bytes))
 }
 
 /// Runs the headline comparison: a captured TPC-C trace against 3
@@ -302,11 +332,11 @@ pub fn pipeline_experiment(
 
     let serial_primary = seeded_primary(&stream, block_size)?;
     let serial_set = replica_set(replicas, &stream, block_size)?;
-    let serial = run_serial(&stream, serial_set, &serial_primary)?;
+    let (serial, serial_wire_bytes) = run_serial(&stream, serial_set, &serial_primary)?;
 
     let piped_primary = seeded_primary(&stream, block_size)?;
     let piped_set = replica_set(replicas, &stream, block_size)?;
-    let (pipelined, stats) =
+    let (pipelined, stats, pipelined_wire_bytes) =
         run_pipelined(&stream, piped_set, piped_primary, PipelineKnobs::full())?;
 
     Ok(PipelineMeasurement {
@@ -316,6 +346,8 @@ pub fn pipeline_experiment(
         pipelined,
         coalesced_writes: stats.coalesced_writes,
         queue_depth_hwm: stats.queue_depth_hwm,
+        serial_wire_bytes,
+        pipelined_wire_bytes,
     })
 }
 
@@ -362,7 +394,7 @@ pub fn pipeline_figure(
     for replicas in [1usize, 3] {
         let primary = seeded_primary(&stream, block_size)?;
         let set = replica_set(replicas, &stream, block_size)?;
-        let serial = run_serial(&stream, set, &primary)?;
+        let (serial, _) = run_serial(&stream, set, &primary)?;
         let serial_wps = stream.writes.len() as f64 / serial.as_secs_f64().max(f64::EPSILON);
         rows.push(vec![
             replicas.to_string(),
@@ -377,7 +409,7 @@ pub fn pipeline_figure(
         for knobs in sweep {
             let primary = seeded_primary(&stream, block_size)?;
             let set = replica_set(replicas, &stream, block_size)?;
-            let (elapsed, stats) = run_pipelined(&stream, set, primary, knobs)?;
+            let (elapsed, stats, _) = run_pipelined(&stream, set, primary, knobs)?;
             let wps = stream.writes.len() as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
             rows.push(vec![
                 replicas.to_string(),
@@ -415,6 +447,10 @@ mod tests {
         assert_eq!(m.replicas, 3);
         assert!(m.writes > 0);
         assert!(m.speedup() >= 2.0, "pipeline must be >=2x serial: {m}");
+        // The windowed meter deltas saw the replication traffic, and
+        // both sides shipped the same PRINS payloads (batch framing
+        // differs by only a few header bytes per frame).
+        assert!(m.serial_wire_bytes > 0 && m.pipelined_wire_bytes > 0);
     }
 
     #[test]

@@ -43,6 +43,17 @@ impl ReplicaState {
         )
     }
 
+    /// Stable lowercase name, used by [`Display`](fmt::Display) and as
+    /// the `from`/`to` tag of observability state-change events.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaState::Online => "online",
+            ReplicaState::Lagging => "lagging",
+            ReplicaState::Offline => "offline",
+            ReplicaState::Resyncing => "resyncing",
+        }
+    }
+
     /// Whether the state machine allows `self -> to`.
     pub fn can_transition(self, to: ReplicaState) -> bool {
         use ReplicaState::*;
@@ -61,13 +72,7 @@ impl ReplicaState {
 
 impl fmt::Display for ReplicaState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            ReplicaState::Online => "online",
-            ReplicaState::Lagging => "lagging",
-            ReplicaState::Offline => "offline",
-            ReplicaState::Resyncing => "resyncing",
-        };
-        f.write_str(s)
+        f.write_str(self.name())
     }
 }
 

@@ -43,6 +43,7 @@ pub struct EngineBuilder {
     ack_policy: AckPolicy,
     config: PipelineConfig,
     clock: Option<Arc<dyn Clock>>,
+    registry: Option<Arc<prins_obs::Registry>>,
 }
 
 impl EngineBuilder {
@@ -55,6 +56,7 @@ impl EngineBuilder {
             ack_policy: AckPolicy::PerWrite,
             config: PipelineConfig::default(),
             clock: None,
+            registry: None,
         }
     }
 
@@ -121,6 +123,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a metrics registry (default: none): the engine records
+    /// per-stage latency histograms, queue-depth samples and typed
+    /// pipeline events into it, and publishes its counters as gauges at
+    /// every [`Registry::snapshot`](prins_obs::Registry::snapshot).
+    /// Share one registry across layers (engine, cluster, meters) for a
+    /// unified snapshot.
+    pub fn observe(mut self, registry: Arc<prins_obs::Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Injects the time source used for all latency accounting
     /// (default: the OS monotonic clock). The simulation harness passes
     /// a shared virtual clock so stats reflect simulated time.
@@ -173,6 +186,7 @@ impl EngineBuilder {
             group.into_transports(),
             config,
             clock,
+            self.registry,
         ))
     }
 
@@ -183,7 +197,14 @@ impl EngineBuilder {
         let clock = self
             .clock
             .unwrap_or_else(|| Arc::new(WallClock::new()) as Arc<dyn Clock>);
-        PrinsEngine::start(self.device, self.mode, self.replicas, config, clock)
+        PrinsEngine::start(
+            self.device,
+            self.mode,
+            self.replicas,
+            config,
+            clock,
+            self.registry,
+        )
     }
 }
 

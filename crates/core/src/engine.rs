@@ -9,6 +9,7 @@ use prins_block::{BlockDevice, BlockError, Geometry, Lba, Result};
 use prins_net::{Clock, Transport};
 use prins_repl::{ReplicationMode, Replicator};
 
+use crate::obs::PipeObs;
 use crate::pipeline::{Pipeline, PipelineConfig, Shared};
 use crate::{EngineStats, LaneStats};
 
@@ -46,8 +47,12 @@ impl PrinsEngine {
         transports: Vec<Box<dyn Transport>>,
         config: PipelineConfig,
         clock: Arc<dyn Clock>,
+        registry: Option<Arc<prins_obs::Registry>>,
     ) -> Self {
-        let shared = Arc::new(Shared::default());
+        let shared = Arc::new(Shared {
+            obs: registry.map(PipeObs::new),
+            ..Shared::default()
+        });
         let replicator: Arc<dyn Replicator> = Arc::from(mode.replicator());
         let pipeline = Pipeline::start(
             replicator,
@@ -56,6 +61,21 @@ impl PrinsEngine {
             &config,
             Arc::clone(&clock),
         );
+        if let Some(obs) = &shared.obs {
+            // The collector closes over a Weak: the registry outliving
+            // the engine must not keep the Shared block (and with it
+            // this very registry, via `obs`) alive in a cycle. Gauges
+            // keep their last published value, and the engine publishes
+            // once more on drop, so post-shutdown snapshots still show
+            // the final counters.
+            let weak = Arc::downgrade(&shared);
+            let lanes: Vec<_> = pipeline.lanes().to_vec();
+            obs.registry.add_collector(Box::new(move |reg| {
+                if let Some(shared) = weak.upgrade() {
+                    publish_engine_gauges(reg, &shared, &lanes);
+                }
+            }));
+        }
         Self {
             device,
             shared,
@@ -63,6 +83,12 @@ impl PrinsEngine {
             clock,
             write_stripes: (0..64).map(|_| Mutex::new(())).collect(),
         }
+    }
+
+    /// The metrics registry the engine records into, if one was
+    /// attached via [`observe`](crate::EngineBuilder::observe).
+    pub fn registry(&self) -> Option<&Arc<prins_obs::Registry>> {
+        self.shared.obs.as_ref().map(|obs| &obs.registry)
     }
 
     /// Drives one pipeline round when the engine was built with
@@ -207,6 +233,10 @@ impl BlockDevice for PrinsEngine {
             .local_write_nanos
             .fetch_add(write_nanos, Ordering::Relaxed);
         self.shared.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.shared.obs {
+            obs.capture.record(capture_nanos);
+            obs.local_write.record(write_nanos);
+        }
 
         self.pipeline
             .admit(lba, old, buf.to_vec())
@@ -226,6 +256,52 @@ impl Drop for PrinsEngine {
         // Best-effort teardown; errors were reportable via shutdown().
         // The pipeline drains queued work before its threads exit.
         self.pipeline.shutdown();
+        if let Some(obs) = &self.shared.obs {
+            // Final gauge publish: the snapshot collector only holds a
+            // Weak to this engine's state and goes quiet after drop.
+            publish_engine_gauges(&obs.registry, &self.shared, self.pipeline.lanes());
+        }
+    }
+}
+
+/// Copies the engine's counters into registry gauges. Run by the
+/// snapshot collector while the engine lives and once at drop.
+fn publish_engine_gauges(
+    reg: &prins_obs::Registry,
+    shared: &Shared,
+    lanes: &[Arc<crate::pipeline::LaneState>],
+) {
+    for (name, value) in [
+        ("engine_writes", shared.writes.load(Ordering::Relaxed)),
+        ("engine_reads", shared.reads.load(Ordering::Relaxed)),
+        (
+            "engine_coalesced_writes",
+            shared.coalesced_writes.load(Ordering::Relaxed),
+        ),
+        (
+            "engine_dispatched_writes",
+            shared.dispatched_writes.load(Ordering::Relaxed),
+        ),
+        (
+            "engine_replication_errors",
+            shared.replication_errors.load(Ordering::Relaxed),
+        ),
+        (
+            "engine_queue_depth_hwm",
+            shared.queue_depth_hwm.load(Ordering::Relaxed),
+        ),
+    ] {
+        reg.gauge(name).set(value);
+    }
+    for (idx, lane) in lanes.iter().enumerate() {
+        for (suffix, value) in [
+            ("sends", lane.sends.load(Ordering::Relaxed)),
+            ("acked_writes", lane.acked_writes.load(Ordering::Relaxed)),
+            ("payload_bytes", lane.payload_bytes.load(Ordering::Relaxed)),
+            ("errors", lane.errors.load(Ordering::Relaxed)),
+        ] {
+            reg.gauge(&format!("lane{idx}_{suffix}")).set(value);
+        }
     }
 }
 

@@ -78,6 +78,7 @@
 
 mod builder;
 mod engine;
+mod obs;
 pub mod pipeline;
 mod replica;
 mod stats;

@@ -1,0 +1,66 @@
+//! Engine-side observability wiring.
+//!
+//! [`PipeObs`] is the pipeline's handle bundle into a shared
+//! [`Registry`]: one histogram per stage, pre-resolved at engine start
+//! so the hot paths touch only atomics. It is optional — an engine
+//! built without [`EngineBuilder::observe`](crate::EngineBuilder::observe)
+//! pays a single `Option` check per stage.
+//!
+//! Stage histogram names (all nanoseconds of the engine's clock):
+//!
+//! | name                       | measures                                   |
+//! |----------------------------|--------------------------------------------|
+//! | `stage_capture_nanos`      | old-image read in `write_block`            |
+//! | `stage_local_write_nanos`  | the local block write                      |
+//! | `stage_admission_wait_nanos` | admit → claimed by an encode worker      |
+//! | `stage_encode_nanos`       | parity encode proper                       |
+//! | `stage_reorder_hold_nanos` | encoded → released in sequence order       |
+//! | `stage_lane_queue_nanos`   | released → picked up by the sender lane    |
+//! | `stage_send_nanos`         | the transport send call                    |
+//! | `stage_ack_rtt_nanos`      | ack wait per in-flight frame               |
+//! | `admit_queue_depth`        | admission-queue length at each admit       |
+
+use std::sync::Arc;
+
+use prins_obs::{Event, Histogram, Registry};
+
+/// Pre-resolved registry handles for the pipeline's hot paths.
+pub(crate) struct PipeObs {
+    pub registry: Arc<Registry>,
+    pub capture: Arc<Histogram>,
+    pub local_write: Arc<Histogram>,
+    pub admission_wait: Arc<Histogram>,
+    pub encode: Arc<Histogram>,
+    pub reorder_hold: Arc<Histogram>,
+    pub lane_queue: Arc<Histogram>,
+    pub send: Arc<Histogram>,
+    pub ack_rtt: Arc<Histogram>,
+    pub queue_depth: Arc<Histogram>,
+}
+
+impl PipeObs {
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            capture: registry.histogram("stage_capture_nanos"),
+            local_write: registry.histogram("stage_local_write_nanos"),
+            admission_wait: registry.histogram("stage_admission_wait_nanos"),
+            encode: registry.histogram("stage_encode_nanos"),
+            reorder_hold: registry.histogram("stage_reorder_hold_nanos"),
+            lane_queue: registry.histogram("stage_lane_queue_nanos"),
+            send: registry.histogram("stage_send_nanos"),
+            ack_rtt: registry.histogram("stage_ack_rtt_nanos"),
+            queue_depth: registry.histogram("admit_queue_depth"),
+            registry,
+        }
+    }
+
+    pub fn record(&self, event: Event) {
+        self.registry.events().record(event);
+    }
+}
+
+impl std::fmt::Debug for PipeObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeObs").finish_non_exhaustive()
+    }
+}

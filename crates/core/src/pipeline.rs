@@ -63,7 +63,10 @@ use std::time::Duration;
 
 use prins_block::Lba;
 use prins_net::{Clock, Transport};
+use prins_obs::{Event, EventKind};
 use prins_repl::{BatchFrame, ReplError, Replicator, ACK, NAK};
+
+use crate::obs::PipeObs;
 
 /// Tuning knobs for the replication pipeline (set via
 /// [`EngineBuilder`](crate::EngineBuilder)).
@@ -120,6 +123,8 @@ pub(crate) struct Shared {
     /// no replicas configured this is the replicated count).
     pub dispatched_writes: AtomicU64,
     pub last_error: parking_lot::Mutex<Option<String>>,
+    /// Registry wiring; `None` costs one branch per stage.
+    pub obs: Option<PipeObs>,
 }
 
 pub(crate) fn record_error(shared: &Shared, e: &ReplError) {
@@ -138,6 +143,8 @@ struct EncodeJob {
     new: Vec<u8>,
     /// Writes folded into this job beyond the first.
     folds: u64,
+    /// Clock reading at admission (0 when observability is off).
+    admitted_at: u64,
 }
 
 struct AdmitState {
@@ -157,6 +164,9 @@ struct Ready {
     lba: Lba,
     writes: u64,
     payload: Arc<[u8]>,
+    /// Clock reading when encoding finished (0 when observability is
+    /// off); the reorder hold is measured against it at release.
+    encoded_at: u64,
 }
 
 struct ReorderState {
@@ -171,6 +181,9 @@ enum LaneMsg {
         lba: Lba,
         writes: u64,
         bytes: Arc<[u8]>,
+        /// Clock reading at release to the lanes (0 when observability
+        /// is off); the lane-queue wait is measured against it.
+        released_at: u64,
     },
     Barrier(Arc<BarrierGate>),
     Shutdown,
@@ -455,6 +468,7 @@ impl Pipeline {
                         lba,
                         writes,
                         bytes,
+                        released_at,
                     } => lane_handle_payload(
                         idx,
                         &*rt.transport,
@@ -467,6 +481,7 @@ impl Pipeline {
                         lba,
                         writes,
                         bytes,
+                        released_at,
                     ),
                     LaneMsg::Barrier(gate) => {
                         self.collect_lane(stepped, idx, rt);
@@ -502,6 +517,7 @@ impl Pipeline {
     /// `old` image is exactly the block content the previous admission
     /// for this LBA left behind.
     pub fn admit(&self, lba: Lba, old: Vec<u8>, new: Vec<u8>) -> Result<(), ReplError> {
+        let obs = self.inner.shared.obs.as_ref();
         let mut st = self.inner.admit.lock().unwrap();
         if st.closed {
             return Err(ReplError::Net(prins_net::NetError::Disconnected));
@@ -517,6 +533,11 @@ impl Pipeline {
                     .shared
                     .coalesced_writes
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = obs {
+                    let now = self.inner.clock.now_nanos();
+                    obs.queue_depth.record(st.queue.len() as u64);
+                    obs.record(Event::new(now, EventKind::Coalesce).seq(seq).lba(lba.0));
+                }
                 return Ok(());
             }
         }
@@ -525,13 +546,24 @@ impl Pipeline {
         if self.coalesce {
             st.by_lba.insert(lba.0, seq);
         }
+        let admitted_at = if let Some(obs) = obs {
+            let now = self.inner.clock.now_nanos();
+            obs.record(Event::new(now, EventKind::Admit).seq(seq).lba(lba.0));
+            now
+        } else {
+            0
+        };
         st.queue.push_back(EncodeJob {
             seq,
             lba,
             old,
             new,
             folds: 0,
+            admitted_at,
         });
+        if let Some(obs) = obs {
+            obs.queue_depth.record(st.queue.len() as u64);
+        }
         self.inner
             .shared
             .queue_depth_hwm
@@ -553,6 +585,8 @@ impl Pipeline {
             for (idx, rt) in lanes_rt.iter_mut().enumerate() {
                 self.collect_lane(stepped, idx, rt);
             }
+            drop(lanes_rt);
+            self.record_barrier();
             return;
         }
         let target = self.inner.admit.lock().unwrap().seq_alloc;
@@ -562,6 +596,7 @@ impl Pipeline {
         }
         drop(ro);
         if self.inner.lanes.is_empty() {
+            self.record_barrier();
             return;
         }
         let gate = Arc::new(BarrierGate::new(self.inner.lanes.len()));
@@ -569,6 +604,13 @@ impl Pipeline {
             lane.push(LaneMsg::Barrier(Arc::clone(&gate)));
         }
         gate.wait();
+        self.record_barrier();
+    }
+
+    fn record_barrier(&self) {
+        if let Some(obs) = &self.inner.shared.obs {
+            obs.record(Event::new(self.inner.clock.now_nanos(), EventKind::Barrier));
+        }
     }
 
     /// Stops the pipeline: drains the admission queue, joins the
@@ -613,12 +655,24 @@ fn claim_job(st: &mut AdmitState) -> Option<EncodeJob> {
 /// Encodes one job and releases every consecutively-ready payload to
 /// the lanes. Shared by the encode-pool workers and the stepped driver.
 fn encode_and_release(inner: &Inner, replicator: &dyn Replicator, job: EncodeJob) {
+    let obs = inner.shared.obs.as_ref();
     let t0 = inner.clock.now_nanos();
     let payload: Arc<[u8]> = replicator.encode_write(job.lba, &job.old, &job.new).into();
-    inner.shared.overhead_nanos.fetch_add(
-        inner.clock.now_nanos().saturating_sub(t0),
-        Ordering::Relaxed,
-    );
+    let t1 = inner.clock.now_nanos();
+    inner
+        .shared
+        .overhead_nanos
+        .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+    if let Some(obs) = obs {
+        obs.admission_wait
+            .record(t0.saturating_sub(job.admitted_at));
+        obs.encode.record(t1.saturating_sub(t0));
+        obs.record(
+            Event::new(t1, EventKind::EncodeDone)
+                .seq(job.seq)
+                .lba(job.lba.0),
+        );
+    }
 
     let mut ro = inner.reorder.lock().unwrap();
     ro.ready.insert(
@@ -627,6 +681,7 @@ fn encode_and_release(inner: &Inner, replicator: &dyn Replicator, job: EncodeJob
             lba: job.lba,
             writes: 1 + job.folds,
             payload,
+            encoded_at: t1,
         },
     );
     // Release every consecutive payload that is now ready; peers
@@ -642,12 +697,21 @@ fn encode_and_release(inner: &Inner, replicator: &dyn Replicator, job: EncodeJob
             .shared
             .dispatched_writes
             .fetch_add(ready.writes, Ordering::Relaxed);
+        let released_at = if let Some(obs) = obs {
+            let now = inner.clock.now_nanos();
+            obs.reorder_hold
+                .record(now.saturating_sub(ready.encoded_at));
+            now
+        } else {
+            0
+        };
         for lane in &inner.lanes {
             lane.push(LaneMsg::Payload {
                 seq,
                 lba: ready.lba,
                 writes: ready.writes,
                 bytes: Arc::clone(&ready.payload),
+                released_at,
             });
         }
     }
@@ -693,7 +757,18 @@ fn lane_handle_payload(
     lba: Lba,
     writes: u64,
     bytes: Arc<[u8]>,
+    released_at: u64,
 ) {
+    let obs = shared.obs.as_ref();
+    let picked_up = if let Some(obs) = obs {
+        let now = clock.now_nanos();
+        obs.lane_queue.record(now.saturating_sub(released_at));
+        now
+    } else {
+        0
+    };
+    let first_seq = seq;
+    let first_lba = lba;
     let mut trace = vec![(lba, seq)];
     let mut total_writes = writes;
     let mut extra: Vec<Arc<[u8]>> = Vec::new();
@@ -704,7 +779,11 @@ fn lane_handle_payload(
                 lba,
                 writes,
                 bytes,
+                released_at,
             }) => {
+                if let Some(obs) = obs {
+                    obs.lane_queue.record(picked_up.saturating_sub(released_at));
+                }
                 trace.push((lba, seq));
                 total_writes += writes;
                 extra.push(bytes);
@@ -725,14 +804,31 @@ fn lane_handle_payload(
 
     let t0 = clock.now_nanos();
     let sent = transport.send(wire);
+    let t1 = clock.now_nanos();
     lane.send_nanos
-        .fetch_add(clock.now_nanos().saturating_sub(t0), Ordering::Relaxed);
+        .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+    if let Some(obs) = obs {
+        obs.send.record(t1.saturating_sub(t0));
+    }
     match sent {
         Ok(()) => {
             lane.sends.fetch_add(1, Ordering::Relaxed);
             lane.payload_bytes
                 .fetch_add(wire.len() as u64, Ordering::Relaxed);
             lane.record_sent(&trace);
+            if let Some(obs) = obs {
+                obs.record(
+                    Event::new(
+                        t1,
+                        EventKind::Send {
+                            writes: total_writes.min(u32::MAX as u64) as u32,
+                        },
+                    )
+                    .seq(first_seq)
+                    .lba(first_lba.0)
+                    .replica(idx),
+                );
+            }
             outstanding.push_back(total_writes);
             while outstanding.len() >= cfg.ack_window.max(1) {
                 collect_one(idx, transport, lane, shared, cfg, clock, outstanding);
@@ -742,6 +838,14 @@ fn lane_handle_payload(
             // The frame retires unsent; the error surfaces at the next
             // flush.
             lane.errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = obs {
+                obs.record(
+                    Event::new(t1, EventKind::SendError)
+                        .seq(first_seq)
+                        .lba(first_lba.0)
+                        .replica(idx),
+                );
+            }
             record_error(shared, &e.into());
         }
     }
@@ -774,6 +878,7 @@ fn run_lane(
                 lba,
                 writes,
                 bytes,
+                released_at,
             } => lane_handle_payload(
                 idx,
                 transport,
@@ -786,6 +891,7 @@ fn run_lane(
                 lba,
                 writes,
                 bytes,
+                released_at,
             ),
         }
     }
@@ -801,15 +907,23 @@ fn collect_one(
     clock: &dyn Clock,
     outstanding: &mut VecDeque<u64>,
 ) {
+    let obs = shared.obs.as_ref();
     let frame_writes = outstanding.pop_front().expect("outstanding frame");
     let t0 = clock.now_nanos();
     let answer = transport.recv_timeout(cfg.ack_timeout);
+    let t1 = clock.now_nanos();
     lane.ack_nanos
-        .fetch_add(clock.now_nanos().saturating_sub(t0), Ordering::Relaxed);
+        .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+    if let Some(obs) = obs {
+        obs.ack_rtt.record(t1.saturating_sub(t0));
+    }
     let result: Result<(), ReplError> = match answer {
         Ok(bytes) => match bytes.as_slice() {
             [ACK] => {
                 lane.acked_writes.fetch_add(frame_writes, Ordering::Relaxed);
+                if let Some(obs) = obs {
+                    obs.record(Event::new(t1, EventKind::AckOk).replica(idx));
+                }
                 return;
             }
             [NAK] => Err(ReplError::Nak { replica: idx }),
@@ -821,6 +935,13 @@ fn collect_one(
         Err(e) => Err(e.into()),
     };
     if let Err(e) = result {
+        if let Some(obs) = obs {
+            let kind = match e {
+                ReplError::Nak { .. } => EventKind::Nak,
+                _ => EventKind::AckError,
+            };
+            obs.record(Event::new(t1, kind).replica(idx));
+        }
         lane.errors.fetch_add(1, Ordering::Relaxed);
         record_error(shared, &e);
     }
@@ -1032,6 +1153,68 @@ mod tests {
 
         engine.shutdown().unwrap();
         assert!(verify_consistent(&*primary, &*replica_devs[0]).unwrap());
+    }
+
+    #[test]
+    fn observed_engine_emits_deterministic_stage_latencies_and_events() {
+        // A stepped engine over SimNet with the clock auto-tick on:
+        // every stage gets a non-zero virtual duration, and two
+        // identical runs must produce byte-identical snapshots/traces.
+        fn run() -> (String, String) {
+            let net = SimNet::new();
+            net.clock().set_auto_tick(75);
+            let (transports, _ctls, replica_devs) =
+                sim_replicas(&net, 2, 8, Duration::from_micros(200));
+            let registry = prins_obs::Registry::new();
+            let primary = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
+            let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
+                .manual_stepping(true)
+                .clock(net.clock())
+                .observe(Arc::clone(&registry))
+                .ack_policy(AckPolicy::Window(4));
+            for transport in transports {
+                builder = builder.replica(transport);
+            }
+            let engine = builder.build();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            for i in 0..40u64 {
+                let mut block = vec![0u8; 4096];
+                rng.fill_bytes(&mut block);
+                engine.write_block(Lba(i % 8), &block).unwrap();
+            }
+            engine.flush().unwrap();
+            engine.shutdown().unwrap();
+            for dev in &replica_devs {
+                assert!(verify_consistent(&*primary, &**dev).unwrap());
+            }
+
+            let snap = registry.snapshot();
+            for stage in [
+                "stage_encode_nanos",
+                "stage_lane_queue_nanos",
+                "stage_ack_rtt_nanos",
+                "stage_admission_wait_nanos",
+            ] {
+                let h = &snap.histograms[stage];
+                assert!(h.count > 0, "{stage} recorded nothing");
+                assert!(h.p50 > 0, "{stage} p50 is zero under auto-tick");
+                assert!(h.p99 >= h.p50, "{stage} p99 below p50");
+            }
+            assert_eq!(snap.histograms["stage_encode_nanos"].count, 40);
+            assert_eq!(snap.event_counts["admit"], 40);
+            // Two lanes, no batching: every write sent and acked twice.
+            assert_eq!(snap.event_counts["send"], 80);
+            assert_eq!(snap.event_counts["ack-ok"], 80);
+            assert!(!snap.event_counts.contains_key("nak"));
+            assert_eq!(snap.gauges["engine_writes"], 40);
+            assert_eq!(snap.gauges["lane0_sends"], 40);
+            (snap.to_json(), registry.events().trace())
+        }
+        let (json_a, trace_a) = run();
+        let (json_b, trace_b) = run();
+        assert_eq!(json_a, json_b, "same seed must give identical snapshots");
+        assert_eq!(trace_a, trace_b, "same seed must give identical traces");
+        assert!(!trace_a.is_empty());
     }
 
     #[test]

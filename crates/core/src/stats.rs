@@ -108,6 +108,11 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.overhead_ratio(), 0.0);
         assert_eq!(s.mean_payload_per_write(), 0.0);
+        assert!(s.overhead_ratio().is_finite());
+        assert!(s.mean_payload_per_write().is_finite());
+        // The lane-side ratio guards the same way: an idle lane reports
+        // a zero wait, never NaN or a division panic.
+        assert_eq!(LaneStats::default().mean_ack_wait(), Duration::ZERO);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use clock::{Clock, WallClock};
 pub use error::NetError;
 pub use fault::{FaultTransport, LinkHandle};
 pub use link::LinkModel;
-pub use meter::TrafficMeter;
+pub use meter::{MeterSnapshot, TrafficMeter};
 pub use sim::{Dir, MsgRecord, SimClock, SimLinkCtl, SimNet, SimTransport};
 pub use tcp::TcpTransport;
 pub use transport::Transport;

@@ -114,6 +114,58 @@ impl TrafficMeter {
         self.wire_sent.store(0, Ordering::Relaxed);
         self.packets_sent.store(0, Ordering::Relaxed);
     }
+
+    /// Freezes the current counters. Two snapshots bracket a
+    /// measurement window; [`MeterSnapshot::delta`] yields the
+    /// traffic inside it without resetting the meter.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            messages_sent: self.messages_sent(),
+            messages_received: self.messages_received(),
+            payload_bytes_sent: self.payload_bytes_sent(),
+            payload_bytes_received: self.payload_bytes_received(),
+            wire_bytes_sent: self.wire_bytes_sent(),
+            packets_sent: self.packets_sent(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`TrafficMeter`]'s counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+    /// Application payload bytes sent (before packetization).
+    pub payload_bytes_sent: u64,
+    /// Application payload bytes received.
+    pub payload_bytes_received: u64,
+    /// Bytes on the wire including per-packet protocol headers.
+    pub wire_bytes_sent: u64,
+    /// Packets sent.
+    pub packets_sent: u64,
+}
+
+impl MeterSnapshot {
+    /// The traffic between `earlier` and `self` (saturating, so a
+    /// `reset()` inside the window yields zeros rather than wrapping).
+    pub fn delta(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            messages_received: self
+                .messages_received
+                .saturating_sub(earlier.messages_received),
+            payload_bytes_sent: self
+                .payload_bytes_sent
+                .saturating_sub(earlier.payload_bytes_sent),
+            payload_bytes_received: self
+                .payload_bytes_received
+                .saturating_sub(earlier.payload_bytes_received),
+            wire_bytes_sent: self.wire_bytes_sent.saturating_sub(earlier.wire_bytes_sent),
+            packets_sent: self.packets_sent.saturating_sub(earlier.packets_sent),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +195,25 @@ mod tests {
         m.record_send(0);
         assert_eq!(m.packets_sent(), 1);
         assert_eq!(m.wire_bytes_sent(), 112);
+    }
+
+    #[test]
+    fn snapshot_deltas_measure_a_window() {
+        let m = TrafficMeter::new(LinkModel::t1());
+        m.record_send(100);
+        let before = m.snapshot();
+        m.record_send(2000);
+        m.record_recv(50);
+        let after = m.snapshot();
+        let window = after.delta(&before);
+        assert_eq!(window.messages_sent, 1);
+        assert_eq!(window.payload_bytes_sent, 2000);
+        assert_eq!(window.messages_received, 1);
+        assert_eq!(window.payload_bytes_received, 50);
+        assert_eq!(window.packets_sent, 2);
+        // A reset inside the window saturates to zero, not wraparound.
+        m.reset();
+        assert_eq!(m.snapshot().delta(&after).wire_bytes_sent, 0);
     }
 
     #[test]

@@ -37,9 +37,18 @@ use parking_lot::Mutex;
 use crate::{Clock, NetError, TrafficMeter, Transport};
 
 /// A shared virtual clock, advanced only by the simulation.
+///
+/// By default time moves solely when the event pump advances it. With
+/// [`set_auto_tick`](SimClock::set_auto_tick) every [`Clock::now_nanos`]
+/// *read* also advances time by a fixed amount, which gives compute
+/// stages (encode, send) a deterministic non-zero virtual duration —
+/// otherwise any span whose endpoints fall between network events would
+/// measure zero. The hub's own scheduling uses [`SimClock::now`], which
+/// never ticks, so delivery timing is unaffected.
 #[derive(Debug, Default)]
 pub struct SimClock {
     nanos: AtomicU64,
+    tick: AtomicU64,
 }
 
 impl SimClock {
@@ -48,19 +57,31 @@ impl SimClock {
         Arc::new(Self::default())
     }
 
-    /// Current virtual time in nanoseconds.
+    /// Current virtual time in nanoseconds. Never auto-ticks.
     pub fn now(&self) -> u64 {
         self.nanos.load(Ordering::SeqCst)
     }
 
-    fn advance_to(&self, t: u64) {
+    /// Makes every [`Clock::now_nanos`] read advance virtual time by
+    /// `nanos` (0 — the default — disables the tick).
+    pub fn set_auto_tick(&self, nanos: u64) {
+        self.tick.store(nanos, Ordering::SeqCst);
+    }
+
+    /// Advances virtual time to `t` if it is ahead of now.
+    pub fn advance_to(&self, t: u64) {
         self.nanos.fetch_max(t, Ordering::SeqCst);
     }
 }
 
 impl Clock for SimClock {
     fn now_nanos(&self) -> u64 {
-        self.now()
+        let tick = self.tick.load(Ordering::SeqCst);
+        if tick == 0 {
+            self.now()
+        } else {
+            self.nanos.fetch_add(tick, Ordering::SeqCst) + tick
+        }
     }
 }
 
@@ -788,6 +809,19 @@ impl std::fmt::Debug for SimTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn auto_tick_advances_time_per_clock_read() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now_nanos(), 0, "tick disabled by default");
+        assert_eq!(clock.now_nanos(), 0);
+        clock.set_auto_tick(250);
+        assert_eq!(clock.now_nanos(), 250);
+        assert_eq!(clock.now_nanos(), 500);
+        assert_eq!(clock.now(), 500, "now() itself never ticks");
+        clock.set_auto_tick(0);
+        assert_eq!(clock.now_nanos(), 500);
+    }
 
     #[test]
     fn delivery_advances_virtual_time_only() {

@@ -1,0 +1,276 @@
+//! The bounded, typed pipeline-event ring.
+//!
+//! Every layer pushes [`Event`]s into one shared [`EventRing`]: the
+//! engine pipeline (admit, coalesce, encode done, send, ack), the
+//! cluster (resync batches, lifecycle transitions), and anything else
+//! wired to the registry. The ring is bounded — old events fall off,
+//! but per-kind totals are kept exactly — and drainable, so a harness
+//! can assert on the trace or replay it.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Mutex;
+
+/// What happened. Payload-carrying variants keep the tags small and
+/// `Copy`; everything renders deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A write entered the admission queue.
+    Admit,
+    /// A write folded into a still-queued job for the same LBA.
+    Coalesce,
+    /// A parity finished encoding.
+    EncodeDone,
+    /// A frame was handed to a replica transport (`writes` = original
+    /// writes carried, batching and folds included).
+    Send {
+        /// Application writes the frame carries.
+        writes: u32,
+    },
+    /// A positive acknowledgement was collected.
+    AckOk,
+    /// A NAK was collected.
+    Nak,
+    /// Ack collection failed (timeout, disconnect, garbage frame).
+    AckError,
+    /// A send failed before the frame left the primary.
+    SendError,
+    /// A flush barrier completed.
+    Barrier,
+    /// One resync batch was sent and acknowledged.
+    ResyncBatch {
+        /// Frames sent in this batch.
+        sent: u32,
+        /// Frames still queued after it.
+        remaining: u32,
+    },
+    /// A replica lifecycle transition.
+    StateChange {
+        /// State before.
+        from: &'static str,
+        /// State after.
+        to: &'static str,
+    },
+}
+
+impl EventKind {
+    /// Stable kind name (payloads excluded) — the key of event-count
+    /// summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Admit => "admit",
+            EventKind::Coalesce => "coalesce",
+            EventKind::EncodeDone => "encode-done",
+            EventKind::Send { .. } => "send",
+            EventKind::AckOk => "ack-ok",
+            EventKind::Nak => "nak",
+            EventKind::AckError => "ack-error",
+            EventKind::SendError => "send-error",
+            EventKind::Barrier => "barrier",
+            EventKind::ResyncBatch { .. } => "resync-batch",
+            EventKind::StateChange { .. } => "state-change",
+        }
+    }
+}
+
+/// One recorded event. `seq`/`lba`/`replica` default to the sentinel
+/// [`Event::NONE`] where they do not apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Clock reading (nanoseconds) when the event was recorded.
+    pub at: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Pipeline sequence number, or [`Event::NONE`].
+    pub seq: u64,
+    /// Logical block address, or [`Event::NONE`].
+    pub lba: u64,
+    /// Replica index, or [`Event::NONE`].
+    pub replica: u64,
+}
+
+impl Event {
+    /// Sentinel for "field not applicable".
+    pub const NONE: u64 = u64::MAX;
+
+    /// An event with every tag set to [`Event::NONE`].
+    pub fn new(at: u64, kind: EventKind) -> Self {
+        Self {
+            at,
+            kind,
+            seq: Self::NONE,
+            lba: Self::NONE,
+            replica: Self::NONE,
+        }
+    }
+
+    /// Sets the sequence tag.
+    pub fn seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the LBA tag.
+    pub fn lba(mut self, lba: u64) -> Self {
+        self.lba = lba;
+        self
+    }
+
+    /// Sets the replica tag.
+    pub fn replica(mut self, replica: usize) -> Self {
+        self.replica = replica as u64;
+        self
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={} {}", self.at, self.kind.name())?;
+        match self.kind {
+            EventKind::Send { writes } => write!(f, " writes={writes}")?,
+            EventKind::ResyncBatch { sent, remaining } => {
+                write!(f, " sent={sent} remaining={remaining}")?;
+            }
+            EventKind::StateChange { from, to } => write!(f, " {from}->{to}")?,
+            _ => {}
+        }
+        if self.seq != Self::NONE {
+            write!(f, " seq={}", self.seq)?;
+        }
+        if self.lba != Self::NONE {
+            write!(f, " lba={}", self.lba)?;
+        }
+        if self.replica != Self::NONE {
+            write!(f, " r={}", self.replica)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    buf: VecDeque<Event>,
+    counts: BTreeMap<&'static str, u64>,
+    dropped: u64,
+}
+
+/// A bounded ring of [`Event`]s plus exact per-kind totals.
+///
+/// When the ring is full the oldest event is dropped (and counted);
+/// the per-kind totals never lose anything, so event-count summaries
+/// stay exact regardless of capacity.
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<RingInner>,
+    cap: usize,
+}
+
+impl EventRing {
+    /// A ring holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(RingInner::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: Event) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counts.entry(event.kind.name()).or_insert(0) += 1;
+        if inner.buf.len() >= self.cap {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event);
+    }
+
+    /// Events currently buffered (oldest first), without draining.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().buf.iter().copied().collect()
+    }
+
+    /// Removes and returns every buffered event (totals are kept).
+    pub fn drain(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().buf.drain(..).collect()
+    }
+
+    /// Exact per-kind totals since construction (drops included).
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        self.inner.lock().unwrap().counts.clone()
+    }
+
+    /// Total for one kind name.
+    pub fn count(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counts
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// The buffered events as one newline-joined deterministic trace.
+    pub fn trace(&self) -> String {
+        self.events()
+            .iter()
+            .map(Event::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_events_but_keeps_exact_counts() {
+        let ring = EventRing::new(4);
+        for i in 0..10u64 {
+            ring.record(Event::new(i, EventKind::Admit).seq(i));
+        }
+        assert_eq!(ring.events().len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.count("admit"), 10);
+        assert_eq!(ring.events()[0].seq, 6, "oldest events fell off");
+    }
+
+    #[test]
+    fn drain_empties_the_buffer_not_the_totals() {
+        let ring = EventRing::new(8);
+        ring.record(Event::new(1, EventKind::AckOk).replica(0));
+        ring.record(Event::new(2, EventKind::Nak).replica(1));
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(ring.events().is_empty());
+        assert_eq!(ring.count("ack-ok"), 1);
+        assert_eq!(ring.count("nak"), 1);
+    }
+
+    #[test]
+    fn events_render_deterministically() {
+        let e = Event::new(
+            42,
+            EventKind::StateChange {
+                from: "online",
+                to: "lagging",
+            },
+        )
+        .replica(2);
+        assert_eq!(e.to_string(), "t=42 state-change online->lagging r=2");
+        let s = Event::new(7, EventKind::Send { writes: 3 }).seq(5).lba(1);
+        assert_eq!(s.to_string(), "t=7 send writes=3 seq=5 lba=1");
+    }
+}

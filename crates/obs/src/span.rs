@@ -1,0 +1,108 @@
+//! Stage spans: RAII guards that time a scope into a [`Histogram`].
+
+use crate::metrics::Histogram;
+use prins_net::Clock;
+
+/// Times the scope from construction to drop and records the elapsed
+/// nanoseconds into a [`Histogram`].
+///
+/// The clock is injected, so the same code path is deterministic under
+/// a [`SimClock`](prins_net::SimClock) and real under
+/// [`WallClock`](prins_net::WallClock).
+///
+/// ```
+/// use prins_obs::{Histogram, Span};
+/// use prins_net::WallClock;
+///
+/// let clock = WallClock::new();
+/// let hist = Histogram::new();
+/// {
+///     let _span = Span::start(&clock, &hist);
+///     // timed work
+/// }
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    clock: &'a dyn Clock,
+    hist: &'a Histogram,
+    started: u64,
+    armed: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing now.
+    pub fn start(clock: &'a dyn Clock, hist: &'a Histogram) -> Self {
+        Self {
+            started: clock.now_nanos(),
+            clock,
+            hist,
+            armed: true,
+        }
+    }
+
+    /// The clock reading taken at construction.
+    pub fn started_at(&self) -> u64 {
+        self.started
+    }
+
+    /// Records now instead of at drop and disarms the guard.
+    pub fn finish(mut self) -> u64 {
+        self.armed = false;
+        let elapsed = self.clock.now_nanos().saturating_sub(self.started);
+        self.hist.record(elapsed);
+        elapsed
+    }
+
+    /// Disarms the guard: nothing is recorded.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist
+                .record(self.clock.now_nanos().saturating_sub(self.started));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prins_net::SimClock;
+
+    #[test]
+    fn span_records_virtual_elapsed_time() {
+        let clock = SimClock::new();
+        let hist = Histogram::new();
+        {
+            let _span = Span::start(&*clock, &hist);
+            clock.advance_to(1500);
+        }
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 1500);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_elapsed() {
+        let clock = SimClock::new();
+        let hist = Histogram::new();
+        let span = Span::start(&*clock, &hist);
+        clock.advance_to(250);
+        assert_eq!(span.finish(), 250);
+        assert_eq!(hist.count(), 1, "finish must not double-record via drop");
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let clock = SimClock::new();
+        let hist = Histogram::new();
+        let span = Span::start(&*clock, &hist);
+        clock.advance_to(99);
+        span.cancel();
+        assert_eq!(hist.count(), 0);
+    }
+}

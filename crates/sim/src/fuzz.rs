@@ -254,7 +254,20 @@ pub fn run_case(case: &FuzzCase) -> RunReport {
             .quiesce(ResyncStrategy::ParityLog)
             .and_then(|()| w.check_invariants());
     }
+    // Observability oracle: a schedule that injected no link faults
+    // must leave a quiet registry — any NAK, ack failure, or lifecycle
+    // transition on a healthy network is a bug in the stack (or in the
+    // instrumentation claiming one happened).
+    let fault_free = case
+        .ops
+        .iter()
+        .all(|op| matches!(op, SimOp::Write { .. } | SimOp::Drain | SimOp::Prune));
+    if verdict.is_ok() && fault_free {
+        verdict = w.check_quiet_run();
+    }
     let mut trace = w.net().trace().join("\n");
+    trace.push_str("\nevents: ");
+    trace.push_str(&w.registry().snapshot().event_summary_json());
     trace.push_str("\nverdict: ");
     match &verdict {
         Ok(()) => trace.push_str("ok"),

@@ -195,6 +195,7 @@ pub fn fold_then_crash() -> Result<(), String> {
     w.check_historical()?;
     w.check_order()?;
     w.check_conservation()?;
+    w.check_obs()?;
     if w.engine().stats().coalesced_writes == 0 {
         return Err("workload produced no coalesced writes".into());
     }
@@ -250,11 +251,13 @@ pub fn flush_during_link_failure() -> Result<(), String> {
     w.check_historical()?;
     w.check_order()?;
     w.check_conservation()?;
+    w.check_obs()?;
     // The other replica kept receiving: a fresh write + flush round
     // must still fail (lane 0 is dead for good) but replica 1 tracks.
     w.write_tag(3, 3)?;
     let _ = w.flush();
-    w.check_historical()
+    w.check_historical()?;
+    w.check_obs()
 }
 
 /// A data frame is silently dropped by the network (the sender's

@@ -20,6 +20,7 @@ use prins_cluster::{
 };
 use prins_core::{EngineBuilder, PrinsEngine};
 use prins_net::{SimLinkCtl, SimNet, SimTransport, Transport};
+use prins_obs::{EventKind, Registry};
 use prins_repl::{AckPolicy, BatchFrame, Payload, ReplicaApplier, ACK, NAK};
 
 /// FNV-1a over a block image — the oracle's content fingerprint.
@@ -183,11 +184,53 @@ fn check_identity(
     Ok(())
 }
 
+/// Checks the recorded `state-change` event stream forms a legal
+/// lifecycle walk per replica: each transition starts where the
+/// previous one ended (every replica boots `online`), and every hop is
+/// one the [`ReplicaState`] machine allows.
+fn check_lifecycle_chain(registry: &Registry, replicas: usize) -> Result<(), String> {
+    let mut position: Vec<&'static str> = vec!["online"; replicas];
+    for event in registry.events().events() {
+        let EventKind::StateChange { from, to } = event.kind else {
+            continue;
+        };
+        let idx = event.replica as usize;
+        if idx >= replicas {
+            return Err(format!("state-change event for unknown replica {idx}"));
+        }
+        if position[idx] != from {
+            return Err(format!(
+                "replica {idx} lifecycle chain broken: event says {from}->{to} \
+                 but the previous transition left it {}",
+                position[idx]
+            ));
+        }
+        let parse = |name: &str| match name {
+            "online" => Some(ReplicaState::Online),
+            "lagging" => Some(ReplicaState::Lagging),
+            "offline" => Some(ReplicaState::Offline),
+            "resyncing" => Some(ReplicaState::Resyncing),
+            _ => None,
+        };
+        match (parse(from), parse(to)) {
+            (Some(f), Some(t)) if f.can_transition(t) => {}
+            _ => {
+                return Err(format!(
+                    "replica {idx} recorded machine-illegal transition {from}->{to}"
+                ))
+            }
+        }
+        position[idx] = to;
+    }
+    Ok(())
+}
+
 /// A [`ClusterGroup`] over simulated links: degraded writes, resync and
 /// the full invariant set, all in virtual time.
 pub struct ClusterWorld {
     net: SimNet,
     cluster: ClusterGroup<MemDevice>,
+    registry: Arc<Registry>,
     ctls: Vec<SimLinkCtl>,
     primary_ends: Vec<SimTransport>,
     replica_devs: Vec<Arc<MemDevice>>,
@@ -216,10 +259,13 @@ impl ClusterWorld {
             replica_devs.push(dev);
             replica_eps.push(ep);
         }
-        let cluster = ClusterGroup::new(MemDevice::new(block_size, blocks), config, transports);
+        let mut cluster = ClusterGroup::new(MemDevice::new(block_size, blocks), config, transports);
+        let registry = Registry::new();
+        cluster.attach_observer(Arc::clone(&registry), net.clock());
         Self {
             net,
             cluster,
+            registry,
             ctls,
             primary_ends,
             replica_devs,
@@ -233,6 +279,12 @@ impl ClusterWorld {
     /// The simulated network (trace, clock, message log).
     pub fn net(&self) -> &SimNet {
         &self.net
+    }
+
+    /// The metrics registry the cluster records into (lifecycle
+    /// transitions, resync batches, ack RTTs).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Fault controls for replica `idx`'s link.
@@ -357,7 +409,24 @@ impl ClusterWorld {
         check_identity(self.cluster.device(), self.blocks, &self.replica_devs)?;
         self.check_historical()?;
         check_delivery_order(&self.net, &self.replica_eps)?;
+        check_lifecycle_chain(&self.registry, self.cluster.replica_count())?;
         self.check_conservation()
+    }
+
+    /// Oracle for fault-free schedules: with no link faults scheduled,
+    /// the registry must show a quiet run — no NAKs, no ack collection
+    /// failures, no lifecycle transitions.
+    pub fn check_quiet_run(&self) -> Result<(), String> {
+        let ring = self.registry.events();
+        for kind in ["nak", "ack-error", "send-error", "state-change"] {
+            let n = ring.count(kind);
+            if n > 0 {
+                return Err(format!(
+                    "fault-free schedule recorded {n} `{kind}` event(s)"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Byte conservation: what the cluster booked as sent (foreground +
@@ -428,6 +497,7 @@ impl Default for EngineWorldConfig {
 pub struct EngineWorld {
     net: SimNet,
     engine: PrinsEngine,
+    registry: Arc<Registry>,
     primary: Arc<MemDevice>,
     ctls: Vec<SimLinkCtl>,
     primary_ends: Vec<SimTransport>,
@@ -444,8 +514,10 @@ impl EngineWorld {
         let net = SimNet::new();
         let block_size = BlockSize::kb4();
         let primary = Arc::new(MemDevice::new(block_size, cfg.blocks));
+        let registry = Registry::new();
         let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
             .manual_stepping(true)
+            .observe(Arc::clone(&registry))
             .clock(net.clock())
             .trace_sends(true)
             .coalesce(cfg.coalesce)
@@ -468,6 +540,7 @@ impl EngineWorld {
         Self {
             net,
             engine,
+            registry,
             primary,
             ctls,
             primary_ends,
@@ -492,6 +565,11 @@ impl EngineWorld {
     /// The engine under test.
     pub fn engine(&self) -> &PrinsEngine {
         &self.engine
+    }
+
+    /// The metrics registry the engine records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Writes a deterministic sparse block derived from `(lba, tag)`.
@@ -547,6 +625,50 @@ impl EngineWorld {
             }
         }
         check_delivery_order(&self.net, &self.replica_eps)
+    }
+
+    /// Cross-checks the registry against the engine's own counters —
+    /// every accepted write was admitted or folded, every wire frame
+    /// has a `send` event, every admitted write an encode sample, and
+    /// the ack-RTT histogram holds one sample per ack event. Call at
+    /// quiescence (after a flush).
+    pub fn check_obs(&self) -> Result<(), String> {
+        let ring = self.registry.events();
+        let stats = self.engine.stats();
+        let admits = ring.count("admit");
+        let folded = ring.count("coalesce");
+        if admits + folded != stats.writes {
+            return Err(format!(
+                "obs: {admits} admit + {folded} coalesce events for {} accepted writes",
+                stats.writes
+            ));
+        }
+        let sends: u64 = self.engine.lane_stats().iter().map(|l| l.sends).sum();
+        if ring.count("send") != sends {
+            return Err(format!(
+                "obs: {} send events for {sends} lane transmissions",
+                ring.count("send")
+            ));
+        }
+        let snap = self.registry.snapshot();
+        let acks = ring.count("ack-ok") + ring.count("nak") + ring.count("ack-error");
+        let rtt = snap
+            .histograms
+            .get("stage_ack_rtt_nanos")
+            .map_or(0, |h| h.count);
+        if rtt != acks {
+            return Err(format!("obs: {rtt} ack-RTT samples for {acks} ack events"));
+        }
+        let encode = snap
+            .histograms
+            .get("stage_encode_nanos")
+            .map_or(0, |h| h.count);
+        if encode != admits {
+            return Err(format!(
+                "obs: {encode} encode samples for {admits} admitted writes"
+            ));
+        }
+        Ok(())
     }
 
     /// Byte conservation: the engine's `replicated_payload_bytes` must
