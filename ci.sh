@@ -37,3 +37,9 @@ cargo run -q --release -p prins-sim --bin sim-replay -- \
 # (find it before it breaks seed replay).
 cargo run -q --release -p prins-bench --bin obs-dump -- --ops 300 --summary \
     | diff tests/obs_golden.json -
+# Integrity determinism gate: the corruption scenarios inject wire and
+# replica-media bit flips; their event-count summaries must replay
+# byte-identically. A diff means the detect/retransmit/scrub behaviour
+# changed — regenerate with the same command if that was intentional.
+cargo run -q --release -p prins-sim --bin sim-replay -- scenario 'corruption_*' --events \
+    | diff tests/corruption_golden.txt -

@@ -1,0 +1,96 @@
+//! CRC32C (Castagnoli) checksum, implemented from scratch.
+//!
+//! The integrity layer needs one checksum shared by every crate that
+//! touches bytes — the wire envelope in `prins-repl`, the per-block
+//! verify-on-apply table in the replica applier, and the scrubber's
+//! digest comparison in `prins-cluster`. CRC32C is the natural choice:
+//! it is the checksum iSCSI itself mandates for data digests, so the
+//! reproduction matches the paper's deployment environment, and its
+//! error-detection properties (all single-bit errors, all 2-bit errors
+//! within the typical frame sizes here) cover exactly the faults the
+//! sim injects.
+//!
+//! This is the reflected Castagnoli polynomial `0x1EDC6F41`
+//! (`0x82F63B78` reversed), computed byte-at-a-time from a
+//! const-generated table. No hardware instructions, no dependencies.
+
+/// Reflected CRC32C (Castagnoli) polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table for byte-at-a-time CRC32C.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32C of `bytes` (initial value all-ones, final XOR all-ones, as in
+/// iSCSI/SCTP).
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    crc32c_append(0, bytes)
+}
+
+/// Continue a CRC32C over more bytes: `crc32c_append(crc32c(a), b)`
+/// equals `crc32c(a ++ b)`. Lets callers checksum a frame in pieces
+/// (header then body) without concatenating buffers.
+pub fn crc32c_append(crc: u32, bytes: &[u8]) -> u32 {
+    let mut state = !crc;
+    for &b in bytes {
+        state = (state >> 8) ^ TABLE[((state ^ b as u32) & 0xff) as usize];
+    }
+    !state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Canonical CRC32C test vectors (RFC 3720 appendix / rfc3385 lineage).
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn append_matches_one_shot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        for split in [0, 1, 7, 499, 999, 1000] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32c_append(crc32c(a), b), crc32c(&data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let data = b"prins end-to-end integrity".to_vec();
+        let base = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

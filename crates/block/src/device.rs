@@ -84,6 +84,24 @@ pub trait BlockDevice: Send + Sync {
     }
 }
 
+impl<D: BlockDevice + ?Sized> BlockDevice for &D {
+    fn geometry(&self) -> Geometry {
+        (**self).geometry()
+    }
+
+    fn read_block(&self, lba: Lba, buf: &mut [u8]) -> Result<()> {
+        (**self).read_block(lba, buf)
+    }
+
+    fn write_block(&self, lba: Lba, buf: &[u8]) -> Result<()> {
+        (**self).write_block(lba, buf)
+    }
+
+    fn flush(&self) -> Result<()> {
+        (**self).flush()
+    }
+}
+
 impl<D: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<D> {
     fn geometry(&self) -> Geometry {
         (**self).geometry()

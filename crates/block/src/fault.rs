@@ -17,6 +17,12 @@ pub enum FaultKind {
     /// Reads succeed but return silently corrupted data (bit flips), which
     /// a scrub must detect.
     CorruptReads,
+    /// Writes succeed but persist silently corrupted data (a bit flip on
+    /// the way to media). Unlike [`FaultKind::CorruptReads`] the damage is
+    /// durable: once the plan is cleared, reads keep returning the bad
+    /// bytes until something rewrites the block — exactly the divergence a
+    /// scrub-and-repair pass must find and fix.
+    CorruptWrites,
 }
 
 /// Declarative description of which operations should fail.
@@ -26,6 +32,8 @@ pub struct FaultPlan {
     bad_lbas: HashSet<u64>,
     /// Fail after this many more operations (countdown), if set.
     fuse: Option<u64>,
+    /// Apply the fault to at most this many operations, then go healthy.
+    limit: Option<u64>,
 }
 
 impl FaultPlan {
@@ -53,6 +61,15 @@ impl FaultPlan {
     /// then starts failing. Models a disk dying mid-run.
     pub fn after_ops(mut self, ops: u64) -> Self {
         self.fuse = Some(ops);
+        self
+    }
+
+    /// Bounds the fault to at most `ops` affected operations, after which
+    /// the device behaves healthily again. Models a transient glitch (a
+    /// few corrupted writes) rather than a permanently bad device, so
+    /// repair paths can converge.
+    pub fn for_ops(mut self, ops: u64) -> Self {
+        self.limit = Some(ops);
         self
     }
 
@@ -114,18 +131,25 @@ impl<D: BlockDevice> FaultDevice<D> {
         if !plan.applies_to(lba) {
             return Ok(None);
         }
-        let fails = match kind {
-            FaultKind::FailReads => is_read,
-            FaultKind::FailWrites => !is_read,
+        let applies = match kind {
+            FaultKind::FailReads | FaultKind::CorruptReads => is_read,
+            FaultKind::FailWrites | FaultKind::CorruptWrites => !is_read,
             FaultKind::FailAll => true,
-            FaultKind::CorruptReads => return Ok(if is_read { Some(kind) } else { None }),
         };
-        if fails {
-            Err(BlockError::DeviceFailed {
+        if !applies {
+            return Ok(None);
+        }
+        if let Some(limit) = plan.limit.as_mut() {
+            if *limit == 0 {
+                return Ok(None);
+            }
+            *limit -= 1;
+        }
+        match kind {
+            FaultKind::CorruptReads | FaultKind::CorruptWrites => Ok(Some(kind)),
+            _ => Err(BlockError::DeviceFailed {
                 device: format!("fault injection ({kind:?}) at lba {lba}"),
-            })
-        } else {
-            Ok(None)
+            }),
         }
     }
 }
@@ -147,7 +171,15 @@ impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
     }
 
     fn write_block(&self, lba: Lba, buf: &[u8]) -> Result<()> {
-        self.check(lba, false)?;
+        let kind = self.check(lba, false)?;
+        if kind == Some(FaultKind::CorruptWrites) && !buf.is_empty() {
+            // Persist a deterministically damaged copy: the corruption
+            // survives plan clearing, as real media corruption would.
+            let mut damaged = buf.to_vec();
+            let idx = (lba.index() as usize) % damaged.len();
+            damaged[idx] ^= 0x80;
+            return self.inner.write_block(lba, &damaged);
+        }
         self.inner.write_block(lba, buf)
     }
 
@@ -222,5 +254,38 @@ mod tests {
         assert_eq!(data.iter().filter(|&&b| b != 0).count(), 1);
         // Writes still work under CorruptReads.
         assert!(d.write_block(Lba(2), &vec![1u8; 4096]).is_ok());
+    }
+
+    #[test]
+    fn corrupt_writes_persist_damage_after_plan_clears() {
+        let d = dev();
+        d.set_plan(FaultPlan::always(FaultKind::CorruptWrites));
+        d.write_block(Lba(5), &vec![0u8; 4096]).unwrap();
+        d.set_plan(FaultPlan::healthy());
+        let data = d.read_block_vec(Lba(5)).unwrap();
+        assert_eq!(data.iter().filter(|&&b| b != 0).count(), 1);
+        // Rewriting under a healthy plan heals the block.
+        d.write_block(Lba(5), &vec![0u8; 4096]).unwrap();
+        assert_eq!(d.read_block_vec(Lba(5)).unwrap(), vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn for_ops_bounds_the_fault() {
+        let d = dev();
+        d.write_block(Lba(0), &vec![0u8; 4096]).unwrap();
+        d.set_plan(FaultPlan::always(FaultKind::CorruptWrites).for_ops(1));
+        d.write_block(Lba(1), &vec![0u8; 4096]).unwrap();
+        d.write_block(Lba(2), &vec![0u8; 4096]).unwrap();
+        let corrupted = |lba| {
+            d.read_block_vec(lba)
+                .unwrap()
+                .iter()
+                .filter(|&&b| b != 0)
+                .count()
+        };
+        assert_eq!(corrupted(Lba(1)), 1);
+        assert_eq!(corrupted(Lba(2)), 0);
+        // Reads never burned the limit.
+        assert_eq!(corrupted(Lba(0)), 0);
     }
 }

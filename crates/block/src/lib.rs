@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+mod checksum;
 mod device;
 mod error;
 mod fault;
@@ -47,6 +48,7 @@ mod instrument;
 mod mem;
 mod sparse;
 
+pub use checksum::{crc32c, crc32c_append};
 pub use device::BlockDevice;
 pub use error::BlockError;
 pub use fault::{FaultDevice, FaultKind, FaultPlan};

@@ -73,6 +73,8 @@ mod shard;
 
 pub use dirty::DirtyMap;
 pub use error::ClusterError;
-pub use group::{ClusterConfig, ClusterGroup, ReplicaStatus, ResyncStrategy, WriteOutcome};
+pub use group::{
+    ClusterConfig, ClusterGroup, ReplicaStatus, ResyncStrategy, ScrubOutcome, WriteOutcome,
+};
 pub use lifecycle::ReplicaState;
 pub use shard::{ShardMap, ShardedCluster};

@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use prins_obs::{Event, Histogram, Registry};
+use prins_obs::{Counter, Event, Histogram, Registry};
 
 /// Pre-resolved registry handles for the pipeline's hot paths.
 pub(crate) struct PipeObs {
@@ -36,6 +36,11 @@ pub(crate) struct PipeObs {
     pub send: Arc<Histogram>,
     pub ack_rtt: Arc<Histogram>,
     pub queue_depth: Arc<Histogram>,
+    /// Frames a replica answered with `NAK_CORRUPT` — damaged in
+    /// flight, caught by the seal's CRC32C before apply.
+    pub checksum_failures: Arc<Counter>,
+    /// Retained frames re-sent after a corrupt NAK.
+    pub retransmits: Arc<Counter>,
 }
 
 impl PipeObs {
@@ -50,6 +55,8 @@ impl PipeObs {
             send: registry.histogram("stage_send_nanos"),
             ack_rtt: registry.histogram("stage_ack_rtt_nanos"),
             queue_depth: registry.histogram("admit_queue_depth"),
+            checksum_failures: registry.counter("checksum_failures"),
+            retransmits: registry.counter("retransmits"),
             registry,
         }
     }

@@ -64,7 +64,9 @@ use std::time::Duration;
 use prins_block::Lba;
 use prins_net::{Clock, Transport};
 use prins_obs::{Event, EventKind};
-use prins_repl::{BatchFrame, ReplError, Replicator, ACK, NAK};
+use prins_repl::{
+    decode_ack, seal_frame, BatchFrame, ReplError, Replicator, ACK, NAK, NAK_CORRUPT,
+};
 
 use crate::obs::PipeObs;
 
@@ -328,8 +330,24 @@ struct Inner {
 /// its stack.
 struct SteppedLane {
     transport: Box<dyn Transport>,
-    outstanding: VecDeque<u64>,
+    outstanding: VecDeque<InFlight>,
 }
+
+/// One sent, unacknowledged frame: the writes it carries plus the
+/// sealed wire bytes, retained so a corrupt NAK can be answered with a
+/// retransmission instead of an error.
+struct InFlight {
+    writes: u64,
+    frame: Vec<u8>,
+}
+
+/// Lanes have no replica lifecycle (no offline/rejoin), so every frame
+/// is sealed under the constant first epoch.
+const LANE_EPOCH: u64 = 1;
+
+/// Retransmissions attempted per frame before a corrupt NAK becomes a
+/// lane error.
+const MAX_RETRANSMITS: u32 = 3;
 
 /// Manual-mode runtime: everything the worker threads would own.
 struct Stepped {
@@ -752,7 +770,7 @@ fn lane_handle_payload(
     shared: &Shared,
     cfg: &PipelineConfig,
     clock: &dyn Clock,
-    outstanding: &mut VecDeque<u64>,
+    outstanding: &mut VecDeque<InFlight>,
     seq: u64,
     lba: Lba,
     writes: u64,
@@ -791,19 +809,20 @@ fn lane_handle_payload(
             _ => break,
         }
     }
-    let frame: Vec<u8>;
-    let wire: &[u8] = if extra.is_empty() {
+    let inner_frame: Vec<u8>;
+    let inner: &[u8] = if extra.is_empty() {
         &bytes
     } else {
         let mut payloads = Vec::with_capacity(1 + extra.len());
         payloads.push(bytes.to_vec());
         payloads.extend(extra.iter().map(|p| p.to_vec()));
-        frame = BatchFrame { payloads }.to_bytes();
-        &frame
+        inner_frame = BatchFrame { payloads }.to_bytes();
+        &inner_frame
     };
+    let wire = seal_frame(LANE_EPOCH, inner);
 
     let t0 = clock.now_nanos();
-    let sent = transport.send(wire);
+    let sent = transport.send(&wire);
     let t1 = clock.now_nanos();
     lane.send_nanos
         .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
@@ -829,7 +848,10 @@ fn lane_handle_payload(
                     .replica(idx),
                 );
             }
-            outstanding.push_back(total_writes);
+            outstanding.push_back(InFlight {
+                writes: total_writes,
+                frame: wire,
+            });
             while outstanding.len() >= cfg.ack_window.max(1) {
                 collect_one(idx, transport, lane, shared, cfg, clock, outstanding);
             }
@@ -861,8 +883,8 @@ fn run_lane(
     cfg: &PipelineConfig,
     clock: &dyn Clock,
 ) {
-    // Writes carried by each in-flight (sent, unacknowledged) frame.
-    let mut outstanding: VecDeque<u64> = VecDeque::new();
+    // The in-flight (sent, unacknowledged) frames.
+    let mut outstanding: VecDeque<InFlight> = VecDeque::new();
     loop {
         match lane.pop() {
             LaneMsg::Shutdown => {
@@ -897,7 +919,18 @@ fn run_lane(
     }
 }
 
-/// Retires the oldest in-flight frame with one acknowledgement.
+/// Retires the oldest in-flight frame with one acknowledgement. A
+/// corrupt NAK — the frame was damaged in flight, caught by the seal's
+/// CRC32C — retransmits the retained copy up to [`MAX_RETRANSMITS`]
+/// times, waiting one `ack_timeout` longer per attempt so the retry
+/// rides out whatever delayed traffic damaged the first copy.
+///
+/// Retransmission needs unambiguous response alignment: acks carry no
+/// frame identity, so a retry's ack is only attributable when this
+/// frame is the *sole* in-flight one (always true in the closed-loop
+/// window of 1). With more frames in the window a corrupt NAK falls
+/// through to the error path instead, and the block is repaired by the
+/// resync layer rather than guessed at here.
 fn collect_one(
     idx: usize,
     transport: &dyn Transport,
@@ -905,45 +938,90 @@ fn collect_one(
     shared: &Shared,
     cfg: &PipelineConfig,
     clock: &dyn Clock,
-    outstanding: &mut VecDeque<u64>,
+    outstanding: &mut VecDeque<InFlight>,
 ) {
     let obs = shared.obs.as_ref();
-    let frame_writes = outstanding.pop_front().expect("outstanding frame");
-    let t0 = clock.now_nanos();
-    let answer = transport.recv_timeout(cfg.ack_timeout);
-    let t1 = clock.now_nanos();
-    lane.ack_nanos
-        .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
-    if let Some(obs) = obs {
-        obs.ack_rtt.record(t1.saturating_sub(t0));
-    }
-    let result: Result<(), ReplError> = match answer {
-        Ok(bytes) => match bytes.as_slice() {
-            [ACK] => {
-                lane.acked_writes.fetch_add(frame_writes, Ordering::Relaxed);
-                if let Some(obs) = obs {
-                    obs.record(Event::new(t1, EventKind::AckOk).replica(idx));
+    let InFlight {
+        writes: frame_writes,
+        frame,
+    } = outstanding.pop_front().expect("outstanding frame");
+    let sole_in_flight = outstanding.is_empty();
+    let mut attempt: u32 = 0;
+    let mut waited: u64 = 0;
+    let mut t1;
+    let result: Result<(), ReplError> = loop {
+        let t0 = clock.now_nanos();
+        let answer = transport.recv_timeout(cfg.ack_timeout * (attempt + 1));
+        t1 = clock.now_nanos();
+        waited += t1.saturating_sub(t0);
+        lane.ack_nanos
+            .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+        let ack = match answer {
+            Ok(bytes) => match decode_ack(&bytes) {
+                Ok(ack) => ack,
+                Err(_) => {
+                    break Err(ReplError::MissingAck {
+                        replica: idx,
+                        got: bytes.first().copied(),
+                    })
                 }
-                return;
+            },
+            Err(e) => break Err(e.into()),
+        };
+        match ack.status {
+            ACK => break Ok(()),
+            NAK => break Err(ReplError::Nak { replica: idx }),
+            NAK_CORRUPT => {
+                if let Some(obs) = obs {
+                    obs.checksum_failures.inc();
+                }
+                if !sole_in_flight || attempt >= MAX_RETRANSMITS {
+                    break Err(ReplError::ChecksumMismatch {
+                        expected: 0,
+                        got: 0,
+                    });
+                }
+                attempt += 1;
+                if let Err(e) = transport.send(&frame) {
+                    break Err(e.into());
+                }
+                lane.payload_bytes
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                if let Some(obs) = obs {
+                    obs.retransmits.inc();
+                }
             }
-            [NAK] => Err(ReplError::Nak { replica: idx }),
-            other => Err(ReplError::MissingAck {
-                replica: idx,
-                got: other.first().copied(),
-            }),
-        },
-        Err(e) => Err(e.into()),
-    };
-    if let Err(e) = result {
-        if let Some(obs) = obs {
-            let kind = match e {
-                ReplError::Nak { .. } => EventKind::Nak,
-                _ => EventKind::AckError,
-            };
-            obs.record(Event::new(t1, kind).replica(idx));
+            other => {
+                break Err(ReplError::MissingAck {
+                    replica: idx,
+                    got: Some(other),
+                })
+            }
         }
-        lane.errors.fetch_add(1, Ordering::Relaxed);
-        record_error(shared, &e);
+    };
+    // One RTT sample and one terminal event per retired frame, however
+    // many retransmission round-trips it took.
+    if let Some(obs) = obs {
+        obs.ack_rtt.record(waited);
+    }
+    match result {
+        Ok(()) => {
+            lane.acked_writes.fetch_add(frame_writes, Ordering::Relaxed);
+            if let Some(obs) = obs {
+                obs.record(Event::new(t1, EventKind::AckOk).replica(idx));
+            }
+        }
+        Err(e) => {
+            if let Some(obs) = obs {
+                let kind = match e {
+                    ReplError::Nak { .. } => EventKind::Nak,
+                    _ => EventKind::AckError,
+                };
+                obs.record(Event::new(t1, kind).replica(idx));
+            }
+            lane.errors.fetch_add(1, Ordering::Relaxed);
+            record_error(shared, &e);
+        }
     }
 }
 
@@ -954,7 +1032,7 @@ fn collect_all(
     shared: &Shared,
     cfg: &PipelineConfig,
     clock: &dyn Clock,
-    outstanding: &mut VecDeque<u64>,
+    outstanding: &mut VecDeque<InFlight>,
 ) {
     while !outstanding.is_empty() {
         collect_one(idx, transport, lane, shared, cfg, clock, outstanding);
@@ -971,7 +1049,10 @@ mod tests {
     use prins_net::{
         channel_pair, FaultTransport, LinkHandle, LinkModel, SimLinkCtl, SimNet, Transport as _,
     };
-    use prins_repl::{verify_consistent, AckPolicy, ReplError, ReplicaApplier, ACK, NAK};
+    use prins_repl::{
+        encode_ack, encode_digest_ack, verify_consistent, AckPolicy, Applied, ReplError,
+        ReplicaApplier, ACK, NAK, NAK_CORRUPT,
+    };
     use proptest::prelude::*;
     use rand::{RngExt, SeedableRng};
 
@@ -1038,13 +1119,24 @@ mod tests {
             let device = Arc::new(MemDevice::new(BlockSize::kb4(), blocks));
             let dev = Arc::clone(&device);
             let tr = b.clone();
+            // The applier persists across actor invocations so its
+            // epoch and checksum table survive. Strict mode: a bit
+            // flip on the seal tag itself must not let the frame
+            // bypass verification.
+            let mut applier = ReplicaApplier::new(dev).require_sealed(true);
             net.set_actor(
                 &b,
                 Box::new(move || {
-                    let mut applier = ReplicaApplier::new(&*dev);
                     while let Ok(Some(frame)) = tr.try_recv() {
-                        let ok = applier.apply(&frame).is_ok();
-                        let _ = tr.send(&[if ok { ACK } else { NAK }]);
+                        let ack = match applier.handle(&frame) {
+                            Ok(Applied::Data(_)) => encode_ack(ACK, applier.last_epoch()),
+                            Ok(Applied::Digest(d)) => encode_digest_ack(applier.last_epoch(), d),
+                            Err(ReplError::ChecksumMismatch { .. }) => {
+                                encode_ack(NAK_CORRUPT, applier.last_epoch())
+                            }
+                            Err(_) => encode_ack(NAK, applier.last_epoch()),
+                        };
+                        let _ = tr.send(&ack);
                     }
                 }),
             );
@@ -1108,6 +1200,50 @@ mod tests {
         for dev in &replica_devs {
             assert!(verify_consistent(&*primary, &**dev).unwrap());
         }
+    }
+
+    #[test]
+    fn corrupted_frames_are_naked_and_retransmitted() {
+        use prins_net::Dir;
+        // Three consecutive bit flips land on the same frame: the first
+        // copy and two retransmissions. The bounded retry budget (3)
+        // absorbs all of them — the fourth copy goes through clean.
+        let net = SimNet::new();
+        let (transports, ctls, replica_devs) = sim_replicas(&net, 1, 8, Duration::from_micros(300));
+        let primary = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
+        let registry = prins_obs::Registry::new();
+        let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
+            .manual_stepping(true)
+            .clock(net.clock())
+            .observe(Arc::clone(&registry));
+        for transport in transports {
+            builder = builder.replica(transport);
+        }
+        let engine = builder.build();
+
+        ctls[0].corrupt_next(Dir::AtoB, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for i in 0..6u64 {
+            let lba = Lba(i % 8);
+            let mut block = engine.read_block_vec(lba).unwrap();
+            let at = rng.random_range(0..4000);
+            block[at] ^= 0x5a;
+            engine.write_block(lba, &block).unwrap();
+        }
+        engine.flush().unwrap();
+
+        let stats = engine.stats();
+        assert_eq!(stats.writes_replicated, 6);
+        assert_eq!(
+            stats.replication_errors, 0,
+            "retransmissions absorb the corruption: {stats:?}"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["checksum_failures"], 3);
+        assert_eq!(snap.counters["retransmits"], 3);
+
+        engine.shutdown().unwrap();
+        assert!(verify_consistent(&*primary, &*replica_devs[0]).unwrap());
     }
 
     #[test]

@@ -133,6 +133,7 @@ struct Egress {
     per_kb: u64,
     drop_next: u32,
     dup_next: u32,
+    corrupt_next: u32,
     hold: Hold,
 }
 
@@ -143,6 +144,7 @@ impl Egress {
             per_kb: 0,
             drop_next: 0,
             dup_next: 0,
+            corrupt_next: 0,
             hold: Hold::Off,
         }
     }
@@ -550,6 +552,15 @@ impl SimLinkCtl {
         self.hub.st.lock().endpoints[ep].egress.dup_next = n;
     }
 
+    /// Flips one bit in each of the next `n` frames sent in `dir` —
+    /// in-flight corruption the receiver's integrity check must catch.
+    /// The sender still observes a successful send and the frame length
+    /// is unchanged, so only a checksum can tell.
+    pub fn corrupt_next(&self, dir: Dir, n: u32) {
+        let ep = self.ep(dir);
+        self.hub.st.lock().endpoints[ep].egress.corrupt_next = n;
+    }
+
     /// Reorders the next two frames sent in `dir`: the first is held
     /// and delivered just after the second. If no second frame is ever
     /// sent, the held frame is released when the event queue drains.
@@ -558,13 +569,14 @@ impl SimLinkCtl {
         self.hub.st.lock().endpoints[ep].egress.hold = Hold::Armed;
     }
 
-    /// Clears drop/dup/reorder faults in both directions, releasing any
-    /// held frame for normal delivery (delays are kept).
+    /// Clears drop/dup/reorder/corrupt faults in both directions,
+    /// releasing any held frame for normal delivery (delays are kept).
     pub fn clear_faults(&self) {
         let mut st = self.hub.st.lock();
         for ep in [self.a, self.b] {
             st.endpoints[ep].egress.drop_next = 0;
             st.endpoints[ep].egress.dup_next = 0;
+            st.endpoints[ep].egress.corrupt_next = 0;
             if let Hold::Held {
                 msg,
                 bytes,
@@ -674,11 +686,23 @@ impl Transport for SimTransport {
             st.trace.push(line);
             return Ok(());
         }
-        let deliver_at = now + eg.delay + eg.per_kb * (msg_bytes.len() as u64).div_ceil(1024);
+        let mut wire_bytes = msg_bytes.to_vec();
+        if eg.corrupt_next > 0 && !wire_bytes.is_empty() {
+            eg.corrupt_next -= 1;
+            // One deterministic bit flip mid-frame; length (and thus
+            // byte accounting) is unchanged.
+            let at = wire_bytes.len() / 2;
+            wire_bytes[at] ^= 0x01;
+            st.msgs[msg as usize].payload = wire_bytes.clone();
+            let line = format!("t={now} m{msg} corrupted at byte {at}");
+            st.trace.push(line);
+        }
+        let eg = &mut st.endpoints[self.ep].egress;
+        let deliver_at = now + eg.delay + eg.per_kb * (wire_bytes.len() as u64).div_ceil(1024);
         if matches!(eg.hold, Hold::Armed) {
             eg.hold = Hold::Held {
                 msg,
-                bytes: msg_bytes.to_vec(),
+                bytes: wire_bytes,
                 deliver_at,
             };
             let line = format!("t={now} m{msg} held");
@@ -708,7 +732,7 @@ impl Transport for SimTransport {
             EventKind::Deliver {
                 target,
                 msg,
-                bytes: msg_bytes.to_vec(),
+                bytes: wire_bytes.clone(),
             },
         );
         if dup {
@@ -719,7 +743,7 @@ impl Transport for SimTransport {
                 EventKind::Deliver {
                     target,
                     msg,
-                    bytes: msg_bytes.to_vec(),
+                    bytes: wire_bytes,
                 },
             );
         }
@@ -872,6 +896,30 @@ mod tests {
         a.send(b"second").unwrap();
         assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), b"second");
         assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), b"first");
+    }
+
+    #[test]
+    fn corrupt_next_flips_one_bit_then_heals() {
+        let net = SimNet::new();
+        let (a, b, ctl) = net.add_link("l0", Duration::ZERO);
+        ctl.corrupt_next(Dir::AtoB, 1);
+        a.send(&[0u8; 8]).unwrap();
+        a.send(&[0u8; 8]).unwrap();
+        let damaged = b.recv_timeout(Duration::from_millis(1)).unwrap();
+        assert_eq!(damaged.iter().filter(|&&x| x != 0).count(), 1);
+        assert_eq!(damaged.len(), 8, "corruption never changes the length");
+        let clean = b.recv_timeout(Duration::from_millis(1)).unwrap();
+        assert_eq!(clean, vec![0u8; 8]);
+        // The message log records what the wire actually carried.
+        assert_eq!(net.message_log()[0].payload, damaged);
+        // clear_faults resets a pending corruption budget.
+        ctl.corrupt_next(Dir::AtoB, 5);
+        ctl.clear_faults();
+        a.send(&[0u8; 8]).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(1)).unwrap(),
+            vec![0u8; 8]
+        );
     }
 
     #[test]

@@ -166,6 +166,26 @@ impl SparseParity {
         out
     }
 
+    /// XOR-composition with `other`: applying the result once equals
+    /// applying `self` then `other`. XOR is associative, so a whole
+    /// same-block parity chain folds into a single parity — what PRINS
+    /// ships for a delta resync instead of replaying the chain frame by
+    /// frame (extents that cancel vanish from the fold entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two parities describe different block lengths.
+    pub fn fold(&self, other: &SparseParity) -> SparseParity {
+        assert_eq!(
+            self.block_len, other.block_len,
+            "folding parities of different block lengths"
+        );
+        let mut dense = vec![0u8; self.block_len];
+        self.apply_to(&mut dense);
+        other.apply_to(&mut dense);
+        SparseCodec::default().encode(&dense)
+    }
+
     /// Applies this parity to `block` in place (`block ^= P'`), i.e. the
     /// replica-side backward computation, touching only the changed
     /// extents.
@@ -369,6 +389,14 @@ mod tests {
     }
 
     #[test]
+    fn fold_with_self_cancels() {
+        let mut parity = vec![0u8; 256];
+        parity[40..72].fill(0xAA);
+        let sp = SparseCodec::default().encode(&parity);
+        assert!(sp.fold(&sp).is_empty(), "X ^ X must fold to nothing");
+    }
+
+    #[test]
     fn min_gap_one_splits_every_run() {
         let mut parity = vec![0u8; 64];
         parity[1] = 1;
@@ -477,6 +505,21 @@ mod tests {
             prop_assert_eq!(bytes.len(), sp.wire_size());
             let back = codec.decode(&bytes, parity.len()).unwrap();
             prop_assert_eq!(back.to_dense(parity.len()), parity);
+        }
+
+        #[test]
+        fn prop_fold_composes(base in proptest::collection::vec(any::<u8>(), 1..512),
+                              p1 in proptest::collection::vec(any::<u8>(), 1..512),
+                              p2 in proptest::collection::vec(any::<u8>(), 1..512)) {
+            let n = base.len().min(p1.len()).min(p2.len());
+            let codec = SparseCodec::default();
+            let (a, b) = (codec.encode(&p1[..n]), codec.encode(&p2[..n]));
+            let mut chained = base[..n].to_vec();
+            a.apply_to(&mut chained);
+            b.apply_to(&mut chained);
+            let mut folded = base[..n].to_vec();
+            a.fold(&b).apply_to(&mut folded);
+            prop_assert_eq!(chained, folded);
         }
 
         #[test]

@@ -1,10 +1,27 @@
 //! Replica-side payload application.
 
-use prins_block::{BlockDevice, Lba};
+use std::collections::HashMap;
+
+use prins_block::{crc32c, BlockDevice, Lba};
 use prins_compress::{Codec, Lzss};
 use prins_parity::SparseCodec;
 
-use crate::{BatchFrame, Payload, PayloadBody, ReplError};
+use crate::{
+    decode_digest_request, is_digest_request, open_frame, BatchFrame, Payload, PayloadBody,
+    ReplError, SEAL_TAG,
+};
+
+/// What [`ReplicaApplier::handle`] did with an incoming frame, telling
+/// the transport loop which response to send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Applied {
+    /// A replication frame was applied (`true`) or was a sync marker
+    /// (`false`); answer with an ACK.
+    Data(bool),
+    /// A scrub digest probe; answer with a digest ack carrying this
+    /// CRC32C of the probed block as read from the replica's disk.
+    Digest(u32),
+}
 
 /// Applies replication payloads to a replica's local device.
 ///
@@ -13,27 +30,81 @@ use crate::{BatchFrame, Payload, PayloadBody, ReplError};
 /// parity extents, and store the result in place — "the data block is
 /// recomputed back at the replica storage site upon receiving the
 /// parity".
-pub struct ReplicaApplier<'d, D: ?Sized> {
-    device: &'d D,
+///
+/// # Integrity
+///
+/// Sealed frames (see [`crate::seal_frame`]) are opened transparently:
+/// the CRC32C is verified *before* anything is parsed or written, and
+/// the frame's epoch is remembered (see [`last_epoch`]) so the
+/// transport loop can echo it in acknowledgements.
+///
+/// The applier also keeps a per-LBA checksum table of every block it
+/// has written. Before a parity frame XORs against `A_old`, the table
+/// entry is checked against the bytes read back from disk — if the
+/// replica's media corrupted the block since the last write, the apply
+/// fails with [`ReplError::ChecksumMismatch`] instead of silently
+/// fabricating a state the primary never held.
+///
+/// [`last_epoch`]: Self::last_epoch
+pub struct ReplicaApplier<D> {
+    device: D,
     sparse: SparseCodec,
     lzss: Lzss,
     applied: u64,
+    last_epoch: u64,
+    require_sealed: bool,
+    checksums: HashMap<u64, u32>,
 }
 
-impl<'d, D: BlockDevice + ?Sized> ReplicaApplier<'d, D> {
-    /// Creates an applier bound to the replica's device.
-    pub fn new(device: &'d D) -> Self {
+impl<D: BlockDevice> ReplicaApplier<D> {
+    /// Creates an applier owning a handle to the replica's device —
+    /// a plain reference, an `Arc`, or the device itself all work.
+    pub fn new(device: D) -> Self {
         Self {
             device,
             sparse: SparseCodec::default(),
             lzss: Lzss::default(),
             applied: 0,
+            last_epoch: 0,
+            require_sealed: false,
+            checksums: HashMap::new(),
         }
+    }
+
+    /// Requires every top-level frame to arrive sealed.
+    ///
+    /// Without this, a bit flip that happens to hit the seal tag byte
+    /// would make the frame look unsealed and skip verification; a
+    /// strict applier rejects such frames outright. Turn it on wherever
+    /// the sender is known to seal (the pipelined engine lanes and the
+    /// cluster always do).
+    pub fn require_sealed(mut self, on: bool) -> Self {
+        self.require_sealed = on;
+        self
     }
 
     /// Number of write payloads applied so far (sync markers excluded).
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// Epoch of the most recent sealed frame opened (0 before any).
+    ///
+    /// Acknowledgement loops echo this so the primary can discard acks
+    /// that predate a rejoin.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// CRC32C of the block at `lba` as read back from the device right
+    /// now — the scrubber's ground truth, deliberately *not* served
+    /// from the checksum table so media corruption is visible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from the device.
+    pub fn digest(&self, lba: Lba) -> Result<u32, ReplError> {
+        Ok(crc32c(&self.device.read_block_vec(lba)?))
     }
 
     /// Decodes and applies one message — a bare payload or a
@@ -51,11 +122,57 @@ impl<'d, D: BlockDevice + ?Sized> ReplicaApplier<'d, D> {
     ///   [`ReplError::Compress`] on undecodable payloads,
     /// * [`ReplError::Block`] if the local device rejects the write.
     pub fn apply(&mut self, payload_bytes: &[u8]) -> Result<bool, ReplError> {
+        match self.handle(payload_bytes)? {
+            Applied::Data(any) => Ok(any),
+            Applied::Digest(_) => Err(ReplError::Malformed(
+                "digest request on the apply-only path".into(),
+            )),
+        }
+    }
+
+    /// Dispatches one incoming frame — sealed or bare, replication
+    /// payload or scrub digest probe — and says how to respond.
+    ///
+    /// This is what transport loops should call; [`apply`](Self::apply)
+    /// is the data-only subset.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply`](Self::apply), plus [`ReplError::ChecksumMismatch`]
+    /// for frames that fail their seal check (or arrive unsealed while
+    /// [`require_sealed`](Self::require_sealed) is on) — answer those
+    /// with `NAK_CORRUPT` so the sender retransmits.
+    pub fn handle(&mut self, frame: &[u8]) -> Result<Applied, ReplError> {
+        if frame.first() == Some(&SEAL_TAG) {
+            let (epoch, inner) = open_frame(frame)?;
+            self.last_epoch = epoch;
+            if is_digest_request(inner) {
+                let lba = decode_digest_request(inner)?;
+                return Ok(Applied::Digest(self.digest(lba)?));
+            }
+            // The seal's CRC already vouched for the inner frame; apply
+            // it without requiring a second (nested) seal.
+            return self.apply_inner(inner).map(Applied::Data);
+        }
+        if is_digest_request(frame) {
+            let lba = decode_digest_request(frame)?;
+            return Ok(Applied::Digest(self.digest(lba)?));
+        }
+        if self.require_sealed {
+            return Err(ReplError::ChecksumMismatch {
+                expected: 0,
+                got: crc32c(frame),
+            });
+        }
+        self.apply_inner(frame).map(Applied::Data)
+    }
+
+    fn apply_inner(&mut self, payload_bytes: &[u8]) -> Result<bool, ReplError> {
         if BatchFrame::is_batch(payload_bytes) {
             let frame = BatchFrame::from_bytes(payload_bytes)?;
             let mut any_data = false;
             for inner in &frame.payloads {
-                any_data |= self.apply(inner)?;
+                any_data |= self.apply_inner(inner)?;
             }
             return Ok(any_data);
         }
@@ -63,7 +180,7 @@ impl<'d, D: BlockDevice + ?Sized> ReplicaApplier<'d, D> {
         let bs = self.device.geometry().block_size().bytes();
         match payload.body {
             PayloadBody::Full(data) => {
-                self.device.write_block(payload.lba, &data)?;
+                self.write_checked(payload.lba, &data)?;
             }
             PayloadBody::Compressed { block_len, data } => {
                 if block_len != bs {
@@ -72,7 +189,7 @@ impl<'d, D: BlockDevice + ?Sized> ReplicaApplier<'d, D> {
                     )));
                 }
                 let block = self.lzss.decompress(&data, block_len)?;
-                self.device.write_block(payload.lba, &block)?;
+                self.write_checked(payload.lba, &block)?;
             }
             PayloadBody::Parity(data) => {
                 self.apply_parity(payload.lba, &data)?;
@@ -87,19 +204,34 @@ impl<'d, D: BlockDevice + ?Sized> ReplicaApplier<'d, D> {
         Ok(true)
     }
 
-    fn apply_parity(&self, lba: Lba, sparse_bytes: &[u8]) -> Result<(), ReplError> {
+    fn write_checked(&mut self, lba: Lba, block: &[u8]) -> Result<(), ReplError> {
+        self.device.write_block(lba, block)?;
+        self.checksums.insert(lba.index(), crc32c(block));
+        Ok(())
+    }
+
+    fn apply_parity(&mut self, lba: Lba, sparse_bytes: &[u8]) -> Result<(), ReplError> {
         let bs = self.device.geometry().block_size().bytes();
         let parity = self.sparse.decode(sparse_bytes, bs)?;
         // Backward computation: A_new = P' ^ A_old, touching only the
-        // changed extents.
+        // changed extents. A_old must be exactly what was last written
+        // here — verify it against the checksum table first, because
+        // XORing against a corrupted base fabricates a block the
+        // primary never held and no later check could catch.
         let mut block = self.device.read_block_vec(lba)?;
+        if let Some(&expected) = self.checksums.get(&lba.index()) {
+            let got = crc32c(&block);
+            if got != expected {
+                return Err(ReplError::ChecksumMismatch { expected, got });
+            }
+        }
         parity.apply_to(&mut block);
-        self.device.write_block(lba, &block)?;
+        self.write_checked(lba, &block)?;
         Ok(())
     }
 }
 
-impl<D: ?Sized> std::fmt::Debug for ReplicaApplier<'_, D> {
+impl<D> std::fmt::Debug for ReplicaApplier<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicaApplier")
             .field("applied", &self.applied)
@@ -239,6 +371,72 @@ mod tests {
         let mut applier = ReplicaApplier::new(&replica);
         assert!(!applier.apply(&BatchFrame::default().to_bytes()).unwrap());
         assert_eq!(applier.applied(), 0);
+    }
+
+    #[test]
+    fn sealed_frames_open_transparently_and_track_epoch() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica).require_sealed(true);
+        let inner = TraditionalReplicator.encode_write(Lba(1), &[0u8; 4096], &[5u8; 4096]);
+        assert!(applier.apply(&crate::seal_frame(9, &inner)).unwrap());
+        assert_eq!(applier.last_epoch(), 9);
+        assert_eq!(replica.read_block_vec(Lba(1)).unwrap(), vec![5u8; 4096]);
+        // Strict mode rejects bare frames with a checksum error (so the
+        // transport loop answers NAK_CORRUPT, not a fatal NAK).
+        assert!(matches!(
+            applier.apply(&inner),
+            Err(ReplError::ChecksumMismatch { .. })
+        ));
+        // A corrupted seal is rejected before anything is applied.
+        let mut damaged = crate::seal_frame(10, &inner);
+        let last = damaged.len() - 1;
+        damaged[last] ^= 0x04;
+        assert!(applier.apply(&damaged).is_err());
+        assert_eq!(applier.last_epoch(), 9);
+        assert_eq!(applier.applied(), 1);
+    }
+
+    #[test]
+    fn parity_against_corrupted_base_is_detected() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let replicator = PrinsReplicator::new();
+        let a = vec![0u8; 4096];
+        let mut b = a.clone();
+        b[100..140].fill(3);
+        assert!(applier
+            .apply(&replicator.encode_write(Lba(2), &a, &b))
+            .unwrap());
+        // Simulate media corruption behind the applier's back.
+        let mut damaged = b.clone();
+        damaged[0] ^= 0x80;
+        replica.write_block(Lba(2), &damaged).unwrap();
+        let mut c = b.clone();
+        c[120..160].fill(8);
+        let err = applier
+            .apply(&replicator.encode_write(Lba(2), &b, &c))
+            .unwrap_err();
+        assert!(matches!(err, ReplError::ChecksumMismatch { .. }), "{err}");
+        // The corrupted base was never XORed into a fabricated state.
+        assert_eq!(replica.read_block_vec(Lba(2)).unwrap(), damaged);
+    }
+
+    #[test]
+    fn digest_reads_the_disk_not_the_table() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let block = vec![7u8; 4096];
+        applier
+            .apply(&TraditionalReplicator.encode_write(Lba(0), &[0u8; 4096], &block))
+            .unwrap();
+        assert_eq!(applier.digest(Lba(0)).unwrap(), prins_block::crc32c(&block));
+        let mut damaged = block.clone();
+        damaged[9] ^= 1;
+        replica.write_block(Lba(0), &damaged).unwrap();
+        assert_eq!(
+            applier.digest(Lba(0)).unwrap(),
+            prins_block::crc32c(&damaged)
+        );
     }
 
     #[test]

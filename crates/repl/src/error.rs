@@ -30,6 +30,16 @@ pub enum ReplError {
         /// Index of the rejecting replica.
         replica: usize,
     },
+    /// A frame or block failed its CRC32C integrity check — the bytes
+    /// were damaged in flight or on media. Detected *before* apply, so
+    /// the corruption is never written; the peer answers `NAK_CORRUPT`
+    /// and the sender retransmits.
+    ChecksumMismatch {
+        /// Checksum the frame/block claimed.
+        expected: u32,
+        /// Checksum of the bytes actually present.
+        got: u32,
+    },
     /// A replica answered with something other than an ACK or NAK.
     MissingAck {
         /// Index of the misbehaving replica.
@@ -49,6 +59,12 @@ impl fmt::Display for ReplError {
             ReplError::Malformed(msg) => write!(f, "malformed replication payload: {msg}"),
             ReplError::Nak { replica } => {
                 write!(f, "replica {replica} rejected the write (NAK)")
+            }
+            ReplError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {got:#010x}"
+                )
             }
             ReplError::MissingAck {
                 replica,

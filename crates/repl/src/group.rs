@@ -6,7 +6,16 @@ use std::time::Duration;
 use prins_block::{BlockDevice, Lba};
 use prins_net::Transport;
 
-use crate::{Payload, PayloadBody, ReplError, ReplicaApplier, ReplicationMode, Replicator};
+use crate::{
+    decode_ack, encode_ack, encode_digest_ack, seal_frame, Applied, Payload, PayloadBody,
+    ReplError, ReplicaApplier, ReplicationMode, Replicator, NAK_CORRUPT,
+};
+
+/// Epoch a [`ReplicationGroup`] seals its frames with. The synchronous
+/// group has no replica lifecycle (and therefore no rejoins), so its
+/// single connection generation is simply "1"; only the cluster bumps
+/// epochs.
+const SYNC_EPOCH: u64 = 1;
 
 /// Acknowledgement byte a replica returns after applying a payload.
 pub const ACK: u8 = 0x06;
@@ -143,8 +152,9 @@ impl ReplicationGroup {
     ///
     /// Same conditions as [`replicate`](Self::replicate).
     pub fn replicate_payload(&mut self, payload: &[u8]) -> Result<(), ReplError> {
+        let sealed = seal_frame(SYNC_EPOCH, payload);
         for replica in &self.replicas {
-            replica.send(payload)?;
+            replica.send(&sealed)?;
         }
         self.outstanding += 1;
         while self.outstanding > self.ack_policy.allowed_outstanding() {
@@ -171,12 +181,14 @@ impl ReplicationGroup {
     /// anything else [`ReplError::MissingAck`] carrying the stray byte.
     fn await_ack(&self, idx: usize) -> Result<(), ReplError> {
         let frame = self.replicas[idx].recv_timeout(self.ack_timeout)?;
-        match frame.as_slice() {
-            [ACK] => Ok(()),
-            [NAK] => Err(ReplError::Nak { replica: idx }),
-            other => Err(ReplError::MissingAck {
+        match decode_ack(&frame) {
+            Ok(ack) if ack.status == ACK => Ok(()),
+            // The synchronous group has no retransmit buffer, so a
+            // corrupt-frame NAK surfaces like any other rejection.
+            Ok(_) => Err(ReplError::Nak { replica: idx }),
+            Err(_) => Err(ReplError::MissingAck {
                 replica: idx,
-                got: other.first().copied(),
+                got: frame.first().copied(),
             }),
         }
     }
@@ -264,10 +276,18 @@ where
             Err(prins_net::NetError::Disconnected) => return Ok(applier.applied()),
             Err(e) => return Err(e.into()),
         };
-        match applier.apply(&payload) {
-            Ok(_) => transport.send(&[ACK])?,
+        match applier.handle(&payload) {
+            Ok(Applied::Data(_)) => transport.send(&encode_ack(ACK, applier.last_epoch()))?,
+            Ok(Applied::Digest(digest)) => {
+                transport.send(&encode_digest_ack(applier.last_epoch(), digest))?;
+            }
+            Err(ReplError::ChecksumMismatch { .. }) => {
+                // The frame was damaged, not invalid — ask for a
+                // retransmit and stay up; nothing was applied.
+                transport.send(&encode_ack(NAK_CORRUPT, applier.last_epoch()))?;
+            }
             Err(e) => {
-                transport.send(&[NAK])?;
+                transport.send(&encode_ack(NAK, applier.last_epoch()))?;
                 return Err(e);
             }
         }

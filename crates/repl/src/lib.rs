@@ -52,11 +52,17 @@ mod error;
 mod group;
 mod mode;
 mod payload;
+mod seal;
 mod strategy;
 
-pub use apply::ReplicaApplier;
+pub use apply::{Applied, ReplicaApplier};
 pub use error::ReplError;
 pub use group::{run_replica, verify_consistent, AckPolicy, ReplicationGroup, ACK, NAK};
 pub use mode::ReplicationMode;
 pub use payload::{BatchFrame, Payload, PayloadBody, BATCH_TAG};
+pub use seal::{
+    decode_ack, decode_digest_request, encode_ack, encode_digest_ack, encode_digest_request,
+    is_digest_request, is_sealed, open_frame, seal_frame, AckFrame, DIGEST_ACK, DIGEST_REQ_TAG,
+    NAK_CORRUPT, SEAL_TAG,
+};
 pub use strategy::{CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator};

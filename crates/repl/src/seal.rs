@@ -1,0 +1,346 @@
+//! Sealed wire envelope: epoch tagging + CRC32C end-to-end integrity.
+//!
+//! PRINS's backward parity computation `A_new = P' ⊕ A_old` silently
+//! fabricates garbage if either side of the XOR is wrong, so the wire
+//! format cannot rely on TCP's checksum alone (it is too weak and it
+//! ends at the NIC, not at the disk). Every frame the pipelined sender
+//! or the cluster puts on the wire is wrapped in a *seal*:
+//!
+//! ```text
+//! sealed := tag(6) varint(epoch) crc32c(u32 LE) inner-frame
+//! ```
+//!
+//! * **epoch** — the primary's view of the replica's connection
+//!   generation. It is bumped every time the replica goes offline or
+//!   rejoins, and the replica echoes the epoch of the last sealed frame
+//!   it received in every acknowledgement. That makes stale in-flight
+//!   acks from before a rejoin *identifiable* instead of guessable —
+//!   the fix for the stale-ack resync-credit bug.
+//! * **crc32c** — covers the epoch and the entire inner frame.
+//!   Verified before the inner frame is even parsed; a failed check is
+//!   [`ReplError::ChecksumMismatch`], answered with [`NAK_CORRUPT`] so
+//!   the sender retransmits instead of tearing the link down.
+//!
+//! Acknowledgements grow the same epoch tag:
+//!
+//! ```text
+//! ack := status(u8) varint(epoch)        status ∈ {ACK, NAK, NAK_CORRUPT}
+//! digest-ack := tag(0x19) varint(epoch) crc32c(u32 LE)
+//! ```
+//!
+//! A bare `[ACK]`/`[NAK]` byte still decodes (as epoch 0) so unsealed
+//! peers keep working.
+//!
+//! The scrubber's digest probe is a third frame kind:
+//!
+//! ```text
+//! digest-req := tag(7) varint(lba)
+//! ```
+//!
+//! The replica answers with the CRC32C of the block *as read back from
+//! its disk*, which is what lets the primary detect replica-side media
+//! corruption that no wire checksum can see.
+
+use prins_block::{crc32c, crc32c_append, Lba};
+use prins_parity::{decode_varint, encode_varint};
+
+use crate::{ReplError, ACK, NAK};
+
+/// Wire tag of a sealed envelope (payload tags are 0–4, batch is 5).
+pub const SEAL_TAG: u8 = 6;
+/// Wire tag of a scrub digest request.
+pub const DIGEST_REQ_TAG: u8 = 7;
+/// Acknowledgement status: frame failed its integrity check; the sender
+/// should retransmit (the frame was damaged in flight, not rejected).
+pub const NAK_CORRUPT: u8 = 0x18;
+/// Acknowledgement status of a digest response (carries a CRC32C).
+pub const DIGEST_ACK: u8 = 0x19;
+
+fn seal_crc(epoch: u64, inner: &[u8]) -> u32 {
+    crc32c_append(crc32c(&epoch.to_le_bytes()), inner)
+}
+
+/// Wraps `inner` in a sealed envelope tagged with `epoch`.
+pub fn seal_frame(epoch: u64, inner: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(inner.len() + 16);
+    out.push(SEAL_TAG);
+    encode_varint(&mut out, epoch);
+    out.extend_from_slice(&seal_crc(epoch, inner).to_le_bytes());
+    out.extend_from_slice(inner);
+    out
+}
+
+/// Whether `bytes` starts like a sealed envelope.
+pub fn is_sealed(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&SEAL_TAG)
+}
+
+/// Opens a sealed envelope, returning `(epoch, inner-frame)`.
+///
+/// # Errors
+///
+/// * [`ReplError::Malformed`] if the envelope structure is broken,
+/// * [`ReplError::ChecksumMismatch`] if the CRC32C does not cover the
+///   bytes received — the frame was corrupted in flight.
+pub fn open_frame(bytes: &[u8]) -> Result<(u64, &[u8]), ReplError> {
+    let (&tag, rest) = bytes
+        .split_first()
+        .ok_or_else(|| ReplError::Malformed("empty sealed frame".into()))?;
+    if tag != SEAL_TAG {
+        return Err(ReplError::Malformed(format!(
+            "sealed frame tag {tag} != {SEAL_TAG}"
+        )));
+    }
+    let (epoch, used) =
+        decode_varint(rest).ok_or_else(|| ReplError::Malformed("truncated seal epoch".into()))?;
+    let rest = &rest[used..];
+    if rest.len() < 4 {
+        return Err(ReplError::Malformed("truncated seal checksum".into()));
+    }
+    let expected = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+    let inner = &rest[4..];
+    let got = seal_crc(epoch, inner);
+    if got != expected {
+        return Err(ReplError::ChecksumMismatch { expected, got });
+    }
+    Ok((epoch, inner))
+}
+
+/// A decoded acknowledgement frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckFrame {
+    /// [`ACK`], [`NAK`], [`NAK_CORRUPT`] or [`DIGEST_ACK`].
+    pub status: u8,
+    /// Epoch of the last sealed frame the replica received (0 when the
+    /// replica has never seen a seal, or for bare legacy acks).
+    pub epoch: u64,
+    /// Block digest, present only for [`DIGEST_ACK`] responses.
+    pub digest: Option<u32>,
+}
+
+/// Encodes an epoch-tagged acknowledgement (`status` + varint epoch).
+pub fn encode_ack(status: u8, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11);
+    out.push(status);
+    encode_varint(&mut out, epoch);
+    out
+}
+
+/// Encodes a digest response: the CRC32C of a block as read from the
+/// replica's own disk.
+pub fn encode_digest_ack(epoch: u64, digest: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(15);
+    out.push(DIGEST_ACK);
+    encode_varint(&mut out, epoch);
+    out.extend_from_slice(&digest.to_le_bytes());
+    out
+}
+
+/// Decodes an acknowledgement frame in any of its shapes: bare legacy
+/// `[ACK]`/`[NAK]` (epoch 0), epoch-tagged status, or a digest
+/// response.
+///
+/// # Errors
+///
+/// [`ReplError::Malformed`] on empty frames, unknown status bytes, or
+/// truncated epoch/digest fields.
+pub fn decode_ack(bytes: &[u8]) -> Result<AckFrame, ReplError> {
+    let (&status, rest) = bytes
+        .split_first()
+        .ok_or_else(|| ReplError::Malformed("empty ack frame".into()))?;
+    if !matches!(status, ACK | NAK | NAK_CORRUPT | DIGEST_ACK) {
+        return Err(ReplError::Malformed(format!(
+            "unknown ack status {status:#04x}"
+        )));
+    }
+    if rest.is_empty() && (status == ACK || status == NAK) {
+        // Legacy single-byte acknowledgement.
+        return Ok(AckFrame {
+            status,
+            epoch: 0,
+            digest: None,
+        });
+    }
+    let (epoch, used) =
+        decode_varint(rest).ok_or_else(|| ReplError::Malformed("truncated ack epoch".into()))?;
+    let rest = &rest[used..];
+    let digest = if status == DIGEST_ACK {
+        if rest.len() != 4 {
+            return Err(ReplError::Malformed("truncated digest".into()));
+        }
+        Some(u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]))
+    } else {
+        if !rest.is_empty() {
+            return Err(ReplError::Malformed(format!(
+                "{} trailing bytes after ack",
+                rest.len()
+            )));
+        }
+        None
+    };
+    Ok(AckFrame {
+        status,
+        epoch,
+        digest,
+    })
+}
+
+/// Encodes a scrub digest request for `lba`.
+pub fn encode_digest_request(lba: Lba) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11);
+    out.push(DIGEST_REQ_TAG);
+    encode_varint(&mut out, lba.index());
+    out
+}
+
+/// Whether `bytes` starts like a digest request.
+pub fn is_digest_request(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&DIGEST_REQ_TAG)
+}
+
+/// Decodes a digest request, returning the probed LBA.
+///
+/// # Errors
+///
+/// [`ReplError::Malformed`] on a wrong tag, truncated varint, or
+/// trailing bytes.
+pub fn decode_digest_request(bytes: &[u8]) -> Result<Lba, ReplError> {
+    let (&tag, rest) = bytes
+        .split_first()
+        .ok_or_else(|| ReplError::Malformed("empty digest request".into()))?;
+    if tag != DIGEST_REQ_TAG {
+        return Err(ReplError::Malformed(format!(
+            "digest request tag {tag} != {DIGEST_REQ_TAG}"
+        )));
+    }
+    let (lba, used) = decode_varint(rest)
+        .ok_or_else(|| ReplError::Malformed("truncated digest request lba".into()))?;
+    if used != rest.len() {
+        return Err(ReplError::Malformed(
+            "trailing bytes after digest request".into(),
+        ));
+    }
+    Ok(Lba(lba))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seal_roundtrips() {
+        for epoch in [0u64, 1, 127, 128, u64::MAX] {
+            let inner = vec![1u8, 2, 3, 4, 5];
+            let sealed = seal_frame(epoch, &inner);
+            assert!(is_sealed(&sealed));
+            let (e, i) = open_frame(&sealed).unwrap();
+            assert_eq!((e, i), (epoch, inner.as_slice()));
+        }
+    }
+
+    #[test]
+    fn open_rejects_structure_and_corruption() {
+        assert!(open_frame(&[]).is_err());
+        assert!(open_frame(&[0, 1, 2]).is_err());
+        assert!(open_frame(&[SEAL_TAG]).is_err());
+        assert!(open_frame(&[SEAL_TAG, 0x80]).is_err()); // dangling varint
+        assert!(open_frame(&[SEAL_TAG, 0, 1, 2]).is_err()); // short crc
+        let mut sealed = seal_frame(3, b"payload");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x01;
+        assert!(matches!(
+            open_frame(&sealed),
+            Err(ReplError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn acks_roundtrip_in_all_shapes() {
+        for (status, epoch) in [(ACK, 0u64), (ACK, 9), (NAK, 3), (NAK_CORRUPT, 1 << 40)] {
+            let frame = encode_ack(status, epoch);
+            assert_eq!(
+                decode_ack(&frame).unwrap(),
+                AckFrame {
+                    status,
+                    epoch,
+                    digest: None
+                }
+            );
+        }
+        // Legacy bare bytes still decode as epoch 0.
+        for status in [ACK, NAK] {
+            assert_eq!(
+                decode_ack(&[status]).unwrap(),
+                AckFrame {
+                    status,
+                    epoch: 0,
+                    digest: None
+                }
+            );
+        }
+        let digest = encode_digest_ack(7, 0xdead_beef);
+        assert_eq!(
+            decode_ack(&digest).unwrap(),
+            AckFrame {
+                status: DIGEST_ACK,
+                epoch: 7,
+                digest: Some(0xdead_beef)
+            }
+        );
+    }
+
+    #[test]
+    fn decode_ack_rejects_garbage() {
+        assert!(decode_ack(&[]).is_err());
+        assert!(decode_ack(&[0x7f]).is_err());
+        assert!(decode_ack(&[NAK_CORRUPT]).is_err()); // corrupt-nak needs an epoch
+        assert!(decode_ack(&[ACK, 0x80]).is_err()); // dangling varint
+        assert!(decode_ack(&[ACK, 0, 9]).is_err()); // trailing byte
+        assert!(decode_ack(&[DIGEST_ACK, 0, 1, 2]).is_err()); // short digest
+    }
+
+    #[test]
+    fn digest_request_roundtrips() {
+        let req = encode_digest_request(Lba(12345));
+        assert!(is_digest_request(&req));
+        assert_eq!(decode_digest_request(&req).unwrap(), Lba(12345));
+        assert!(decode_digest_request(&[DIGEST_REQ_TAG]).is_err());
+        assert!(decode_digest_request(&[DIGEST_REQ_TAG, 0, 0]).is_err());
+        assert!(decode_digest_request(&[0, 0]).is_err());
+    }
+
+    proptest! {
+        /// Sealed frames round-trip for arbitrary epochs and inner bytes.
+        #[test]
+        fn prop_seal_roundtrip(epoch in any::<u64>(),
+                               inner in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let sealed = seal_frame(epoch, &inner);
+            let (e, i) = open_frame(&sealed).unwrap();
+            prop_assert_eq!(e, epoch);
+            prop_assert_eq!(i, inner.as_slice());
+        }
+
+        /// Any single-bit flip anywhere in a sealed frame is rejected —
+        /// it never opens successfully, so corruption cannot be applied.
+        #[test]
+        fn prop_any_single_bit_flip_is_rejected(
+                epoch in any::<u64>(),
+                inner in proptest::collection::vec(any::<u8>(), 0..128),
+                byte in any::<prop::sample::Index>(),
+                bit in 0u8..8) {
+            let mut sealed = seal_frame(epoch, &inner);
+            let at = byte.index(sealed.len());
+            sealed[at] ^= 1 << bit;
+            prop_assert!(open_frame(&sealed).is_err());
+        }
+
+        /// Arbitrary bytes never panic the openers/decoders.
+        #[test]
+        fn prop_decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = open_frame(&bytes);
+            let _ = decode_ack(&bytes);
+            let _ = decode_digest_request(&bytes);
+        }
+    }
+}

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! sim-replay <seed>                  replay one fuzz seed, print trace + verdict
-//! sim-replay scenario <name|all>     run named scenario(s)
+//! sim-replay scenario <name|prefix*|all> [--events]
+//!                                    run named scenario(s); --events prints
+//!                                    each run's deterministic event-count
+//!                                    summary (diffed against a golden in CI)
 //! sim-replay corpus <file> [--fresh N] [--append-failures]
 //!                                    run every seed in <file> plus N fresh
 //!                                    random seeds; print failing seeds;
@@ -121,40 +124,45 @@ fn run_corpus(path: &str, fresh: usize, append_failures: bool) -> bool {
     failures.is_empty()
 }
 
-fn run_scenarios(name: &str) -> bool {
-    if name == "all" {
-        let mut ok = true;
-        for (name, _) in SCENARIOS {
-            match run_scenario(name) {
-                Ok(()) => println!("scenario {name}: ok"),
-                Err(e) => {
-                    println!("scenario {name}: FAILED: {e}");
-                    ok = false;
-                }
-            }
-        }
-        ok
+fn run_scenarios(pattern: &str, events: bool) -> bool {
+    // `all` runs everything; a trailing `*` runs every scenario with
+    // that prefix (how CI pins the corruption_* event-summary golden).
+    let names: Vec<&str> = if pattern == "all" {
+        SCENARIOS.iter().map(|(n, _)| *n).collect()
+    } else if let Some(prefix) = pattern.strip_suffix('*') {
+        SCENARIOS
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|n| n.starts_with(prefix))
+            .collect()
     } else {
+        vec![pattern]
+    };
+    if names.is_empty() {
+        println!("no scenario matches '{pattern}'");
+        return false;
+    }
+    let mut ok = true;
+    for name in names {
         match run_scenario(name) {
-            Ok(()) => {
-                println!("scenario {name}: ok");
-                true
-            }
+            Ok(summary) if events => println!("scenario {name}: {summary}"),
+            Ok(_) => println!("scenario {name}: ok"),
             Err(e) => {
                 println!("scenario {name}: FAILED: {e}");
-                false
+                ok = false;
             }
         }
     }
+    ok
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ok = match args.first().map(String::as_str) {
         Some("scenario") => match args.get(1) {
-            Some(name) => run_scenarios(name),
+            Some(name) => run_scenarios(name, args.iter().any(|a| a == "--events")),
             None => {
-                eprintln!("usage: sim-replay scenario <name|all>");
+                eprintln!("usage: sim-replay scenario <name|prefix*|all> [--events]");
                 false
             }
         },

@@ -13,6 +13,18 @@
 //! Generation is constrained to schedules the protocol *claims* to
 //! survive:
 //!
+//! * Bit flips on data frames keep the ack stream aligned (the replica
+//!   still answers, with `NAK_CORRUPT`), but are generated only for the
+//!   same closed-loop, surplus-free schedules as silent data drops —
+//!   the fuzzer itself proved both halves of that constraint. Inside a
+//!   pipelined window a *later* same-LBA frame can be sent — and
+//!   applied against a base missing the damaged frame's update — before
+//!   the NAK is collected, transiently violating the per-op historical
+//!   oracle (repaired as soon as the NAK surfaces). And a surplus
+//!   duplicated ack credits the rejected frame outright, exactly as it
+//!   would a silently dropped one. In the closed-loop, surplus-free
+//!   regime the NAK lands before anything else is sent, so corruption
+//!   is always detected before it can skew a base.
 //! * Duplication and reordering are injected on the ack direction only
 //!   — duplicating a PRINS data frame double-applies a parity; no
 //!   storage protocol survives a network that rewrites payload
@@ -58,6 +70,18 @@ pub enum SimOp {
     Restore {
         /// Replica index.
         link: usize,
+    },
+    /// Flip one bit in each of the next `n` data frames toward a
+    /// replica. Unlike a drop, the damaged frame still arrives and
+    /// still draws a response (`NAK_CORRUPT`), so the ack stream stays
+    /// aligned — the seal must detect every flip and resync must
+    /// repair it. Generated only at `ack_window == 1` (see the module
+    /// docs for why pipelined windows can transiently skew a base).
+    CorruptData {
+        /// Replica index.
+        link: usize,
+        /// Frames to damage.
+        n: u32,
     },
     /// Silently drop the next `n` data frames toward a replica.
     DropData {
@@ -147,10 +171,21 @@ pub fn generate(seed: u64) -> FuzzCase {
         let link = rng.random_range(0usize..replicas);
         let roll = rng.random_range(0u32..100);
         ops.push(match roll {
-            0..=54 => SimOp::Write {
+            0..=49 => SimOp::Write {
                 lba: rng.random_range(0..blocks),
                 tag: rng.random_range(0u32..=255) as u8,
             },
+            // Bit flips keep FIFO credit aligned (the damaged frame
+            // still draws a NAK_CORRUPT) but need the closed-loop,
+            // surplus-free schedules — see the module docs.
+            50..=54 => {
+                let n = rng.random_range(1u32..=2);
+                if data_drops {
+                    SimOp::CorruptData { link, n }
+                } else {
+                    SimOp::DropAcks { link, n }
+                }
+            }
             55..=62 => SimOp::Sever { link },
             63..=72 => SimOp::Restore { link },
             73..=78 => {
@@ -204,6 +239,7 @@ fn apply(w: &mut ClusterWorld, op: SimOp, replicas: usize) {
                 ctl.restore();
             }
         }
+        SimOp::CorruptData { link, n } => w.ctl(link % replicas).corrupt_next(Dir::AtoB, n),
         SimOp::DropData { link, n } => w.ctl(link % replicas).drop_next(Dir::AtoB, n),
         SimOp::DropAcks { link, n } => w.ctl(link % replicas).drop_next(Dir::BtoA, n),
         SimOp::DupAck { link } => w.ctl(link % replicas).dup_next(Dir::BtoA, 1),

@@ -1,12 +1,14 @@
 //! Named fault scenarios: scripted schedules over the simulation
 //! worlds, each ending in quiescence and the full invariant set.
 //!
-//! Every scenario is a plain function returning `Ok(())` or a
+//! Every scenario is a plain function returning the run's deterministic
+//! event-count summary (the `sim-replay --events` golden) or a
 //! description of the violated invariant; the [`SCENARIOS`] table maps
 //! names to functions for the test suite and the `sim-replay` binary.
 
 use std::time::Duration;
 
+use prins_block::BlockDevice;
 use prins_cluster::{ClusterConfig, ClusterError, ReplicaState, ResyncStrategy};
 use prins_net::Dir;
 
@@ -27,7 +29,7 @@ fn cluster_config(ack_window: usize, write_quorum: usize) -> ClusterConfig {
 /// A link repeatedly drops and recovers while writes keep flowing; the
 /// flapping replica degrades, misses writes, and must delta-resync back
 /// to bit-identity.
-pub fn link_flap() -> Result<(), String> {
+pub fn link_flap() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     let mut tag = 0u8;
     for flap in 0..4 {
@@ -45,14 +47,14 @@ pub fn link_flap() -> Result<(), String> {
         w.quiesce(ResyncStrategy::ParityLog)?;
         w.check_invariants()?;
     }
-    Ok(())
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// The replica's link dies *while a parity-log resync is replaying*:
 /// already-sent but unacknowledged resync frames must be re-marked
 /// uncertain, and the second resync must fall back to full images for
 /// them instead of double-applying parity chains.
-pub fn crash_mid_resync() -> Result<(), String> {
+pub fn crash_mid_resync() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     for lba in 0..8 {
         w.write_tag(lba, 1).map_err(op_err)?;
@@ -78,13 +80,14 @@ pub fn crash_mid_resync() -> Result<(), String> {
     w.check_historical()?;
     w.ctl(0).restore();
     w.quiesce(ResyncStrategy::ParityLog)?;
-    w.check_invariants()
+    w.check_invariants()?;
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// Acknowledgements come back out of order (and one pair of
 /// distinct-LBA data frames swaps on the wire); per-LBA apply order and
 /// final bit-identity must survive.
-pub fn reorder() -> Result<(), String> {
+pub fn reorder() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(4, 0), Duration::from_micros(200));
     w.ctl(0).reorder_next(Dir::BtoA);
     for lba in 0..8 {
@@ -97,13 +100,14 @@ pub fn reorder() -> Result<(), String> {
     w.write_tag(11, 2).map_err(op_err)?;
     w.cluster_mut().drain();
     w.quiesce(ResyncStrategy::ParityLog)?;
-    w.check_invariants()
+    w.check_invariants()?;
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// An acknowledgement is duplicated on the wire. The ack-stream
 /// alignment logic must absorb the stray ack without crediting a write
 /// that was never applied.
-pub fn dup() -> Result<(), String> {
+pub fn dup() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(2, 0), Duration::from_micros(200));
     w.ctl(0).dup_next(Dir::BtoA, 1);
     for lba in 0..8 {
@@ -111,12 +115,13 @@ pub fn dup() -> Result<(), String> {
     }
     w.cluster_mut().drain();
     w.quiesce(ResyncStrategy::ParityLog)?;
-    w.check_invariants()
+    w.check_invariants()?;
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// A high-latency, per-byte-priced WAN link: correctness is unchanged
 /// and the virtual clock (not the wall clock) pays for the distance.
-pub fn slow_wan() -> Result<(), String> {
+pub fn slow_wan() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(4, 0), Duration::from_micros(200));
     w.ctl(0).set_delay(
         Dir::AtoB,
@@ -136,13 +141,14 @@ pub fn slow_wan() -> Result<(), String> {
         return Err(format!("WAN round-trips cost only {now} virtual ns"));
     }
     w.quiesce(ResyncStrategy::ParityLog)?;
-    w.check_invariants()
+    w.check_invariants()?;
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// Every replica link dies under a `write_quorum` of 2: writes must
 /// fail with `QuorumLost` (while still landing on the primary), and the
 /// cluster must recover to bit-identity once links return.
-pub fn quorum_loss() -> Result<(), String> {
+pub fn quorum_loss() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 2), Duration::from_micros(200));
     for lba in 0..4 {
         w.write_tag(lba, 1).map_err(op_err)?;
@@ -162,14 +168,15 @@ pub fn quorum_loss() -> Result<(), String> {
     }
     w.check_historical()?;
     w.quiesce(ResyncStrategy::DirtyBitmap)?;
-    w.check_invariants()
+    w.check_invariants()?;
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// Engine pipeline: XOR-fold coalescing under load, then a link dies
 /// mid-stream ("crash"). The flush must report the failure, surviving
 /// replicas must be bit-identical, and the dead replica must hold a
 /// historical prefix — never a torn or double-applied state.
-pub fn fold_then_crash() -> Result<(), String> {
+pub fn fold_then_crash() -> Result<String, String> {
     let mut w = EngineWorld::new(EngineWorldConfig {
         coalesce: true,
         ack_window: 8,
@@ -199,13 +206,13 @@ pub fn fold_then_crash() -> Result<(), String> {
     if w.engine().stats().coalesced_writes == 0 {
         return Err("workload produced no coalesced writes".into());
     }
-    Ok(())
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// The primary prunes its parity log past a lagging replica's first
 /// miss; a parity-log rejoin must detect the gap and fall back to full
 /// block images instead of replaying a truncated chain.
-pub fn prune_then_rejoin() -> Result<(), String> {
+pub fn prune_then_rejoin() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     for lba in 0..8 {
         w.write_tag(lba, 1).map_err(op_err)?;
@@ -224,14 +231,14 @@ pub fn prune_then_rejoin() -> Result<(), String> {
     if resync_bytes == 0 {
         return Err("pruned-log rejoin shipped no resync bytes".into());
     }
-    Ok(())
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// Engine pipeline: `flush()` is called while a replica link is down.
 /// The barrier must complete (not hang), report the lane failure, and
 /// leave the surviving replica bit-identical after a second, clean
 /// flush.
-pub fn flush_during_link_failure() -> Result<(), String> {
+pub fn flush_during_link_failure() -> Result<String, String> {
     let mut w = EngineWorld::new(EngineWorldConfig {
         ack_window: 4,
         ..Default::default()
@@ -257,21 +264,23 @@ pub fn flush_during_link_failure() -> Result<(), String> {
     w.write_tag(3, 3)?;
     let _ = w.flush();
     w.check_historical()?;
-    w.check_obs()
+    w.check_obs()?;
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// A data frame is silently dropped by the network (the sender's
 /// `send()` succeeds). The lost acknowledgement times out, the block is
 /// marked *uncertain*-dirty, and the delta resync must ship a full
 /// image — a parity replay could not know whether the frame arrived.
-pub fn drop_data_frame() -> Result<(), String> {
+pub fn drop_data_frame() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     w.write_tag(5, 1).map_err(op_err)?;
     w.ctl(0).drop_next(Dir::AtoB, 1);
     let _ = w.write_tag(5, 2); // ack times out; replica 0 degrades
     w.check_historical()?;
     w.quiesce(ResyncStrategy::ParityLog)?;
-    w.check_invariants()
+    w.check_invariants()?;
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 /// The mirror image of [`drop_data_frame`]: the frame arrives and is
@@ -279,23 +288,119 @@ pub fn drop_data_frame() -> Result<(), String> {
 /// distinguish the two cases; replaying the parity chain here would XOR
 /// the parity in twice. The uncertain-dirty fallback must keep the
 /// replica on a historical state.
-pub fn lost_ack_resync() -> Result<(), String> {
+pub fn lost_ack_resync() -> Result<String, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     w.write_tag(5, 1).map_err(op_err)?;
     w.ctl(0).drop_next(Dir::BtoA, 1);
     let _ = w.write_tag(5, 2); // applied on the replica, ack lost
     w.check_historical()?;
     w.quiesce(ResyncStrategy::ParityLog)?;
-    w.check_invariants()
+    w.check_invariants()?;
+    Ok(w.registry().snapshot().event_summary_json())
+}
+
+/// A data frame takes a bit flip on the wire. The seal's CRC32C catches
+/// it at the replica (`NAK_CORRUPT`), the block goes uncertain-dirty,
+/// and resync restores bit-identity — the corruption is *detected*,
+/// never silently applied as a garbage XOR base.
+pub fn corruption_wire_flip() -> Result<String, String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
+    for lba in 0..8 {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    w.ctl(0).corrupt_next(Dir::AtoB, 1);
+    let _ = w.write_tag(5, 2); // damaged in flight; replica 0 rejects it
+    w.check_historical()?;
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()?;
+    let failures = w.registry().snapshot().counters["checksum_failures"];
+    if failures == 0 {
+        return Err("wire bit flip produced no detected checksum failure".into());
+    }
+    Ok(w.registry().snapshot().event_summary_json())
+}
+
+/// Bit flips land on the wire *and* on a replica's disk. The wire flip
+/// is caught by the frame seal; the media flip — invisible to any wire
+/// checksum — is caught by the scrubber's read-back digest probes and
+/// repaired through resync. The history oracle proves the corruption
+/// was never laundered into a "valid" state.
+pub fn corruption_scrub_repair() -> Result<String, String> {
+    let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
+    for lba in 0..8 {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    // Wire fault: one damaged data frame, detected and resynced.
+    w.ctl(0).corrupt_next(Dir::AtoB, 1);
+    let _ = w.write_tag(3, 2);
+    w.quiesce(ResyncStrategy::ParityLog)?;
+
+    // Media fault: flip one bit on replica 0's disk behind the wire.
+    let dev = w.replica_dev(0);
+    let victim = prins_block::Lba(6);
+    let mut block = dev.read_block_vec(victim).map_err(op_err)?;
+    block[11] ^= 0x08;
+    dev.write_block(victim, &block).map_err(op_err)?;
+
+    let outcomes = w.cluster_mut().scrub(0, 1).map_err(op_err)?;
+    let repaired: usize = outcomes.iter().map(|(_, o)| o.repaired).sum();
+    if repaired == 0 {
+        return Err("scrub found nothing to repair after a disk bit flip".into());
+    }
+    w.net().run_until_idle();
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()?;
+    let snap = w.registry().snapshot();
+    if snap.counters["checksum_failures"] == 0 {
+        return Err("no detected checksum failure".into());
+    }
+    if snap.counters["scrub_repairs"] == 0 {
+        return Err("no scrub repair recorded".into());
+    }
+    Ok(w.registry().snapshot().event_summary_json())
+}
+
+/// Engine pipeline: three bit flips land on the same frame (the first
+/// copy and two retransmissions). The lane's bounded retransmit absorbs
+/// all of them — the flush *succeeds*, replicas end bit-identical, and
+/// the counters show the corruption was detected, not ignored.
+pub fn corruption_wire_retransmit() -> Result<String, String> {
+    // Closed-loop window: retransmission is only attempted when the
+    // damaged frame is the sole in-flight one.
+    let mut w = EngineWorld::new(EngineWorldConfig {
+        blocks: 8,
+        ack_window: 1,
+        ..Default::default()
+    });
+    w.ctl(0).corrupt_next(Dir::AtoB, 3);
+    for round in 0..3u8 {
+        for lba in 0..8 {
+            w.write_tag(lba, round + 1)?;
+        }
+    }
+    w.flush()
+        .map_err(|e| format!("retransmission should absorb wire corruption: {e}"))?;
+    w.check_identity()?;
+    w.check_order()?;
+    w.check_conservation()?;
+    w.check_obs()?;
+    let snap = w.registry().snapshot();
+    if snap.counters["checksum_failures"] == 0 {
+        return Err("no detected checksum failure".into());
+    }
+    if snap.counters["retransmits"] == 0 {
+        return Err("no retransmission recorded".into());
+    }
+    Ok(w.registry().snapshot().event_summary_json())
 }
 
 fn op_err(e: impl std::fmt::Display) -> String {
     format!("unexpected operation failure: {e}")
 }
 
-/// A named scenario: a zero-argument run returning `Ok` or the
-/// violated invariant.
-pub type ScenarioFn = fn() -> Result<(), String>;
+/// A named scenario: a zero-argument run returning the deterministic
+/// event-count summary on success, or the violated invariant.
+pub type ScenarioFn = fn() -> Result<String, String>;
 
 /// Every named scenario, in a stable order.
 pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
@@ -310,14 +415,17 @@ pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
     ("flush_during_link_failure", flush_during_link_failure),
     ("drop_data_frame", drop_data_frame),
     ("lost_ack_resync", lost_ack_resync),
+    ("corruption_wire_flip", corruption_wire_flip),
+    ("corruption_scrub_repair", corruption_scrub_repair),
+    ("corruption_wire_retransmit", corruption_wire_retransmit),
 ];
 
-/// Runs one scenario by name.
+/// Runs one scenario by name, returning its event-count summary.
 ///
 /// # Errors
 ///
 /// The invariant violation, or an unknown-name error.
-pub fn run_scenario(name: &str) -> Result<(), String> {
+pub fn run_scenario(name: &str) -> Result<String, String> {
     match SCENARIOS.iter().find(|(n, _)| *n == name) {
         Some((_, f)) => f(),
         None => Err(format!("unknown scenario '{name}'")),

@@ -21,7 +21,10 @@ use prins_cluster::{
 use prins_core::{EngineBuilder, PrinsEngine};
 use prins_net::{SimLinkCtl, SimNet, SimTransport, Transport};
 use prins_obs::{EventKind, Registry};
-use prins_repl::{AckPolicy, BatchFrame, Payload, ReplicaApplier, ACK, NAK};
+use prins_repl::{
+    encode_ack, encode_digest_ack, is_sealed, open_frame, AckPolicy, Applied, BatchFrame, Payload,
+    ReplError, ReplicaApplier, ACK, NAK, NAK_CORRUPT,
+};
 
 /// FNV-1a over a block image — the oracle's content fingerprint.
 pub fn content_hash(bytes: &[u8]) -> u64 {
@@ -75,13 +78,25 @@ fn spawn_replica(
     let dev = Arc::clone(&device);
     let tr = b.clone();
     let replica_ep = b.endpoint_index();
+    // The applier lives outside the actor closure: it must keep its
+    // last-seen epoch and per-LBA checksum table across deliveries, or
+    // every ack would regress to epoch 0 and verify-on-apply would
+    // never see a stale base. Strict mode: a bit flip on the seal tag
+    // itself must not let a damaged frame bypass verification.
+    let mut applier = ReplicaApplier::new(dev).require_sealed(true);
     net.set_actor(
         &b,
         Box::new(move || {
-            let mut applier = ReplicaApplier::new(&*dev);
             while let Ok(Some(frame)) = tr.try_recv() {
-                let ok = applier.apply(&frame).is_ok();
-                let _ = tr.send(&[if ok { ACK } else { NAK }]);
+                let ack = match applier.handle(&frame) {
+                    Ok(Applied::Data(_)) => encode_ack(ACK, applier.last_epoch()),
+                    Ok(Applied::Digest(d)) => encode_digest_ack(applier.last_epoch(), d),
+                    Err(ReplError::ChecksumMismatch { .. }) => {
+                        encode_ack(NAK_CORRUPT, applier.last_epoch())
+                    }
+                    Err(_) => encode_ack(NAK, applier.last_epoch()),
+                };
+                let _ = tr.send(&ack);
             }
         }),
     );
@@ -89,7 +104,19 @@ fn spawn_replica(
 }
 
 /// Extracts the LBAs a wire frame writes to (batch frames recurse).
+/// Sealed envelopes are unwrapped first; a frame that fails its
+/// integrity check — corrupted in flight — writes nothing, and digest
+/// probes are reads, so both contribute no LBAs.
 fn frame_lbas(bytes: &[u8]) -> Vec<u64> {
+    if is_sealed(bytes) {
+        return match open_frame(bytes) {
+            Ok((_, inner)) => frame_lbas(inner),
+            Err(_) => Vec::new(),
+        };
+    }
+    if prins_repl::is_digest_request(bytes) {
+        return Vec::new();
+    }
     if BatchFrame::is_batch(bytes) {
         match BatchFrame::from_bytes(bytes) {
             Ok(frame) => frame
@@ -430,12 +457,12 @@ impl ClusterWorld {
     }
 
     /// Byte conservation: what the cluster booked as sent (foreground +
-    /// resync) must equal what actually hit each wire.
+    /// resync + scrub probes) must equal what actually hit each wire.
     pub fn check_conservation(&self) -> Result<(), String> {
         for idx in 0..self.cluster.replica_count() {
             let status = self.cluster.status(idx);
             let sent = self.primary_ends[idx].meter().payload_bytes_sent();
-            let booked = status.foreground_bytes + status.resync_bytes;
+            let booked = status.foreground_bytes + status.resync_bytes + status.scrub_bytes;
             if sent != booked {
                 return Err(format!(
                     "replica {idx} byte accounting: wire saw {sent}, cluster booked {booked}"
