@@ -16,6 +16,10 @@ cd "$(dirname "$0")"
 # prins-obs metrics crate and any future additions.
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+# The GF(256)/Reed-Solomon core is kernel-adjacent code: hold it to the
+# lint gate on its own as well, so a workspace-level allow can never
+# mask a warning in it.
+cargo clippy -p prins-ec -- -D warnings
 cargo build --release
 cargo bench --workspace --no-run     # criterion benches must keep compiling
 # Cap test parallelism: the pipeline/cluster suites spawn their own
@@ -43,3 +47,10 @@ cargo run -q --release -p prins-bench --bin obs-dump -- --ops 300 --summary \
 # changed — regenerate with the same command if that was intentional.
 cargo run -q --release -p prins-sim --bin sim-replay -- scenario 'corruption_*' --events \
     | diff tests/corruption_golden.txt -
+# Erasure-coding determinism gate: the ec_rebuild_* scenarios kill one
+# and two strip-holding nodes mid-workload, rebuild them from k
+# survivors, and verify every strip re-encodes the logical image. Their
+# event-count summaries must replay byte-identically — regenerate with
+# the same command if the EC write/rebuild paths changed intentionally.
+cargo run -q --release -p prins-sim --bin sim-replay -- scenario 'ec_rebuild_*' --events \
+    | diff tests/ec_golden.txt -

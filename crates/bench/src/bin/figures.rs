@@ -7,6 +7,7 @@
 //! figures overhead writerate  # the §4/§3.3 scalar measurements
 //! figures resync              # replica catch-up traffic per resync strategy
 //! figures pipeline            # pipelined vs serial replication throughput
+//! figures ec                  # erasure-coded storage + repair-bandwidth economics
 //! figures obs                 # metrics snapshot of a simulated TPC-C mirror
 //! figures --smoke all         # tiny databases (CI-friendly)
 //! ```
@@ -14,9 +15,10 @@
 use std::process::ExitCode;
 
 use prins_bench::{
-    fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw, fig7_fs_micro,
-    fig8_response_t1, fig9_response_t3, measure_traffic, obs_experiment, overhead_experiment,
-    pipeline_experiment, pipeline_figure, resync_figure, write_rate_experiment, TrafficConfig,
+    ec_experiment, fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw,
+    fig7_fs_micro, fig8_response_t1, fig9_response_t3, measure_traffic, obs_experiment,
+    overhead_experiment, pipeline_experiment, pipeline_figure, resync_figure,
+    write_rate_experiment, TrafficConfig,
 };
 use prins_block::BlockSize;
 use prins_workloads::Workload;
@@ -110,6 +112,10 @@ fn main() -> ExitCode {
             ran_any = true;
             println!("{}\n", write_rate_experiment(ops)?);
         }
+        if want("ec") {
+            ran_any = true;
+            println!("{}\n", ec_experiment(ops, bench_scale)?);
+        }
         if want("obs") {
             ran_any = true;
             let snap = obs_experiment(ops)?;
@@ -125,7 +131,7 @@ fn main() -> ExitCode {
     }
     if !ran_any {
         eprintln!(
-            "unknown figure selection {wanted:?}; try: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 resync pipeline overhead writerate obs"
+            "unknown figure selection {wanted:?}; try: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 resync pipeline overhead writerate ec obs"
         );
         return ExitCode::FAILURE;
     }

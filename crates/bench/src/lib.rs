@@ -27,12 +27,14 @@
 //! assert!(prins * 2 < trad, "PRINS must beat traditional");
 //! ```
 
+mod ec;
 mod figures;
 mod obs;
 mod pipeline;
 mod resync;
 mod traffic;
 
+pub use ec::{ec_experiment, EcReport};
 pub use figures::{
     fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw, fig7_fs_micro,
     fig8_response_t1, fig9_response_t3, overhead_experiment, write_rate_experiment, FigureTable,

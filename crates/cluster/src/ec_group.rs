@@ -1,0 +1,868 @@
+//! Erasure-coded replica groups: k-of-n striping with PRINS-style
+//! delta strip updates and repair-bandwidth-aware rebuild.
+//!
+//! A 3-way mirror stores every byte three times. An erasure-coded
+//! group with `k` data strips and `m` parity strips tolerates `m`
+//! node losses at a storage cost of `(k + m) / k` — half of
+//! mirroring's 3× at `k = 4, m = 2` — while keeping PRINS's wire
+//! economics: a small write ships one sparse delta `Δd` to the data
+//! strip's owner and the coefficient-scaled deltas `Δp_i = c_i · Δd`
+//! to each parity owner. Code linearity makes the parity read-
+//! modify-write exact, and `c · 0 = 0` keeps sparse deltas sparse.
+//!
+//! ## Layout
+//!
+//! Logical LBA `l` lives at column `l % k` of stripe `l / k`. Strip
+//! placement rotates with the stripe index so load (and loss) spreads
+//! evenly: stripe `s`'s strip for role `r` (roles `0..k` are data
+//! columns, `k..n` parity) sits on node `(r + s) % n`, at node-local
+//! address `Lba(s)`. A node therefore holds exactly one strip of
+//! every stripe, and losing a node loses one strip per stripe — the
+//! single-erasure rebuild case.
+//!
+//! ## Repair bandwidth
+//!
+//! Rebuilding a lost strip reads exactly `k` surviving strips (not
+//! `n - 1`, and never a full logical image): each survivor answers a
+//! strip-read request with a zero-run-encoded image, the codec
+//! reconstructs the lost strip, and the replacement receives it as a
+//! coefficient-1 delta over its zeroed disk — also sparse. Wire bytes
+//! per stripe are therefore bounded by roughly `(k + 1)/k` times the
+//! survivors' image bytes, and every byte is counted in
+//! [`EcGroup::rebuild_bytes`] so the bound is testable.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use prins_block::{BlockDevice, Lba};
+use prins_net::{Clock, Transport};
+use prins_obs::{Counter, Event, EventKind, Histogram, Registry};
+use prins_parity::{ErasureCodec, SparseCodec};
+use prins_repl::{
+    decode_ack, decode_strip_ack, encode_strip_request, seal_frame, Payload, PayloadBody,
+    ReplError, ACK, NAK, NAK_CORRUPT,
+};
+
+use crate::ClusterError;
+
+/// Maps `(stripe, role)` to a node: rotated placement, so every node
+/// holds one strip of every stripe and rebuild load spreads evenly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EcPlacement {
+    /// Data strips per stripe.
+    pub k: usize,
+    /// Parity strips per stripe.
+    pub m: usize,
+}
+
+impl EcPlacement {
+    /// Total strips (= nodes) per stripe.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// The node holding role `r` (data column if `< k`, else parity
+    /// `r - k`) of stripe `s`.
+    #[must_use]
+    pub fn node_for(&self, stripe: u64, role: usize) -> usize {
+        (role + (stripe as usize % self.n())) % self.n()
+    }
+
+    /// The role node `node` plays in stripe `s` — the inverse of
+    /// [`node_for`](Self::node_for).
+    #[must_use]
+    pub fn role_of(&self, stripe: u64, node: usize) -> usize {
+        let n = self.n();
+        (node + n - (stripe as usize % n)) % n
+    }
+}
+
+/// Observability hookup for an [`EcGroup`].
+struct EcObs {
+    registry: Arc<Registry>,
+    clock: Arc<dyn Clock>,
+    /// Strip-delta frames sent for foreground writes (data + parity).
+    strip_writes: Arc<Counter>,
+    /// Wire bytes of the coefficient-tagged parity deltas.
+    parity_update_bytes: Arc<Counter>,
+    /// Wire bytes moved by rebuilds (requests + survivor images +
+    /// rebuilt strip shipments).
+    rebuild_bytes: Arc<Counter>,
+    /// Reconstructions that failed (too many erasures, corrupt
+    /// survivor contribution, singular repair matrix).
+    decode_failures: Arc<Counter>,
+    /// Wall-clock (or sim-clock) nanoseconds per rebuild.
+    rebuild_nanos: Arc<Histogram>,
+}
+
+impl EcObs {
+    fn new(registry: Arc<Registry>, clock: Arc<dyn Clock>) -> Self {
+        let strip_writes = registry.counter("ec_strip_writes");
+        let parity_update_bytes = registry.counter("ec_parity_update_bytes");
+        let rebuild_bytes = registry.counter("ec_rebuild_bytes");
+        let decode_failures = registry.counter("ec_decode_failures");
+        let rebuild_nanos = registry.histogram("ec_rebuild_nanos");
+        Self {
+            registry,
+            clock,
+            strip_writes,
+            parity_update_bytes,
+            rebuild_bytes,
+            decode_failures,
+            rebuild_nanos,
+        }
+    }
+}
+
+/// One strip-holding node of the group.
+struct EcNode {
+    transport: Box<dyn Transport>,
+    /// Response-stream generation, as in
+    /// [`ClusterGroup`](crate::ClusterGroup): bumped on rejoin so
+    /// stranded responses identify themselves.
+    epoch: u64,
+    down: bool,
+    strip_writes: u64,
+    sent_bytes: u64,
+}
+
+/// Outcome of one erasure-coded write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EcWriteOutcome {
+    /// Strip-delta frames acknowledged (1 data + up to m parity).
+    pub acked: usize,
+    /// Frames skipped because their target node is down.
+    pub skipped: usize,
+    /// Payload bytes put on the wire for this write.
+    pub wire_bytes: u64,
+}
+
+/// Outcome of one node rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EcRebuildReport {
+    /// Stripes reconstructed onto the replacement node.
+    pub stripes: u64,
+    /// Wire bytes moved: strip-read requests, survivor images, and
+    /// rebuilt strip shipments.
+    pub wire_bytes: u64,
+    /// Sum of the k surviving strips' *dense* image bytes per stripe —
+    /// the denominator of the repair-bandwidth bound.
+    pub survivor_image_bytes: u64,
+}
+
+/// Configuration for an [`EcGroup`].
+#[derive(Clone, Copy, Debug)]
+pub struct EcConfig {
+    /// How long to wait for each acknowledgement.
+    pub ack_timeout: Duration,
+}
+
+impl Default for EcConfig {
+    fn default() -> Self {
+        Self {
+            ack_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A primary striping its logical volume k-of-n across strip-holding
+/// nodes, with PRINS delta updates to data *and* parity strips.
+///
+/// `device` holds the primary's logical image (`stripes × k` blocks);
+/// each of the `k + m` transports leads to a node whose device holds
+/// `stripes` strip blocks and whose applier uses the same codec (see
+/// [`prins_repl::run_replica_applier`] and
+/// [`ReplicaApplier::with_codec`](prins_repl::ReplicaApplier::with_codec)).
+///
+/// The group is closed-loop: every strip-delta frame is acknowledged
+/// before [`write`](Self::write) returns, so the strips always equal
+/// `encode(logical)` between writes — the invariant the simulator
+/// checks byte-exactly.
+pub struct EcGroup<D, C> {
+    device: D,
+    codec: C,
+    placement: EcPlacement,
+    sparse: SparseCodec,
+    config: EcConfig,
+    nodes: Vec<EcNode>,
+    stripes: u64,
+    block_size: usize,
+    /// Stripes written while any node was down — the strips a rebuild
+    /// must not trust on the replacement.
+    dirty_stripes: BTreeSet<u64>,
+    rebuild_bytes: u64,
+    obs: Option<EcObs>,
+}
+
+impl<D: BlockDevice, C: ErasureCodec> EcGroup<D, C> {
+    /// Wraps the primary's logical `device` and one transport per
+    /// strip-holding node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `transports.len() == codec.total_strips()` and
+    /// the device's block count is a multiple of `codec.data_strips()`
+    /// (whole stripes only).
+    pub fn new(device: D, codec: C, config: EcConfig, transports: Vec<Box<dyn Transport>>) -> Self {
+        let k = codec.data_strips();
+        let m = codec.parity_strips();
+        assert_eq!(
+            transports.len(),
+            k + m,
+            "one transport per strip-holding node"
+        );
+        let blocks = device.geometry().num_blocks();
+        assert_eq!(blocks % k as u64, 0, "logical volume must be whole stripes");
+        let block_size = device.geometry().block_size().bytes();
+        Self {
+            device,
+            codec,
+            placement: EcPlacement { k, m },
+            sparse: SparseCodec::default(),
+            config,
+            nodes: transports
+                .into_iter()
+                .map(|transport| EcNode {
+                    transport,
+                    epoch: 1,
+                    down: false,
+                    strip_writes: 0,
+                    sent_bytes: 0,
+                })
+                .collect(),
+            stripes: blocks / k as u64,
+            block_size,
+            dirty_stripes: BTreeSet::new(),
+            rebuild_bytes: 0,
+            obs: None,
+        }
+    }
+
+    /// Attaches a metrics registry: strip writes, parity-update and
+    /// rebuild wire bytes, decode failures, a rebuild-duration
+    /// histogram, and `ec-rebuild` events.
+    pub fn attach_observer(&mut self, registry: Arc<Registry>, clock: Arc<dyn Clock>) {
+        self.obs = Some(EcObs::new(registry, clock));
+    }
+
+    /// The placement map.
+    pub fn placement(&self) -> EcPlacement {
+        self.placement
+    }
+
+    /// Stripes in the group.
+    pub fn stripes(&self) -> u64 {
+        self.stripes
+    }
+
+    /// The primary's logical device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Logical bytes the group stores (the user-visible capacity).
+    pub fn logical_bytes(&self) -> u64 {
+        self.stripes * self.placement.k as u64 * self.block_size as u64
+    }
+
+    /// Physical bytes across all strips — `(k + m)/k ×` logical, the
+    /// storage-efficiency numerator (1.5× at k=4, m=2, vs 3× for a
+    /// 3-way mirror).
+    pub fn physical_bytes(&self) -> u64 {
+        self.stripes * self.placement.n() as u64 * self.block_size as u64
+    }
+
+    /// Total wire bytes rebuilds have moved.
+    pub fn rebuild_bytes(&self) -> u64 {
+        self.rebuild_bytes
+    }
+
+    /// Wire bytes node `idx` has been sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node_bytes(&self, idx: usize) -> u64 {
+        self.nodes[idx].sent_bytes
+    }
+
+    /// Marks node `idx` down: writes stop flowing to its strips (the
+    /// stripes touched meanwhile are remembered as dirty).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for a bad index.
+    pub fn mark_down(&mut self, idx: usize) -> Result<(), ClusterError> {
+        self.check_idx(idx)?;
+        self.nodes[idx].down = true;
+        Ok(())
+    }
+
+    /// Whether node `idx` is marked down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn is_down(&self, idx: usize) -> bool {
+        self.nodes[idx].down
+    }
+
+    /// Swaps in a replacement node on slot `idx`: a fresh transport to
+    /// a wiped device behind a new applier. The slot stays down until
+    /// [`rebuild`](Self::rebuild) repopulates its strips; the epoch
+    /// bumps so responses stranded on the old link identify themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for a bad index.
+    pub fn replace_node(
+        &mut self,
+        idx: usize,
+        transport: Box<dyn Transport>,
+    ) -> Result<(), ClusterError> {
+        self.check_idx(idx)?;
+        let node = &mut self.nodes[idx];
+        node.transport = transport;
+        node.epoch += 1;
+        node.down = true;
+        Ok(())
+    }
+
+    /// Stripes written while some node was down.
+    pub fn dirty_stripes(&self) -> usize {
+        self.dirty_stripes.len()
+    }
+
+    /// Applies one logical write and ships its strip deltas: `Δd` to
+    /// the data strip's owner, `c_i · Δd` to each parity owner —
+    /// sparse on the wire in both cases, closed-loop acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::Block`] if the primary write fails (nothing
+    ///   was shipped),
+    /// * [`ClusterError::Repl`] on a transport or acknowledgement
+    ///   failure — the group does not self-degrade; tests and the
+    ///   simulator decide when a node is [`mark_down`](Self::mark_down).
+    pub fn write(&mut self, lba: Lba, new: &[u8]) -> Result<EcWriteOutcome, ClusterError> {
+        let k = self.placement.k;
+        let stripe = lba.index() / k as u64;
+        let col = (lba.index() % k as u64) as usize;
+        let old = self.device.read_block_vec(lba)?;
+        self.device.write_block(lba, new)?;
+
+        let delta = self.codec.delta(&old, new);
+        let sparse = self.sparse.encode(&delta).to_bytes();
+        let mut outcome = EcWriteOutcome {
+            acked: 0,
+            skipped: 0,
+            wire_bytes: 0,
+        };
+        // Data strip first, then each parity strip. Sends are
+        // pipelined; acks are collected after (FIFO per node — every
+        // target is a distinct node under rotated placement).
+        let mut await_from: Vec<usize> = Vec::with_capacity(1 + self.placement.m);
+        for role in std::iter::once(col).chain(k..self.placement.n()) {
+            let node = self.placement.node_for(stripe, role);
+            if self.nodes[node].down {
+                self.dirty_stripes.insert(stripe);
+                outcome.skipped += 1;
+                continue;
+            }
+            let coeff = if role < k {
+                1
+            } else {
+                self.codec.coefficient(role - k, col)
+            };
+            let payload = Payload {
+                lba: Lba(stripe),
+                body: PayloadBody::StripDelta {
+                    coeff,
+                    data: sparse.clone(),
+                },
+            }
+            .to_bytes();
+            let sealed = seal_frame(self.nodes[node].epoch, &payload);
+            self.nodes[node]
+                .transport
+                .send(&sealed)
+                .map_err(ReplError::from)?;
+            let n = &mut self.nodes[node];
+            n.sent_bytes += sealed.len() as u64;
+            n.strip_writes += 1;
+            outcome.wire_bytes += sealed.len() as u64;
+            if role >= k {
+                if let Some(obs) = &self.obs {
+                    obs.parity_update_bytes.add(sealed.len() as u64);
+                }
+            }
+            await_from.push(node);
+        }
+        if let Some(obs) = &self.obs {
+            obs.strip_writes.add(await_from.len() as u64);
+        }
+        for node in await_from {
+            self.await_ack(node)?;
+            outcome.acked += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Fetches the strip image node `node` holds for `stripe` — a
+    /// CRC-protected, zero-run-encoded read off the node's own disk —
+    /// and returns the dense strip plus the wire bytes both directions
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a corrupted response, or a node that
+    /// refuses the read (its own media check failed).
+    pub fn fetch_strip(
+        &mut self,
+        node: usize,
+        stripe: u64,
+    ) -> Result<(Vec<u8>, u64), ClusterError> {
+        self.check_idx(node)?;
+        let req = seal_frame(self.nodes[node].epoch, &encode_strip_request(Lba(stripe)));
+        self.nodes[node]
+            .transport
+            .send(&req)
+            .map_err(ReplError::from)?;
+        let resp = self.nodes[node]
+            .transport
+            .recv_timeout(self.config.ack_timeout)
+            .map_err(ReplError::from)?;
+        let wire = (req.len() + resp.len()) as u64;
+        self.nodes[node].sent_bytes += req.len() as u64;
+        let (_epoch, sparse) = decode_strip_ack(&resp)?;
+        let strip = self
+            .sparse
+            .decode(sparse, self.block_size)
+            .map_err(ReplError::from)?
+            .to_dense(self.block_size);
+        Ok((strip, wire))
+    }
+
+    /// Rebuilds every strip node `lost` holds from `k` surviving
+    /// nodes' strips, shipping each reconstructed strip to the
+    /// replacement as a coefficient-1 sparse delta over its zeroed
+    /// disk.
+    ///
+    /// The replacement must be *fresh*: a wiped device behind a new
+    /// applier on the same transport slot (rebuild-as-resync). Wire
+    /// accounting is exact — per stripe, `k` strip reads plus one
+    /// shipment, never `n` full images — and is returned along with
+    /// the survivor-image denominator of the repair-bandwidth bound.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for a bad index; transport and
+    /// decode failures abort the rebuild (`ec_decode_failures` counts
+    /// reconstruction errors).
+    pub fn rebuild(&mut self, lost: usize) -> Result<EcRebuildReport, ClusterError> {
+        self.check_idx(lost)?;
+        let started = self.obs.as_ref().map(|o| o.clock.now_nanos());
+        let n = self.placement.n();
+        let k = self.placement.k;
+        let mut report = EcRebuildReport {
+            stripes: 0,
+            wire_bytes: 0,
+            survivor_image_bytes: 0,
+        };
+        self.nodes[lost].down = false;
+        self.nodes[lost].epoch += 1;
+        for stripe in 0..self.stripes {
+            let lost_role = self.placement.role_of(stripe, lost);
+            let mut strips: Vec<Option<Vec<u8>>> = vec![None; n];
+            let mut fetched = 0usize;
+            for role in (0..n).filter(|&r| r != lost_role) {
+                if fetched == k {
+                    break;
+                }
+                let node = self.placement.node_for(stripe, role);
+                // A down node's strip may be stale (it missed degraded
+                // writes) — it must not contribute to reconstruction.
+                if self.nodes[node].down {
+                    continue;
+                }
+                let (strip, wire) = self.fetch_strip(node, stripe)?;
+                report.wire_bytes += wire;
+                report.survivor_image_bytes += strip.len() as u64;
+                strips[role] = Some(strip);
+                fetched += 1;
+            }
+            if fetched < k {
+                if let Some(obs) = &self.obs {
+                    obs.decode_failures.inc();
+                }
+                return Err(ReplError::Malformed(format!(
+                    "ec rebuild: only {fetched} of {k} survivor strips reachable"
+                ))
+                .into());
+            }
+            if let Err(e) = self.codec.reconstruct(&mut strips) {
+                if let Some(obs) = &self.obs {
+                    obs.decode_failures.inc();
+                }
+                return Err(ReplError::Malformed(format!("ec reconstruct: {e}")).into());
+            }
+            let rebuilt = strips[lost_role]
+                .take()
+                .expect("reconstruct fills every missing strip");
+            // Coefficient-1 delta over the replacement's zeroed disk:
+            // the rebuilt image itself, minus its zero runs.
+            let sparse = self.sparse.encode(&rebuilt).to_bytes();
+            let payload = Payload {
+                lba: Lba(stripe),
+                body: PayloadBody::StripDelta {
+                    coeff: 1,
+                    data: sparse,
+                },
+            }
+            .to_bytes();
+            let sealed = seal_frame(self.nodes[lost].epoch, &payload);
+            self.nodes[lost]
+                .transport
+                .send(&sealed)
+                .map_err(ReplError::from)?;
+            self.nodes[lost].sent_bytes += sealed.len() as u64;
+            report.wire_bytes += sealed.len() as u64;
+            self.await_ack(lost)?;
+            report.stripes += 1;
+        }
+        // Dirty stripes also cover writes other (still-down) nodes
+        // missed; only a fully-online group has none left to remember.
+        if !self.nodes.iter().any(|n| n.down) {
+            self.dirty_stripes.clear();
+        }
+        self.rebuild_bytes += report.wire_bytes;
+        if let Some(obs) = &self.obs {
+            obs.rebuild_bytes.add(report.wire_bytes);
+            let now = obs.clock.now_nanos();
+            if let Some(t0) = started {
+                obs.rebuild_nanos.record(now.saturating_sub(t0));
+            }
+            obs.registry.events().record(
+                Event::new(
+                    now,
+                    EventKind::EcRebuild {
+                        stripes: report.stripes as u32,
+                    },
+                )
+                .replica(lost),
+            );
+        }
+        Ok(report)
+    }
+
+    /// Decodes the logical block at `lba` from strips fetched off the
+    /// wire — the degraded-read / verification path. At most `m` nodes
+    /// may be down; their strips are reconstructed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or too many down nodes for the code.
+    pub fn decode_logical(&mut self, lba: Lba) -> Result<Vec<u8>, ClusterError> {
+        let k = self.placement.k;
+        let stripe = lba.index() / k as u64;
+        let col = (lba.index() % k as u64) as usize;
+        let n = self.placement.n();
+        let mut strips: Vec<Option<Vec<u8>>> = vec![None; n];
+        for (role, slot) in strips.iter_mut().enumerate() {
+            let node = self.placement.node_for(stripe, role);
+            if self.nodes[node].down {
+                continue;
+            }
+            let (strip, _) = self.fetch_strip(node, stripe)?;
+            *slot = Some(strip);
+        }
+        if strips[col].is_none() {
+            if let Err(e) = self.codec.reconstruct(&mut strips) {
+                if let Some(obs) = &self.obs {
+                    obs.decode_failures.inc();
+                }
+                return Err(ReplError::Malformed(format!("ec decode: {e}")).into());
+            }
+        }
+        Ok(strips[col].take().expect("column present or reconstructed"))
+    }
+
+    fn check_idx(&self, idx: usize) -> Result<(), ClusterError> {
+        if idx < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(ClusterError::UnknownReplica(idx))
+        }
+    }
+
+    /// Waits for one acknowledgement from `node`, dropping responses
+    /// from generations before the node's current epoch.
+    fn await_ack(&mut self, node: usize) -> Result<(), ClusterError> {
+        loop {
+            let frame = self.nodes[node]
+                .transport
+                .recv_timeout(self.config.ack_timeout)
+                .map_err(ReplError::from)?;
+            let ack = decode_ack(&frame).map_err(|_| ReplError::MissingAck {
+                replica: node,
+                got: frame.first().copied(),
+            })?;
+            if ack.epoch < self.nodes[node].epoch && ack.status != NAK_CORRUPT {
+                continue;
+            }
+            return match ack.status {
+                ACK => Ok(()),
+                NAK => Err(ReplError::Nak { replica: node }.into()),
+                NAK_CORRUPT => Err(ReplError::ChecksumMismatch {
+                    expected: 0,
+                    got: 0,
+                }
+                .into()),
+                other => Err(ReplError::MissingAck {
+                    replica: node,
+                    got: Some(other),
+                }
+                .into()),
+            };
+        }
+    }
+}
+
+impl<D: BlockDevice, C: ErasureCodec> std::fmt::Debug for EcGroup<D, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcGroup")
+            .field("codec", &self.codec.name())
+            .field("k", &self.placement.k)
+            .field("m", &self.placement.m)
+            .field("stripes", &self.stripes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prins_block::{BlockSize, MemDevice};
+    use prins_ec::ReedSolomon;
+    use prins_net::{channel_pair, LinkModel};
+    use prins_repl::{run_replica_applier, ReplicaApplier};
+    use rand::{RngExt, SeedableRng};
+
+    type NodeWorker = std::thread::JoinHandle<Result<u64, ReplError>>;
+
+    struct Harness {
+        group: EcGroup<MemDevice, ReedSolomon>,
+        devices: Vec<Arc<MemDevice>>,
+        workers: Vec<NodeWorker>,
+    }
+
+    /// Spawns one strip-holder thread per node, each running the
+    /// stock replica loop with an RS-codec applier in strict sealed
+    /// mode — the same loop mirroring replicas run.
+    fn spawn_node(stripes: u64) -> (Box<dyn Transport>, Arc<MemDevice>, NodeWorker) {
+        let (primary_side, node_side) = channel_pair(LinkModel::t1());
+        let device = Arc::new(MemDevice::new(BlockSize::kb4(), stripes));
+        let dev = Arc::clone(&device);
+        let worker = std::thread::spawn(move || {
+            let applier = ReplicaApplier::new(&*dev)
+                .with_codec(Box::new(ReedSolomon::k4m2()))
+                .require_sealed(true);
+            run_replica_applier(applier, &node_side)
+        });
+        (Box::new(primary_side), device, worker)
+    }
+
+    fn harness(stripes: u64) -> Harness {
+        let codec = ReedSolomon::k4m2();
+        let mut transports = Vec::new();
+        let mut devices = Vec::new();
+        let mut workers = Vec::new();
+        for _ in 0..codec.total_strips() {
+            let (t, d, w) = spawn_node(stripes);
+            transports.push(t);
+            devices.push(d);
+            workers.push(w);
+        }
+        let logical = MemDevice::new(BlockSize::kb4(), stripes * codec.data_strips() as u64);
+        let group = EcGroup::new(logical, codec, EcConfig::default(), transports);
+        Harness {
+            group,
+            devices,
+            workers,
+        }
+    }
+
+    fn finish(h: Harness) {
+        let Harness { group, workers, .. } = h;
+        drop(group);
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
+    }
+
+    /// Recomputes every node's expected strip from the primary's
+    /// logical image and compares byte-for-byte.
+    fn assert_strips_encode_logical(h: &Harness) {
+        let k = h.group.placement().k;
+        let bs = 4096;
+        for stripe in 0..h.group.stripes() {
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|col| {
+                    h.group
+                        .device()
+                        .read_block_vec(Lba(stripe * k as u64 + col as u64))
+                        .unwrap()
+                })
+                .collect();
+            let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+            let parity = ReedSolomon::k4m2().encode(&refs).unwrap();
+            for role in 0..h.group.placement().n() {
+                // Systematic code: data roles hold the logical block
+                // itself, parity roles hold the encoder's output.
+                let want = if role < k {
+                    &data[role]
+                } else {
+                    &parity[role - k]
+                };
+                let node = h.group.placement().node_for(stripe, role);
+                let got = h.devices[node].read_block_vec(Lba(stripe)).unwrap();
+                assert_eq!(&got, want, "stripe {stripe} role {role} node {node}");
+                assert_eq!(got.len(), bs);
+            }
+        }
+    }
+
+    fn random_writes(h: &mut Harness, seed: u64, count: usize) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let blocks = h.group.stripes() * h.group.placement().k as u64;
+        for _ in 0..count {
+            let lba = Lba(rng.random_range(0..blocks));
+            let mut block = h.group.device().read_block_vec(lba).unwrap();
+            let at = rng.random_range(0..block.len() - 128);
+            let len = rng.random_range(16..128);
+            for b in &mut block[at..at + len] {
+                *b = rng.random();
+            }
+            h.group.write(lba, &block).unwrap();
+        }
+    }
+
+    #[test]
+    fn writes_keep_strips_equal_to_encode_of_logical() {
+        let mut h = harness(4);
+        random_writes(&mut h, 11, 60);
+        assert_strips_encode_logical(&h);
+        finish(h);
+    }
+
+    #[test]
+    fn small_writes_ship_sparse_deltas_not_full_strips() {
+        let mut h = harness(4);
+        let mut block = vec![0u8; 4096];
+        block[100..164].fill(9);
+        let outcome = h.group.write(Lba(0), &block).unwrap();
+        // 1 data + 2 parity frames, each carrying ~64 payload bytes.
+        assert_eq!(outcome.acked, 3);
+        assert!(
+            outcome.wire_bytes < 3 * 300,
+            "64-byte change cost {} wire bytes",
+            outcome.wire_bytes
+        );
+        finish(h);
+    }
+
+    #[test]
+    fn rebuild_recovers_a_lost_node_within_the_bandwidth_bound() {
+        let mut h = harness(4);
+        random_writes(&mut h, 12, 40);
+
+        // Node 2 dies mid-workload; writes continue degraded.
+        let lost = 2;
+        h.group.mark_down(lost).unwrap();
+        random_writes(&mut h, 120, 10);
+        assert!(h.group.dirty_stripes() > 0);
+
+        // A replacement arrives: wiped device, fresh applier, new link.
+        let (t, d, w) = spawn_node(h.group.stripes());
+        h.group.replace_node(lost, t).unwrap();
+        h.devices[lost] = d;
+        h.workers.push(w);
+
+        let report = h.group.rebuild(lost).unwrap();
+        assert_eq!(report.stripes, h.group.stripes());
+        assert_eq!(h.group.dirty_stripes(), 0);
+        assert!(
+            report.wire_bytes as f64 <= 1.25 * report.survivor_image_bytes as f64,
+            "rebuild moved {} wire bytes vs {} survivor image bytes",
+            report.wire_bytes,
+            report.survivor_image_bytes
+        );
+        // The replacement's strips — and everyone else's — again equal
+        // the systematic encoding of the primary's logical image, and
+        // post-rebuild writes flow to all n nodes.
+        assert_strips_encode_logical(&h);
+        random_writes(&mut h, 121, 10);
+        assert_strips_encode_logical(&h);
+        finish(h);
+    }
+
+    #[test]
+    fn degraded_write_skips_down_nodes_and_marks_stripes_dirty() {
+        let mut h = harness(2);
+        h.group.mark_down(0).unwrap();
+        let mut block = vec![0u8; 4096];
+        block[0..32].fill(5);
+        // Stripe 0: node 0 holds data column 0 — the write's own strip.
+        let outcome = h.group.write(Lba(0), &block).unwrap();
+        assert_eq!(outcome.skipped, 1);
+        assert_eq!(outcome.acked, 2);
+        assert_eq!(h.group.dirty_stripes(), 1);
+        finish(h);
+    }
+
+    #[test]
+    fn decode_logical_survives_two_down_nodes() {
+        let mut h = harness(2);
+        random_writes(&mut h, 13, 20);
+        h.group.mark_down(1).unwrap();
+        h.group.mark_down(4).unwrap();
+        let blocks = h.group.stripes() * h.group.placement().k as u64;
+        for lba in 0..blocks {
+            let want = h.group.device().read_block_vec(Lba(lba)).unwrap();
+            let got = h.group.decode_logical(Lba(lba)).unwrap();
+            assert_eq!(got, want, "lba {lba}");
+        }
+        finish(h);
+    }
+
+    #[test]
+    fn placement_rotates_and_inverts() {
+        let p = EcPlacement { k: 4, m: 2 };
+        for stripe in 0..12u64 {
+            let mut seen = std::collections::HashSet::new();
+            for role in 0..p.n() {
+                let node = p.node_for(stripe, role);
+                assert!(seen.insert(node), "stripe {stripe}: node collision");
+                assert_eq!(p.role_of(stripe, node), role);
+            }
+        }
+        // Rotation: consecutive stripes shift roles by one node.
+        assert_eq!(p.node_for(0, 0), 0);
+        assert_eq!(p.node_for(1, 0), 1);
+        assert_eq!(p.node_for(6, 0), 0);
+    }
+
+    #[test]
+    fn storage_overhead_is_half_of_three_way_mirroring() {
+        let h = harness(4);
+        let logical = h.group.logical_bytes() as f64;
+        let physical = h.group.physical_bytes() as f64;
+        assert!(physical / logical <= 1.6, "{}", physical / logical);
+        assert!((physical / logical - 1.5).abs() < 1e-9);
+        // A 3-way mirror of the same logical volume stores 3×.
+        assert!(3.0 * logical > 1.8 * physical);
+        finish(h);
+    }
+}

@@ -66,12 +66,14 @@
 //! ```
 
 mod dirty;
+mod ec_group;
 mod error;
 mod group;
 mod lifecycle;
 mod shard;
 
 pub use dirty::DirtyMap;
+pub use ec_group::{EcConfig, EcGroup, EcPlacement, EcRebuildReport, EcWriteOutcome};
 pub use error::ClusterError;
 pub use group::{
     ClusterConfig, ClusterGroup, ReplicaStatus, ResyncStrategy, ScrubOutcome, WriteOutcome,

@@ -1131,6 +1131,9 @@ mod tests {
                         let ack = match applier.handle(&frame) {
                             Ok(Applied::Data(_)) => encode_ack(ACK, applier.last_epoch()),
                             Ok(Applied::Digest(d)) => encode_digest_ack(applier.last_epoch(), d),
+                            Ok(Applied::Strip(s)) => {
+                                prins_repl::encode_strip_ack(applier.last_epoch(), &s)
+                            }
                             Err(ReplError::ChecksumMismatch { .. }) => {
                                 encode_ack(NAK_CORRUPT, applier.last_epoch())
                             }

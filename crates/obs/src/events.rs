@@ -51,6 +51,11 @@ pub enum EventKind {
         /// State after.
         to: &'static str,
     },
+    /// An erasure-coded strip was rebuilt from surviving strips.
+    EcRebuild {
+        /// Stripes reconstructed onto the replacement node.
+        stripes: u32,
+    },
 }
 
 impl EventKind {
@@ -69,6 +74,7 @@ impl EventKind {
             EventKind::Barrier => "barrier",
             EventKind::ResyncBatch { .. } => "resync-batch",
             EventKind::StateChange { .. } => "state-change",
+            EventKind::EcRebuild { .. } => "ec-rebuild",
         }
     }
 }
@@ -132,6 +138,7 @@ impl fmt::Display for Event {
                 write!(f, " sent={sent} remaining={remaining}")?;
             }
             EventKind::StateChange { from, to } => write!(f, " {from}->{to}")?,
+            EventKind::EcRebuild { stripes } => write!(f, " stripes={stripes}")?,
             _ => {}
         }
         if self.seq != Self::NONE {

@@ -4,16 +4,16 @@ use std::collections::HashMap;
 
 use prins_block::{crc32c, BlockDevice, Lba};
 use prins_compress::{Codec, Lzss};
-use prins_parity::SparseCodec;
+use prins_parity::{ErasureCodec, SparseCodec, XorCodec};
 
 use crate::{
-    decode_digest_request, is_digest_request, open_frame, BatchFrame, Payload, PayloadBody,
-    ReplError, SEAL_TAG,
+    decode_digest_request, decode_strip_request, is_digest_request, is_strip_request, open_frame,
+    BatchFrame, Payload, PayloadBody, ReplError, SEAL_TAG,
 };
 
 /// What [`ReplicaApplier::handle`] did with an incoming frame, telling
 /// the transport loop which response to send.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Applied {
     /// A replication frame was applied (`true`) or was a sync marker
     /// (`false`); answer with an ACK.
@@ -21,6 +21,9 @@ pub enum Applied {
     /// A scrub digest probe; answer with a digest ack carrying this
     /// CRC32C of the probed block as read from the replica's disk.
     Digest(u32),
+    /// A rebuild strip read; answer with a strip ack carrying this
+    /// zero-run-encoded image of the requested block.
+    Strip(Vec<u8>),
 }
 
 /// Applies replication payloads to a replica's local device.
@@ -50,6 +53,7 @@ pub struct ReplicaApplier<D> {
     device: D,
     sparse: SparseCodec,
     lzss: Lzss,
+    codec: Box<dyn ErasureCodec>,
     applied: u64,
     last_epoch: u64,
     require_sealed: bool,
@@ -59,16 +63,30 @@ pub struct ReplicaApplier<D> {
 impl<D: BlockDevice> ReplicaApplier<D> {
     /// Creates an applier owning a handle to the replica's device —
     /// a plain reference, an `Arc`, or the device itself all work.
+    ///
+    /// Deltas apply through the mirroring [`XorCodec`] by default; see
+    /// [`with_codec`](Self::with_codec) for erasure-coded strips.
     pub fn new(device: D) -> Self {
         Self {
             device,
             sparse: SparseCodec::default(),
             lzss: Lzss::default(),
+            codec: Box::new(XorCodec::mirror()),
             applied: 0,
             last_epoch: 0,
             require_sealed: false,
             checksums: HashMap::new(),
         }
+    }
+
+    /// Replaces the erasure codec that strip deltas apply through.
+    ///
+    /// A replica holding a Reed–Solomon parity strip needs the full
+    /// GF(256) update `strip ^= c · Δ`; the XOR default only accepts
+    /// coefficients 0 and 1.
+    pub fn with_codec(mut self, codec: Box<dyn ErasureCodec>) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Requires every top-level frame to arrive sealed.
@@ -124,8 +142,8 @@ impl<D: BlockDevice> ReplicaApplier<D> {
     pub fn apply(&mut self, payload_bytes: &[u8]) -> Result<bool, ReplError> {
         match self.handle(payload_bytes)? {
             Applied::Data(any) => Ok(any),
-            Applied::Digest(_) => Err(ReplError::Malformed(
-                "digest request on the apply-only path".into(),
+            Applied::Digest(_) | Applied::Strip(_) => Err(ReplError::Malformed(
+                "read request on the apply-only path".into(),
             )),
         }
     }
@@ -150,6 +168,10 @@ impl<D: BlockDevice> ReplicaApplier<D> {
                 let lba = decode_digest_request(inner)?;
                 return Ok(Applied::Digest(self.digest(lba)?));
             }
+            if is_strip_request(inner) {
+                let lba = decode_strip_request(inner)?;
+                return Ok(Applied::Strip(self.strip_image(lba)?));
+            }
             // The seal's CRC already vouched for the inner frame; apply
             // it without requiring a second (nested) seal.
             return self.apply_inner(inner).map(Applied::Data);
@@ -157,6 +179,10 @@ impl<D: BlockDevice> ReplicaApplier<D> {
         if is_digest_request(frame) {
             let lba = decode_digest_request(frame)?;
             return Ok(Applied::Digest(self.digest(lba)?));
+        }
+        if is_strip_request(frame) {
+            let lba = decode_strip_request(frame)?;
+            return Ok(Applied::Strip(self.strip_image(lba)?));
         }
         if self.require_sealed {
             return Err(ReplError::ChecksumMismatch {
@@ -198,6 +224,9 @@ impl<D: BlockDevice> ReplicaApplier<D> {
                 let sparse = self.lzss.decompress(&data, sparse_len)?;
                 self.apply_parity(payload.lba, &sparse)?;
             }
+            PayloadBody::StripDelta { coeff, data } => {
+                self.apply_strip_delta(payload.lba, coeff, &data)?;
+            }
             PayloadBody::SyncMarker => return Ok(false),
         }
         self.applied += 1;
@@ -211,13 +240,25 @@ impl<D: BlockDevice> ReplicaApplier<D> {
     }
 
     fn apply_parity(&mut self, lba: Lba, sparse_bytes: &[u8]) -> Result<(), ReplError> {
+        // PRINS mirroring is the coefficient-1 strip update: the data
+        // strip of every erasure code is systematic, so the two paths
+        // share one implementation through the codec seam.
+        self.apply_strip_delta(lba, 1, sparse_bytes)
+    }
+
+    fn apply_strip_delta(
+        &mut self,
+        lba: Lba,
+        coeff: u8,
+        sparse_bytes: &[u8],
+    ) -> Result<(), ReplError> {
         let bs = self.device.geometry().block_size().bytes();
-        let parity = self.sparse.decode(sparse_bytes, bs)?;
-        // Backward computation: A_new = P' ^ A_old, touching only the
+        let delta = self.sparse.decode(sparse_bytes, bs)?;
+        // Backward computation: A_new = A_old ^ c·Δ, touching only the
         // changed extents. A_old must be exactly what was last written
         // here — verify it against the checksum table first, because
-        // XORing against a corrupted base fabricates a block the
-        // primary never held and no later check could catch.
+        // updating a corrupted base fabricates a block the primary
+        // never held and no later check could catch.
         let mut block = self.device.read_block_vec(lba)?;
         if let Some(&expected) = self.checksums.get(&lba.index()) {
             let got = crc32c(&block);
@@ -225,9 +266,27 @@ impl<D: BlockDevice> ReplicaApplier<D> {
                 return Err(ReplError::ChecksumMismatch { expected, got });
             }
         }
-        parity.apply_to(&mut block);
+        for seg in delta.segments() {
+            self.codec
+                .apply_delta(&mut block[seg.offset..seg.end()], coeff, &seg.data)
+                .map_err(|e| ReplError::Malformed(format!("strip delta: {e}")))?;
+        }
         self.write_checked(lba, &block)?;
         Ok(())
+    }
+
+    /// The zero-run-encoded image of the block at `lba` as read from
+    /// disk — a rebuild contribution. Checked against the checksum
+    /// table so a rebuild never ingests silently corrupted media.
+    fn strip_image(&mut self, lba: Lba) -> Result<Vec<u8>, ReplError> {
+        let block = self.device.read_block_vec(lba)?;
+        if let Some(&expected) = self.checksums.get(&lba.index()) {
+            let got = crc32c(&block);
+            if got != expected {
+                return Err(ReplError::ChecksumMismatch { expected, got });
+            }
+        }
+        Ok(self.sparse.encode(&block).to_bytes())
     }
 }
 
@@ -437,6 +496,86 @@ mod tests {
             applier.digest(Lba(0)).unwrap(),
             prins_block::crc32c(&damaged)
         );
+    }
+
+    #[test]
+    fn strip_delta_applies_through_the_codec() {
+        use prins_parity::SparseCodec;
+        // A replica holding RS parity strip 0 of a k=4,m=2 group: its
+        // update for a data-strip delta Δ on column j is c_{0,j}·Δ.
+        let rs = prins_ec::ReedSolomon::k4m2();
+        let coeff = rs.coefficient(0, 2);
+        assert!(coeff > 1, "Cauchy coefficients exercise real GF math");
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica).with_codec(Box::new(rs));
+
+        let mut delta = vec![0u8; 4096];
+        for (i, b) in delta[700..900].iter_mut().enumerate() {
+            *b = (i * 13 % 251) as u8 + 1;
+        }
+        let sparse = SparseCodec::default().encode(&delta).to_bytes();
+        let payload = Payload {
+            lba: Lba(1),
+            body: PayloadBody::StripDelta {
+                coeff,
+                data: sparse,
+            },
+        };
+        assert!(applier.apply(&payload.to_bytes()).unwrap());
+        let got = replica.read_block_vec(Lba(1)).unwrap();
+        let want: Vec<u8> = delta.iter().map(|&d| prins_ec::gf::mul(coeff, d)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn xor_codec_rejects_gf_coefficients() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let sparse = prins_parity::SparseCodec::default()
+            .encode(&[1u8; 4096])
+            .to_bytes();
+        let payload = Payload {
+            lba: Lba(0),
+            body: PayloadBody::StripDelta {
+                coeff: 3,
+                data: sparse,
+            },
+        };
+        assert!(matches!(
+            applier.apply(&payload.to_bytes()),
+            Err(ReplError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn strip_request_returns_the_disk_image() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let mut block = vec![0u8; 4096];
+        block[40..80].fill(0x5a);
+        applier
+            .apply(&TraditionalReplicator.encode_write(Lba(2), &[0u8; 4096], &block))
+            .unwrap();
+        let req = crate::encode_strip_request(Lba(2));
+        // Both sealed and bare requests answer with the sparse image.
+        for frame in [crate::seal_frame(4, &req), req] {
+            match applier.handle(&frame).unwrap() {
+                Applied::Strip(sparse) => {
+                    let dense = applier.sparse.decode(&sparse, 4096).unwrap().to_dense(4096);
+                    assert_eq!(dense, block);
+                    assert!(sparse.len() < 200, "zero runs are elided");
+                }
+                other => panic!("expected strip image, got {other:?}"),
+            }
+        }
+        // A corrupted base is refused, not served.
+        let mut damaged = block.clone();
+        damaged[50] ^= 0x10;
+        replica.write_block(Lba(2), &damaged).unwrap();
+        assert!(matches!(
+            applier.handle(&crate::encode_strip_request(Lba(2))),
+            Err(ReplError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

@@ -269,7 +269,27 @@ where
     D: BlockDevice + ?Sized,
     T: Transport,
 {
-    let mut applier = ReplicaApplier::new(device);
+    run_replica_applier(ReplicaApplier::new(device), transport)
+}
+
+/// [`run_replica`] with a caller-built applier — the hook for replicas
+/// that need a non-default configuration, e.g. a Reed–Solomon
+/// [`ErasureCodec`](prins_parity::ErasureCodec) for parity strips of an
+/// erasure-coded group, or strict [`require_sealed`] mode.
+///
+/// # Errors
+///
+/// As [`run_replica`].
+///
+/// [`require_sealed`]: ReplicaApplier::require_sealed
+pub fn run_replica_applier<D, T>(
+    mut applier: ReplicaApplier<D>,
+    transport: &T,
+) -> Result<u64, ReplError>
+where
+    D: BlockDevice,
+    T: Transport,
+{
     loop {
         let payload = match transport.recv() {
             Ok(p) => p,
@@ -280,6 +300,9 @@ where
             Ok(Applied::Data(_)) => transport.send(&encode_ack(ACK, applier.last_epoch()))?,
             Ok(Applied::Digest(digest)) => {
                 transport.send(&encode_digest_ack(applier.last_epoch(), digest))?;
+            }
+            Ok(Applied::Strip(sparse)) => {
+                transport.send(&crate::encode_strip_ack(applier.last_epoch(), &sparse))?;
             }
             Err(ReplError::ChecksumMismatch { .. }) => {
                 // The frame was damaged, not invalid — ask for a

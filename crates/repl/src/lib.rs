@@ -57,12 +57,15 @@ mod strategy;
 
 pub use apply::{Applied, ReplicaApplier};
 pub use error::ReplError;
-pub use group::{run_replica, verify_consistent, AckPolicy, ReplicationGroup, ACK, NAK};
+pub use group::{
+    run_replica, run_replica_applier, verify_consistent, AckPolicy, ReplicationGroup, ACK, NAK,
+};
 pub use mode::ReplicationMode;
-pub use payload::{BatchFrame, Payload, PayloadBody, BATCH_TAG};
+pub use payload::{BatchFrame, Payload, PayloadBody, BATCH_TAG, STRIP_DELTA_TAG};
 pub use seal::{
-    decode_ack, decode_digest_request, encode_ack, encode_digest_ack, encode_digest_request,
-    is_digest_request, is_sealed, open_frame, seal_frame, AckFrame, DIGEST_ACK, DIGEST_REQ_TAG,
-    NAK_CORRUPT, SEAL_TAG,
+    decode_ack, decode_digest_request, decode_strip_ack, decode_strip_request, encode_ack,
+    encode_digest_ack, encode_digest_request, encode_strip_ack, encode_strip_request,
+    is_digest_request, is_sealed, is_strip_request, open_frame, seal_frame, AckFrame, DIGEST_ACK,
+    DIGEST_REQ_TAG, NAK_CORRUPT, SEAL_TAG, STRIP_ACK, STRIP_REQ_TAG,
 };
 pub use strategy::{CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator};

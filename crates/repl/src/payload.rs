@@ -9,7 +9,15 @@
 //! tag 2 (Parity):           sparse-parity bytes (self-describing)
 //! tag 3 (ParityCompressed): varint(sparse_len) lzss(sparse bytes)
 //! tag 4 (SyncMarker):       empty — end of initial sync
+//! tag 8 (StripDelta):       coeff(u8) sparse-parity bytes
 //! ```
+//!
+//! `StripDelta` is the erasure-coded write: the receiver RMW-applies
+//! `strip ^= coeff · Δ` in GF(256), where `Δ` is the sparse-decoded
+//! delta. For the data strip's owner the coefficient is 1 (plain XOR);
+//! parity strip owners get their generator coefficient, so one sparse
+//! delta on the wire serves every strip of the stripe. The `lba` field
+//! addresses the *stripe* (the node-local strip block index).
 //!
 //! The LBA travels with the data, mirroring the paper's "results of the
 //! forward parity computation are then sent together with meta-data such
@@ -53,6 +61,16 @@ pub enum PayloadBody {
     },
     /// Marks the end of an initial sync stream.
     SyncMarker,
+    /// Coefficient-tagged erasure-strip delta: apply
+    /// `strip ^= coeff · Δ` over GF(256).
+    StripDelta {
+        /// Generator coefficient (1 for the data strip itself).
+        coeff: u8,
+        /// Zero-run-encoded delta, same format as [`Parity`].
+        ///
+        /// [`Parity`]: PayloadBody::Parity
+        data: Vec<u8>,
+    },
 }
 
 /// One replicated write on the wire.
@@ -95,6 +113,12 @@ impl Payload {
                 out.push(4);
                 encode_varint(&mut out, self.lba.index());
             }
+            PayloadBody::StripDelta { coeff, data } => {
+                out.push(STRIP_DELTA_TAG);
+                encode_varint(&mut out, self.lba.index());
+                out.push(*coeff);
+                out.extend_from_slice(data);
+            }
         }
         out
     }
@@ -131,6 +155,15 @@ impl Payload {
                 }
             }
             4 => PayloadBody::SyncMarker,
+            STRIP_DELTA_TAG => {
+                let (&coeff, rest) = rest
+                    .split_first()
+                    .ok_or_else(|| ReplError::Malformed("truncated strip coefficient".into()))?;
+                PayloadBody::StripDelta {
+                    coeff,
+                    data: rest.to_vec(),
+                }
+            }
             other => return Err(ReplError::Malformed(format!("unknown tag {other}"))),
         };
         Ok(Self {
@@ -142,6 +175,10 @@ impl Payload {
 
 /// Wire tag of a [`BatchFrame`] (the payload tags are 0–4).
 pub const BATCH_TAG: u8 = 5;
+
+/// Wire tag of a [`PayloadBody::StripDelta`] payload (6, 7 and 9 are
+/// the seal, digest-request and strip-request envelope tags).
+pub const STRIP_DELTA_TAG: u8 = 8;
 
 /// Several serialized payloads packed into a single wire message.
 ///
@@ -256,10 +293,22 @@ mod tests {
                 lba: Lba(0),
                 body: PayloadBody::SyncMarker,
             },
+            Payload {
+                lba: Lba(42),
+                body: PayloadBody::StripDelta {
+                    coeff: 0x8e,
+                    data: vec![3, 1, 4, 1, 5],
+                },
+            },
         ];
         for p in cases {
             assert_eq!(Payload::from_bytes(&p.to_bytes()).unwrap(), p);
         }
+    }
+
+    #[test]
+    fn strip_delta_rejects_missing_coefficient() {
+        assert!(Payload::from_bytes(&[STRIP_DELTA_TAG, 0]).is_err());
     }
 
     #[test]
@@ -321,13 +370,14 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_roundtrip(lba in any::<u64>(), tag in 0u8..5,
+        fn prop_roundtrip(lba in any::<u64>(), tag in 0u8..6,
                           n in 0usize..256, data in proptest::collection::vec(any::<u8>(), 0..256)) {
             let body = match tag {
                 0 => PayloadBody::Full(data),
                 1 => PayloadBody::Compressed { block_len: n, data },
                 2 => PayloadBody::Parity(data),
                 3 => PayloadBody::ParityCompressed { sparse_len: n, data },
+                4 => PayloadBody::StripDelta { coeff: n as u8, data },
                 _ => PayloadBody::SyncMarker,
             };
             let p = Payload { lba: Lba(lba), body };

@@ -50,11 +50,17 @@ use crate::{ReplError, ACK, NAK};
 pub const SEAL_TAG: u8 = 6;
 /// Wire tag of a scrub digest request.
 pub const DIGEST_REQ_TAG: u8 = 7;
+/// Wire tag of a strip read request (rebuild path; payload tag 8 is
+/// the strip delta).
+pub const STRIP_REQ_TAG: u8 = 9;
 /// Acknowledgement status: frame failed its integrity check; the sender
 /// should retransmit (the frame was damaged in flight, not rejected).
 pub const NAK_CORRUPT: u8 = 0x18;
 /// Acknowledgement status of a digest response (carries a CRC32C).
 pub const DIGEST_ACK: u8 = 0x19;
+/// Acknowledgement status of a strip read response (carries the strip
+/// image, zero-run encoded).
+pub const STRIP_ACK: u8 = 0x1a;
 
 fn seal_crc(epoch: u64, inner: &[u8]) -> u32 {
     crc32c_append(crc32c(&epoch.to_le_bytes()), inner)
@@ -223,6 +229,90 @@ pub fn decode_digest_request(bytes: &[u8]) -> Result<Lba, ReplError> {
     Ok(Lba(lba))
 }
 
+/// Encodes a rebuild strip read request for the strip block at `lba`.
+pub fn encode_strip_request(lba: Lba) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11);
+    out.push(STRIP_REQ_TAG);
+    encode_varint(&mut out, lba.index());
+    out
+}
+
+/// Whether `bytes` starts like a strip read request.
+pub fn is_strip_request(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&STRIP_REQ_TAG)
+}
+
+/// Decodes a strip read request, returning the requested strip block.
+///
+/// # Errors
+///
+/// [`ReplError::Malformed`] on a wrong tag, truncated varint, or
+/// trailing bytes.
+pub fn decode_strip_request(bytes: &[u8]) -> Result<Lba, ReplError> {
+    let (&tag, rest) = bytes
+        .split_first()
+        .ok_or_else(|| ReplError::Malformed("empty strip request".into()))?;
+    if tag != STRIP_REQ_TAG {
+        return Err(ReplError::Malformed(format!(
+            "strip request tag {tag} != {STRIP_REQ_TAG}"
+        )));
+    }
+    let (lba, used) = decode_varint(rest)
+        .ok_or_else(|| ReplError::Malformed("truncated strip request lba".into()))?;
+    if used != rest.len() {
+        return Err(ReplError::Malformed(
+            "trailing bytes after strip request".into(),
+        ));
+    }
+    Ok(Lba(lba))
+}
+
+/// Encodes a strip read response: the zero-run-encoded strip image as
+/// read from the replica's disk, CRC-protected like a sealed frame so
+/// a rebuild never decodes a corrupted contribution.
+///
+/// ```text
+/// strip-ack := status(0x1a) varint(epoch) crc32c(u32 LE) sparse-bytes
+/// ```
+pub fn encode_strip_ack(epoch: u64, sparse: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(sparse.len() + 16);
+    out.push(STRIP_ACK);
+    encode_varint(&mut out, epoch);
+    out.extend_from_slice(&seal_crc(epoch, sparse).to_le_bytes());
+    out.extend_from_slice(sparse);
+    out
+}
+
+/// Decodes a strip read response, returning `(epoch, sparse-bytes)`.
+///
+/// # Errors
+///
+/// [`ReplError::Malformed`] on structure errors;
+/// [`ReplError::ChecksumMismatch`] if the image was damaged in flight.
+pub fn decode_strip_ack(bytes: &[u8]) -> Result<(u64, &[u8]), ReplError> {
+    let (&status, rest) = bytes
+        .split_first()
+        .ok_or_else(|| ReplError::Malformed("empty strip ack".into()))?;
+    if status != STRIP_ACK {
+        return Err(ReplError::Malformed(format!(
+            "strip ack status {status:#04x} != {STRIP_ACK:#04x}"
+        )));
+    }
+    let (epoch, used) = decode_varint(rest)
+        .ok_or_else(|| ReplError::Malformed("truncated strip ack epoch".into()))?;
+    let rest = &rest[used..];
+    if rest.len() < 4 {
+        return Err(ReplError::Malformed("truncated strip ack checksum".into()));
+    }
+    let expected = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+    let sparse = &rest[4..];
+    let got = seal_crc(epoch, sparse);
+    if got != expected {
+        return Err(ReplError::ChecksumMismatch { expected, got });
+    }
+    Ok((epoch, sparse))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +398,30 @@ mod tests {
         assert!(decode_digest_request(&[DIGEST_REQ_TAG]).is_err());
         assert!(decode_digest_request(&[DIGEST_REQ_TAG, 0, 0]).is_err());
         assert!(decode_digest_request(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn strip_request_and_ack_roundtrip() {
+        let req = encode_strip_request(Lba(77));
+        assert!(is_strip_request(&req));
+        assert!(!is_digest_request(&req));
+        assert_eq!(decode_strip_request(&req).unwrap(), Lba(77));
+        assert!(decode_strip_request(&[STRIP_REQ_TAG]).is_err());
+        assert!(decode_strip_request(&[STRIP_REQ_TAG, 0, 0]).is_err());
+
+        let ack = encode_strip_ack(5, b"sparse-strip");
+        let (epoch, body) = decode_strip_ack(&ack).unwrap();
+        assert_eq!((epoch, body), (5, b"sparse-strip".as_slice()));
+        // Damage anywhere in the body is caught by the seal CRC.
+        let mut bad = ack.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            decode_strip_ack(&bad),
+            Err(ReplError::ChecksumMismatch { .. })
+        ));
+        assert!(decode_strip_ack(&[STRIP_ACK, 0, 1, 2]).is_err());
+        assert!(decode_strip_ack(&[ACK, 0]).is_err());
     }
 
     proptest! {

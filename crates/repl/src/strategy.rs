@@ -2,7 +2,7 @@
 
 use prins_block::Lba;
 use prins_compress::{Codec, Lzss};
-use prins_parity::{forward_parity, SparseCodec};
+use prins_parity::{ErasureCodec, SparseCodec, XorCodec};
 
 use crate::{Payload, PayloadBody};
 
@@ -78,6 +78,9 @@ impl Replicator for CompressedReplicator {
 #[derive(Clone, Copy, Debug)]
 pub struct PrinsReplicator {
     codec: SparseCodec,
+    // Delta algebra behind the ErasureCodec seam: mirroring is the
+    // m=1 code, so the same call site serves RS strip deltas.
+    ec: XorCodec,
     compress_parity: bool,
     lzss: Lzss,
 }
@@ -87,6 +90,7 @@ impl PrinsReplicator {
     pub fn new() -> Self {
         Self {
             codec: SparseCodec::default(),
+            ec: XorCodec::mirror(),
             compress_parity: false,
             lzss: Lzss::fast(),
         }
@@ -124,7 +128,7 @@ impl Default for PrinsReplicator {
 
 impl Replicator for PrinsReplicator {
     fn encode_write(&self, lba: Lba, old: &[u8], new: &[u8]) -> Vec<u8> {
-        let parity = forward_parity(old, new);
+        let parity = self.ec.delta(old, new);
         let sparse = self.codec.encode(&parity).to_bytes();
         // Guard: a pathological write that changes (nearly) the whole
         // block would make the encoded parity *larger* than the block

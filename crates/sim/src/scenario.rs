@@ -12,7 +12,7 @@ use prins_block::BlockDevice;
 use prins_cluster::{ClusterConfig, ClusterError, ReplicaState, ResyncStrategy};
 use prins_net::Dir;
 
-use crate::world::{ClusterWorld, EngineWorld, EngineWorldConfig};
+use crate::world::{ClusterWorld, EcWorld, EngineWorld, EngineWorldConfig};
 
 fn cluster_config(ack_window: usize, write_quorum: usize) -> ClusterConfig {
     ClusterConfig {
@@ -394,6 +394,115 @@ pub fn corruption_wire_retransmit() -> Result<String, String> {
     Ok(w.registry().snapshot().event_summary_json())
 }
 
+/// Checks one rebuild report against the repair-bandwidth bound: wire
+/// bytes at most `1.25×` the survivors' dense image bytes (k strip
+/// reads plus one sparse shipment per stripe, never n full images).
+fn check_rebuild_bound(who: &str, report: &prins_cluster::EcRebuildReport) -> Result<(), String> {
+    if report.wire_bytes as f64 > 1.25 * report.survivor_image_bytes as f64 {
+        return Err(format!(
+            "{who}: rebuild moved {} wire bytes against {} survivor image bytes \
+             — repair-bandwidth bound (1.25×) violated",
+            report.wire_bytes, report.survivor_image_bytes
+        ));
+    }
+    Ok(())
+}
+
+/// An erasure-coded group loses one strip-holding node mid-workload.
+/// Writes continue degraded (the dead node's strips go stale), a fresh
+/// replacement is rebuilt from exactly `k` survivors within the
+/// repair-bandwidth bound, and afterwards every strip again equals the
+/// systematic encoding of the logical image — with every decoded block
+/// a state the history oracle has seen.
+pub fn ec_rebuild_one() -> Result<String, String> {
+    let mut w = EcWorld::new(4, Duration::from_micros(200));
+    let blocks = w.blocks();
+    for lba in 0..blocks {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    w.check_strips_encode_logical()?;
+
+    let lost = 2;
+    w.fail_node(lost).map_err(op_err)?;
+    let mut skipped = 0;
+    for lba in 0..blocks {
+        skipped += w.write_tag(lba, 2).map_err(op_err)?.skipped;
+    }
+    if skipped == 0 {
+        return Err("degraded writes skipped no frames with a node down".into());
+    }
+    if w.group().dirty_stripes() == 0 {
+        return Err("degraded writes marked no stripes dirty".into());
+    }
+    // Degraded reads reconstruct the missing column off k survivors.
+    w.check_decode_matches_oracle()?;
+
+    let report = w.replace_and_rebuild(lost)?;
+    if report.stripes != w.group().stripes() {
+        return Err(format!(
+            "rebuild covered {} of {} stripes",
+            report.stripes,
+            w.group().stripes()
+        ));
+    }
+    if w.group().dirty_stripes() != 0 {
+        return Err("rebuild left dirty stripes on a fully-online group".into());
+    }
+    check_rebuild_bound("single rebuild", &report)?;
+    w.check_strips_encode_logical()?;
+    w.check_decode_matches_oracle()?;
+    // Post-rebuild writes flow to all n nodes again.
+    for lba in 0..blocks {
+        let out = w.write_tag(lba, 3).map_err(op_err)?;
+        if out.skipped != 0 {
+            return Err("write skipped a node after rebuild completed".into());
+        }
+    }
+    w.check_strips_encode_logical()?;
+    Ok(w.registry().snapshot().event_summary_json())
+}
+
+/// Two strip-holding nodes die — the full `m = 2` fault tolerance of
+/// the code. Degraded decode still recovers every logical block; the
+/// first rebuild runs with the other node still down (exactly `k`
+/// survivors reachable, stale strips excluded), the second restores
+/// full health, and both stay within the repair-bandwidth bound.
+pub fn ec_rebuild_two() -> Result<String, String> {
+    let mut w = EcWorld::new(4, Duration::from_micros(200));
+    let blocks = w.blocks();
+    for lba in 0..blocks {
+        w.write_tag(lba, 1).map_err(op_err)?;
+    }
+    let (first, second) = (1, 4);
+    w.fail_node(first).map_err(op_err)?;
+    w.fail_node(second).map_err(op_err)?;
+    for lba in 0..blocks {
+        w.write_tag(lba, 2).map_err(op_err)?;
+    }
+    // Both erasures outstanding: decode leans on the full code.
+    w.check_decode_matches_oracle()?;
+
+    let r1 = w.replace_and_rebuild(first)?;
+    check_rebuild_bound("first rebuild", &r1)?;
+    if w.group().dirty_stripes() == 0 {
+        return Err("dirty stripes forgotten while a node is still down".into());
+    }
+    w.check_decode_matches_oracle()?;
+
+    let r2 = w.replace_and_rebuild(second)?;
+    check_rebuild_bound("second rebuild", &r2)?;
+    if w.group().dirty_stripes() != 0 {
+        return Err("rebuild left dirty stripes on a fully-online group".into());
+    }
+    w.check_strips_encode_logical()?;
+    w.check_decode_matches_oracle()?;
+    for lba in 0..blocks {
+        w.write_tag(lba, 3).map_err(op_err)?;
+    }
+    w.check_strips_encode_logical()?;
+    Ok(w.registry().snapshot().event_summary_json())
+}
+
 fn op_err(e: impl std::fmt::Display) -> String {
     format!("unexpected operation failure: {e}")
 }
@@ -418,6 +527,8 @@ pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
     ("corruption_wire_flip", corruption_wire_flip),
     ("corruption_scrub_repair", corruption_scrub_repair),
     ("corruption_wire_retransmit", corruption_wire_retransmit),
+    ("ec_rebuild_one", ec_rebuild_one),
+    ("ec_rebuild_two", ec_rebuild_two),
 ];
 
 /// Runs one scenario by name, returning its event-count summary.

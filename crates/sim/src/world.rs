@@ -16,11 +16,14 @@ use std::time::Duration;
 
 use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
 use prins_cluster::{
-    ClusterConfig, ClusterError, ClusterGroup, ReplicaState, ResyncStrategy, WriteOutcome,
+    ClusterConfig, ClusterError, ClusterGroup, EcConfig, EcGroup, EcRebuildReport, EcWriteOutcome,
+    ReplicaState, ResyncStrategy, WriteOutcome,
 };
 use prins_core::{EngineBuilder, PrinsEngine};
+use prins_ec::ReedSolomon;
 use prins_net::{SimLinkCtl, SimNet, SimTransport, Transport};
 use prins_obs::{EventKind, Registry};
+use prins_parity::ErasureCodec;
 use prins_repl::{
     encode_ack, encode_digest_ack, is_sealed, open_frame, AckPolicy, Applied, BatchFrame, Payload,
     ReplError, ReplicaApplier, ACK, NAK, NAK_CORRUPT,
@@ -91,6 +94,7 @@ fn spawn_replica(
                 let ack = match applier.handle(&frame) {
                     Ok(Applied::Data(_)) => encode_ack(ACK, applier.last_epoch()),
                     Ok(Applied::Digest(d)) => encode_digest_ack(applier.last_epoch(), d),
+                    Ok(Applied::Strip(s)) => prins_repl::encode_strip_ack(applier.last_epoch(), &s),
                     Err(ReplError::ChecksumMismatch { .. }) => {
                         encode_ack(NAK_CORRUPT, applier.last_epoch())
                     }
@@ -721,6 +725,275 @@ impl std::fmt::Debug for EngineWorld {
         f.debug_struct("EngineWorld")
             .field("blocks", &self.blocks)
             .field("replicas", &self.replica_devs.len())
+            .field("net", &self.net)
+            .finish()
+    }
+}
+
+/// Builds one strip-holding node behind a fresh [`SimNet`] link: a
+/// zeroed `stripes`-block device and an actor running the stock apply
+/// loop with a Reed–Solomon codec applier in strict sealed mode — the
+/// same loop mirroring replicas run, answering strip deltas, strip
+/// reads, and everything else.
+fn spawn_strip_node(
+    net: &SimNet,
+    name: &str,
+    stripes: u64,
+    delay: Duration,
+) -> (SimTransport, SimLinkCtl, Arc<MemDevice>) {
+    let (a, b, ctl) = net.add_link(name, delay);
+    let device = Arc::new(MemDevice::new(BlockSize::kb4(), stripes));
+    let dev = Arc::clone(&device);
+    let tr = b.clone();
+    let mut applier = ReplicaApplier::new(dev)
+        .with_codec(Box::new(ReedSolomon::k4m2()))
+        .require_sealed(true);
+    net.set_actor(
+        &b,
+        Box::new(move || {
+            while let Ok(Some(frame)) = tr.try_recv() {
+                let ack = match applier.handle(&frame) {
+                    Ok(Applied::Data(_)) => encode_ack(ACK, applier.last_epoch()),
+                    Ok(Applied::Digest(d)) => encode_digest_ack(applier.last_epoch(), d),
+                    Ok(Applied::Strip(s)) => prins_repl::encode_strip_ack(applier.last_epoch(), &s),
+                    Err(ReplError::ChecksumMismatch { .. }) => {
+                        encode_ack(NAK_CORRUPT, applier.last_epoch())
+                    }
+                    Err(_) => encode_ack(NAK, applier.last_epoch()),
+                };
+                let _ = tr.send(&ack);
+            }
+        }),
+    );
+    (a, ctl, device)
+}
+
+/// An [`EcGroup`] over simulated links: k-of-n strip placement, sparse
+/// delta parity updates, node loss and repair-bandwidth-accounted
+/// rebuild, all in virtual time. Fixed at the paper's `k = 4, m = 2`
+/// Reed–Solomon geometry.
+///
+/// Two invariants anchor the EC scenarios:
+///
+/// 1. **Strips encode the logical image** — at full health, every
+///    node's strip is byte-identical to the systematic encoding of the
+///    primary's logical volume
+///    ([`check_strips_encode_logical`](Self::check_strips_encode_logical)).
+/// 2. **Decode matches the oracle** — every logical block decoded off
+///    the wire (erased columns reconstructed) equals the primary image
+///    and is a state the per-LBA history oracle has seen
+///    ([`check_decode_matches_oracle`](Self::check_decode_matches_oracle)).
+pub struct EcWorld {
+    net: SimNet,
+    group: EcGroup<MemDevice, ReedSolomon>,
+    registry: Arc<Registry>,
+    ctls: Vec<SimLinkCtl>,
+    node_devs: Vec<Arc<MemDevice>>,
+    history: History,
+    blocks: u64,
+    block_size: usize,
+    delay: Duration,
+    replacements: usize,
+}
+
+impl EcWorld {
+    /// A fresh world: zeroed primary and strip nodes, all links up.
+    pub fn new(stripes: u64, delay: Duration) -> Self {
+        let net = SimNet::new();
+        let codec = ReedSolomon::k4m2();
+        let block_size = BlockSize::kb4();
+        let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+        let mut ctls = Vec::new();
+        let mut node_devs = Vec::new();
+        for idx in 0..codec.total_strips() {
+            let (a, ctl, dev) = spawn_strip_node(&net, &format!("node{idx}"), stripes, delay);
+            transports.push(Box::new(a));
+            ctls.push(ctl);
+            node_devs.push(dev);
+        }
+        let blocks = stripes * codec.data_strips() as u64;
+        let logical = MemDevice::new(block_size, blocks);
+        let config = EcConfig {
+            ack_timeout: Duration::from_millis(50),
+        };
+        let mut group = EcGroup::new(logical, codec, config, transports);
+        let registry = Registry::new();
+        group.attach_observer(Arc::clone(&registry), net.clock());
+        Self {
+            net,
+            group,
+            registry,
+            ctls,
+            node_devs,
+            history: History::seed(blocks, block_size.bytes()),
+            blocks,
+            block_size: block_size.bytes(),
+            delay,
+            replacements: 0,
+        }
+    }
+
+    /// The simulated network (trace, clock, message log).
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The metrics registry the group records into (strip writes,
+    /// parity-update and rebuild bytes, `ec-rebuild` events).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The erasure-coded group under test.
+    pub fn group(&self) -> &EcGroup<MemDevice, ReedSolomon> {
+        &self.group
+    }
+
+    /// Mutable access to the group under test.
+    pub fn group_mut(&mut self) -> &mut EcGroup<MemDevice, ReedSolomon> {
+        &mut self.group
+    }
+
+    /// Logical blocks in the volume.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Writes a deterministic sparse block derived from `(lba, tag)`
+    /// through the group, recording the content in the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the group's write error.
+    pub fn write_tag(&mut self, lba: u64, tag: u8) -> Result<EcWriteOutcome, ClusterError> {
+        let mut data = vec![0u8; self.block_size];
+        data[..8].copy_from_slice(&lba.to_le_bytes());
+        data[8] = tag;
+        data[9] = tag.wrapping_mul(31).wrapping_add(7);
+        let res = self.group.write(Lba(lba), &data);
+        if res.is_ok() {
+            self.history.record(lba, content_hash(&data));
+        }
+        res
+    }
+
+    /// Kills node `idx`: the group stops routing strips to it and its
+    /// link is severed — a write that tried anyway would time out.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for a bad index.
+    pub fn fail_node(&mut self, idx: usize) -> Result<(), ClusterError> {
+        self.group.mark_down(idx)?;
+        self.ctls[idx].sever();
+        Ok(())
+    }
+
+    /// Swaps a fresh node (wiped device, new applier, new link) into
+    /// slot `idx` and rebuilds its strips from `k` survivors.
+    ///
+    /// # Errors
+    ///
+    /// The rebuild's transport or reconstruction failure.
+    pub fn replace_and_rebuild(&mut self, idx: usize) -> Result<EcRebuildReport, String> {
+        self.replacements += 1;
+        let name = format!("node{idx}-r{}", self.replacements);
+        let (a, ctl, dev) = spawn_strip_node(&self.net, &name, self.group.stripes(), self.delay);
+        self.group
+            .replace_node(idx, Box::new(a))
+            .map_err(|e| format!("replace node {idx}: {e}"))?;
+        self.ctls[idx] = ctl;
+        self.node_devs[idx] = dev;
+        self.group
+            .rebuild(idx)
+            .map_err(|e| format!("rebuild node {idx}: {e}"))
+    }
+
+    /// Byte-exact strip invariant: every node's strip equals the
+    /// systematic encoding of the primary's logical image. Call at
+    /// full health — a down node's strips are allowed to lag.
+    ///
+    /// # Errors
+    ///
+    /// The first diverging strip.
+    pub fn check_strips_encode_logical(&self) -> Result<(), String> {
+        let k = self.group.placement().k;
+        let codec = ReedSolomon::k4m2();
+        for stripe in 0..self.group.stripes() {
+            let mut data = Vec::with_capacity(k);
+            for col in 0..k {
+                data.push(
+                    self.group
+                        .device()
+                        .read_block_vec(Lba(stripe * k as u64 + col as u64))
+                        .map_err(|e| format!("primary read stripe {stripe} col {col}: {e}"))?,
+                );
+            }
+            let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+            let parity = codec
+                .encode(&refs)
+                .map_err(|e| format!("encode stripe {stripe}: {e}"))?;
+            for role in 0..self.group.placement().n() {
+                let want = if role < k {
+                    &data[role]
+                } else {
+                    &parity[role - k]
+                };
+                let node = self.group.placement().node_for(stripe, role);
+                let got = self.node_devs[node]
+                    .read_block_vec(Lba(stripe))
+                    .map_err(|e| format!("node {node} read stripe {stripe}: {e}"))?;
+                if &got != want {
+                    return Err(format!(
+                        "stripe {stripe} role {role}: node {node}'s strip diverges \
+                         from encode(logical)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes every logical block off the wire (reconstructing erased
+    /// columns) and checks it equals the primary image *and* is a
+    /// state the history oracle has seen — the rebuild integrity
+    /// proof. Works degraded: up to `m` nodes may be down.
+    ///
+    /// # Errors
+    ///
+    /// The first mismatching or unhistorical block.
+    pub fn check_decode_matches_oracle(&mut self) -> Result<(), String> {
+        for lba in 0..self.blocks {
+            let want = self
+                .group
+                .device()
+                .read_block_vec(Lba(lba))
+                .map_err(|e| format!("primary read lba {lba}: {e}"))?;
+            let got = self
+                .group
+                .decode_logical(Lba(lba))
+                .map_err(|e| format!("decode lba {lba}: {e}"))?;
+            if got != want {
+                return Err(format!(
+                    "lba {lba}: decoded block differs from the primary image"
+                ));
+            }
+            let hash = content_hash(&got);
+            if !self.history.contains(lba, hash) {
+                return Err(format!(
+                    "lba {lba}: decoded a state the primary never held (hash {hash:#018x})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for EcWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcWorld")
+            .field("blocks", &self.blocks)
+            .field("nodes", &self.node_devs.len())
             .field("net", &self.net)
             .finish()
     }
