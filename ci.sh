@@ -20,6 +20,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # lint gate on its own as well, so a workspace-level allow can never
 # mask a warning in it.
 cargo clippy -p prins-ec -- -D warnings
+# Same standalone treatment for the hot-path buffer pool: every byte the
+# write path touches flows through prins-buf.
+cargo clippy -p prins-buf -- -D warnings
 cargo build --release
 cargo bench --workspace --no-run     # criterion benches must keep compiling
 # Cap test parallelism: the pipeline/cluster suites spawn their own

@@ -1,9 +1,12 @@
 //! Micro-kernels: the primitive operations every PRINS write exercises.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prins_block::{crc32c, crc32c_scalar};
 use prins_compress::{Codec, Lzss, Rle};
+use prins_ec::MulTable;
 use prins_iscsi::{Opcode, Pdu};
 use prins_parity::{forward_parity, scan_nonzero, xor_in_place, xor_in_place_scalar, SparseCodec};
+use prins_repl::{seal_batch_frame_into, seal_frame_into};
 use rand::{RngExt, SeedableRng};
 
 fn sample_images(bs: usize, change: f64) -> (Vec<u8>, Vec<u8>) {
@@ -136,6 +139,87 @@ fn bench_compression(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_crc32c(c: &mut Criterion) {
+    // Width sweep of the sealing checksum: the slice-by-8 kernel vs the
+    // bytewise baseline, from a tiny ack up to a 64 KB batch frame.
+    let mut group = c.benchmark_group("kernels/crc32c");
+    for len in [64usize, 512, 4096, 65536] {
+        let (_, data) = sample_images(len, 1.0);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("sliced8", len), &data, |b, d| {
+            b.iter(|| crc32c(d))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", len), &data, |b, d| {
+            b.iter(|| crc32c_scalar(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gf_mul(c: &mut Criterion) {
+    // GF(256) coefficient multiply-accumulate, the erasure-coded
+    // strip-update kernel: 64-byte-stride wide vs bytewise.
+    let mut group = c.benchmark_group("kernels/gf_mul_xor");
+    let table = MulTable::new(0x7d);
+    for len in [64usize, 512, 4096, 65536] {
+        let (src, mut dst) = sample_images(len, 1.0);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("wide", len), &src, |b, s| {
+            b.iter(|| table.mul_xor_slice(s, &mut dst))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", len), &src, |b, s| {
+            b.iter(|| table.mul_xor_slice_scalar(s, &mut dst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_seal(c: &mut Criterion) {
+    // Batch-aware sealing: one CRC pass over a whole BatchFrame versus
+    // sealing each 4 KB payload in its own envelope.
+    let mut group = c.benchmark_group("kernels/seal");
+    for frames in [8usize, 32] {
+        let payloads: Vec<Vec<u8>> = (0..frames)
+            .map(|i| {
+                sample_images(4096, 1.0)
+                    .1
+                    .iter()
+                    .map(|b| b ^ i as u8)
+                    .collect()
+            })
+            .collect();
+        let total: usize = payloads.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Bytes(total as u64));
+        group.bench_with_input(
+            BenchmarkId::new("batch", frames),
+            &payloads,
+            |b, payloads| {
+                let mut out = Vec::with_capacity(total + 16 * frames);
+                b.iter(|| {
+                    out.clear();
+                    seal_batch_frame_into(1, payloads, &mut out);
+                    out.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_frame", frames),
+            &payloads,
+            |b, payloads| {
+                let mut out = Vec::with_capacity(total + 16 * frames);
+                b.iter(|| {
+                    out.clear();
+                    for p in payloads {
+                        seal_frame_into(1, p, &mut out);
+                    }
+                    out.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_pdu(c: &mut Criterion) {
     let pdu = Pdu::with_data(Opcode::ScsiCommand, vec![0xabu8; 8192]);
     let bytes = pdu.to_bytes();
@@ -149,6 +233,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_xor, bench_xor_in_place, bench_nonzero_scan, bench_sparse_codec,
-        bench_compression, bench_pdu
+        bench_crc32c, bench_gf_mul, bench_seal, bench_compression, bench_pdu
 }
 criterion_main!(benches);

@@ -29,6 +29,7 @@
 
 mod ec;
 mod figures;
+mod kernels;
 mod obs;
 mod pipeline;
 mod resync;
@@ -40,6 +41,7 @@ pub use figures::{
     fig8_response_t1, fig9_response_t3, overhead_experiment, write_rate_experiment, FigureTable,
     OverheadReport, WriteRateReport,
 };
+pub use kernels::{seal_experiment, SealMeasurement};
 pub use obs::obs_experiment;
 pub use pipeline::{pipeline_experiment, pipeline_figure, PipelineKnobs, PipelineMeasurement};
 pub use resync::{resync_experiment, resync_figure, ResyncMeasurement};

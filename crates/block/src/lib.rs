@@ -48,7 +48,7 @@ mod instrument;
 mod mem;
 mod sparse;
 
-pub use checksum::{crc32c, crc32c_append};
+pub use checksum::{crc32c, crc32c_append, crc32c_scalar, crc32c_scalar_append};
 pub use device::BlockDevice;
 pub use error::BlockError;
 pub use fault::{FaultDevice, FaultKind, FaultPlan};

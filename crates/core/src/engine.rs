@@ -6,6 +6,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use prins_block::{BlockDevice, BlockError, Geometry, Lba, Result};
+use prins_buf::BufPool;
 use prins_net::{Clock, Transport};
 use prins_repl::{ReplicationMode, Replicator};
 
@@ -32,6 +33,10 @@ pub struct PrinsEngine {
     shared: Arc<Shared>,
     pipeline: Pipeline,
     clock: Arc<dyn Clock>,
+    /// Slab pool for block images, encoded payloads and wire frames;
+    /// shared with every pipeline stage so buffers recycle across the
+    /// whole hot path.
+    pool: BufPool,
     /// Per-LBA stripe locks: the old-image capture, the local write and
     /// the pipeline admission must be atomic per block, or two
     /// concurrent writers to one LBA would admit parities computed
@@ -54,12 +59,15 @@ impl PrinsEngine {
             ..Shared::default()
         });
         let replicator: Arc<dyn Replicator> = Arc::from(mode.replicator());
+        let pool =
+            BufPool::for_block_size(device.geometry().block_size().bytes(), config.batch_frames);
         let pipeline = Pipeline::start(
             replicator,
             transports,
             Arc::clone(&shared),
             &config,
             Arc::clone(&clock),
+            pool.clone(),
         );
         if let Some(obs) = &shared.obs {
             // The collector closes over a Weak: the registry outliving
@@ -70,9 +78,10 @@ impl PrinsEngine {
             // the final counters.
             let weak = Arc::downgrade(&shared);
             let lanes: Vec<_> = pipeline.lanes().to_vec();
+            let pool = pool.clone();
             obs.registry.add_collector(Box::new(move |reg| {
                 if let Some(shared) = weak.upgrade() {
-                    publish_engine_gauges(reg, &shared, &lanes);
+                    publish_engine_gauges(reg, &shared, &lanes, &pool);
                 }
             }));
         }
@@ -81,6 +90,7 @@ impl PrinsEngine {
             shared,
             pipeline,
             clock,
+            pool,
             write_stripes: (0..64).map(|_| Mutex::new(())).collect(),
         }
     }
@@ -215,10 +225,12 @@ impl BlockDevice for PrinsEngine {
         // Serialize capture+write+admit per LBA stripe (see field doc).
         let _stripe = self.write_stripes[(lba.index() % 64) as usize].lock();
         // Forward step, part 1: capture the old image (the read a
-        // RAID-4/5 small write performs anyway).
+        // RAID-4/5 small write performs anyway) into a pooled buffer.
         let t0 = self.clock.now_nanos();
-        let mut old = self.geometry().block_size().zeroed();
-        self.device.read_block(lba, &mut old)?;
+        let bs = self.geometry().block_size().bytes();
+        let mut old = self.pool.get(bs);
+        old.resize_zeroed(bs);
+        self.device.read_block(lba, old.as_mut_slice())?;
         let capture_nanos = self.clock.now_nanos().saturating_sub(t0);
 
         // The local write itself.
@@ -238,8 +250,15 @@ impl BlockDevice for PrinsEngine {
             obs.local_write.record(write_nanos);
         }
 
+        // Forward step, part 2: the new image's single hot-path copy,
+        // into a pooled buffer the encoder reads from in place.
+        let mut new = self.pool.get(buf.len());
+        new.copy_from(buf);
+        self.shared
+            .hot_bytes_copied
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         self.pipeline
-            .admit(lba, old, buf.to_vec())
+            .admit(lba, old, new)
             .map_err(|_| BlockError::DeviceFailed {
                 device: "prins replication pipeline is gone".into(),
             })
@@ -259,7 +278,12 @@ impl Drop for PrinsEngine {
         if let Some(obs) = &self.shared.obs {
             // Final gauge publish: the snapshot collector only holds a
             // Weak to this engine's state and goes quiet after drop.
-            publish_engine_gauges(&obs.registry, &self.shared, self.pipeline.lanes());
+            publish_engine_gauges(
+                &obs.registry,
+                &self.shared,
+                self.pipeline.lanes(),
+                &self.pool,
+            );
         }
     }
 }
@@ -270,9 +294,13 @@ fn publish_engine_gauges(
     reg: &prins_obs::Registry,
     shared: &Shared,
     lanes: &[Arc<crate::pipeline::LaneState>],
+    pool: &BufPool,
 ) {
+    let pool_stats = pool.stats();
+    let writes = shared.writes.load(Ordering::Relaxed);
+    let hot_bytes = shared.hot_bytes_copied.load(Ordering::Relaxed);
     for (name, value) in [
-        ("engine_writes", shared.writes.load(Ordering::Relaxed)),
+        ("engine_writes", writes),
         ("engine_reads", shared.reads.load(Ordering::Relaxed)),
         (
             "engine_coalesced_writes",
@@ -290,6 +318,16 @@ fn publish_engine_gauges(
             "engine_queue_depth_hwm",
             shared.queue_depth_hwm.load(Ordering::Relaxed),
         ),
+        ("engine_hot_bytes_copied", hot_bytes),
+        (
+            "engine_bytes_copied_per_write",
+            hot_bytes.checked_div(writes).unwrap_or(0),
+        ),
+        ("pool_hits", pool_stats.hits),
+        ("pool_misses", pool_stats.misses),
+        ("pool_miss_ppm", pool_stats.miss_ppm()),
+        ("pool_in_use", pool_stats.in_use),
+        ("pool_in_use_hwm", pool_stats.in_use_hwm),
     ] {
         reg.gauge(name).set(value);
     }

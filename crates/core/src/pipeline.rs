@@ -62,11 +62,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use prins_block::Lba;
+use prins_buf::{BufPool, PooledBuf, PooledBytes};
 use prins_net::{Clock, Transport};
 use prins_obs::{Event, EventKind};
-use prins_repl::{
-    decode_ack, seal_frame, BatchFrame, ReplError, Replicator, ACK, NAK, NAK_CORRUPT,
-};
+use prins_parity::encode_varint;
+use prins_repl::{decode_ack, seal_begin, ReplError, Replicator, ACK, BATCH_TAG, NAK, NAK_CORRUPT};
 
 use crate::obs::PipeObs;
 
@@ -124,6 +124,10 @@ pub(crate) struct Shared {
     /// Writes released by the reorder stage to the sender lanes (with
     /// no replicas configured this is the replicated count).
     pub dispatched_writes: AtomicU64,
+    /// Bytes memcpy'd on the hot path (block capture → wire frame).
+    /// With the pooled path a block's bytes are copied once at capture
+    /// and once onto the wire; this counter is what proves it.
+    pub hot_bytes_copied: AtomicU64,
     pub last_error: parking_lot::Mutex<Option<String>>,
     /// Registry wiring; `None` costs one branch per stage.
     pub obs: Option<PipeObs>,
@@ -137,12 +141,14 @@ pub(crate) fn record_error(shared: &Shared, e: &ReplError) {
     }
 }
 
-/// A write waiting for the encode pool.
+/// A write waiting for the encode pool. The block images live in
+/// pooled buffers checked out by the engine front-end; encoding
+/// returns them to the pool.
 struct EncodeJob {
     seq: u64,
     lba: Lba,
-    old: Vec<u8>,
-    new: Vec<u8>,
+    old: PooledBuf,
+    new: PooledBuf,
     /// Writes folded into this job beyond the first.
     folds: u64,
     /// Clock reading at admission (0 when observability is off).
@@ -165,7 +171,7 @@ struct AdmitState {
 struct Ready {
     lba: Lba,
     writes: u64,
-    payload: Arc<[u8]>,
+    payload: PooledBytes,
     /// Clock reading when encoding finished (0 when observability is
     /// off); the reorder hold is measured against it at release.
     encoded_at: u64,
@@ -182,7 +188,7 @@ enum LaneMsg {
         seq: u64,
         lba: Lba,
         writes: u64,
-        bytes: Arc<[u8]>,
+        bytes: PooledBytes,
         /// Clock reading at release to the lanes (0 when observability
         /// is off); the lane-queue wait is measured against it.
         released_at: u64,
@@ -323,6 +329,9 @@ struct Inner {
     lanes: Vec<Arc<LaneState>>,
     shared: Arc<Shared>,
     clock: Arc<dyn Clock>,
+    /// Slab pool for payload and wire buffers (block-image buffers are
+    /// checked out by the engine front-end from the same pool).
+    pool: BufPool,
 }
 
 /// One lane's sender context in manual mode: the transport plus the
@@ -335,10 +344,11 @@ struct SteppedLane {
 
 /// One sent, unacknowledged frame: the writes it carries plus the
 /// sealed wire bytes, retained so a corrupt NAK can be answered with a
-/// retransmission instead of an error.
+/// retransmission instead of an error. The frame stays in its pooled
+/// buffer; acknowledgement recycles it.
 struct InFlight {
     writes: u64,
-    frame: Vec<u8>,
+    frame: PooledBuf,
 }
 
 /// Lanes have no replica lifecycle (no offline/rejoin), so every frame
@@ -371,6 +381,7 @@ impl Pipeline {
         shared: Arc<Shared>,
         config: &PipelineConfig,
         clock: Arc<dyn Clock>,
+        pool: BufPool,
     ) -> Self {
         // In manual mode a bounded lane queue would deadlock the single
         // driving thread, and backpressure is meaningless anyway.
@@ -399,6 +410,7 @@ impl Pipeline {
             lanes,
             shared,
             clock,
+            pool,
         });
 
         if config.manual {
@@ -441,10 +453,11 @@ impl Pipeline {
             let shared = Arc::clone(&inner.shared);
             let cfg = config.clone();
             let clock = Arc::clone(&inner.clock);
+            let pool = inner.pool.clone();
             lane_handles.push(
                 std::thread::Builder::new()
                     .name(format!("prins-sender-{idx}"))
-                    .spawn(move || run_lane(idx, &*transport, &lane, &shared, &cfg, &*clock))
+                    .spawn(move || run_lane(idx, &*transport, &lane, &shared, &cfg, &*clock, &pool))
                     .expect("spawn prins sender lane"),
             );
         }
@@ -494,6 +507,7 @@ impl Pipeline {
                         &self.inner.shared,
                         &stepped.cfg,
                         &*self.inner.clock,
+                        &self.inner.pool,
                         &mut rt.outstanding,
                         seq,
                         lba,
@@ -533,8 +547,9 @@ impl Pipeline {
     ///
     /// Callers hold the engine's per-LBA stripe lock, so the captured
     /// `old` image is exactly the block content the previous admission
-    /// for this LBA left behind.
-    pub fn admit(&self, lba: Lba, old: Vec<u8>, new: Vec<u8>) -> Result<(), ReplError> {
+    /// for this LBA left behind. Both images arrive in pooled buffers;
+    /// a fold recycles the superseded `new` image immediately.
+    pub fn admit(&self, lba: Lba, old: PooledBuf, new: PooledBuf) -> Result<(), ReplError> {
         let obs = self.inner.shared.obs.as_ref();
         let mut st = self.inner.admit.lock().unwrap();
         if st.closed {
@@ -675,7 +690,15 @@ fn claim_job(st: &mut AdmitState) -> Option<EncodeJob> {
 fn encode_and_release(inner: &Inner, replicator: &dyn Replicator, job: EncodeJob) {
     let obs = inner.shared.obs.as_ref();
     let t0 = inner.clock.now_nanos();
-    let payload: Arc<[u8]> = replicator.encode_write(job.lba, &job.old, &job.new).into();
+    // Serialize straight into a pooled buffer: the fused encoders write
+    // the wire payload without materializing the parity, and freezing
+    // costs one `Arc` — the single unavoidable allocation per write.
+    let mut buf = inner.pool.get(job.new.len() + 24);
+    replicator.encode_write_into(job.lba, &job.old, &job.new, buf.vec_mut());
+    let payload = buf.freeze();
+    // The block images return to the pool before the reorder lock.
+    drop(job.old);
+    drop(job.new);
     let t1 = inner.clock.now_nanos();
     inner
         .shared
@@ -728,7 +751,7 @@ fn encode_and_release(inner: &Inner, replicator: &dyn Replicator, job: EncodeJob
                 seq,
                 lba: ready.lba,
                 writes: ready.writes,
-                bytes: Arc::clone(&ready.payload),
+                bytes: ready.payload.clone(),
                 released_at,
             });
         }
@@ -762,6 +785,15 @@ fn run_encoder(inner: &Inner, replicator: &dyn Replicator) {
 /// One released payload's lane work: batch in queued successors, send
 /// the frame, retire acknowledgements down to the window. Shared by the
 /// lane threads and the stepped driver.
+///
+/// Frame assembly is single-copy: each payload's bytes move from their
+/// pooled buffer straight into the sealed wire buffer (also pooled),
+/// with the batch header and the seal envelope written around them in
+/// place. One slicing-by-8 CRC pass in [`SealWriter::finish`] covers
+/// the whole batch. The wire bytes are identical to the old
+/// `BatchFrame::to_bytes` + `seal_frame` construction.
+///
+/// [`SealWriter::finish`]: prins_repl::SealWriter::finish
 #[allow(clippy::too_many_arguments)]
 fn lane_handle_payload(
     idx: usize,
@@ -770,11 +802,12 @@ fn lane_handle_payload(
     shared: &Shared,
     cfg: &PipelineConfig,
     clock: &dyn Clock,
+    pool: &BufPool,
     outstanding: &mut VecDeque<InFlight>,
     seq: u64,
     lba: Lba,
     writes: u64,
-    bytes: Arc<[u8]>,
+    bytes: PooledBytes,
     released_at: u64,
 ) {
     let obs = shared.obs.as_ref();
@@ -787,9 +820,13 @@ fn lane_handle_payload(
     };
     let first_seq = seq;
     let first_lba = lba;
-    let mut trace = vec![(lba, seq)];
+    let tracing = lane.send_log.is_some();
+    let mut trace: Vec<(Lba, u64)> = Vec::new();
+    if tracing {
+        trace.push((lba, seq));
+    }
     let mut total_writes = writes;
-    let mut extra: Vec<Arc<[u8]>> = Vec::new();
+    let mut extra: Vec<PooledBytes> = Vec::new();
     while extra.len() + 1 < cfg.batch_frames {
         match lane.try_pop_payload() {
             Some(LaneMsg::Payload {
@@ -802,24 +839,38 @@ fn lane_handle_payload(
                 if let Some(obs) = obs {
                     obs.lane_queue.record(picked_up.saturating_sub(released_at));
                 }
-                trace.push((lba, seq));
+                if tracing {
+                    trace.push((lba, seq));
+                }
                 total_writes += writes;
                 extra.push(bytes);
             }
             _ => break,
         }
     }
-    let inner_frame: Vec<u8>;
-    let inner: &[u8] = if extra.is_empty() {
-        &bytes
+    let inner_len = bytes.len() + extra.iter().map(|p| p.len() + 10).sum::<usize>();
+    let mut wire = pool.get(inner_len + 32);
+    let out = wire.vec_mut();
+    let writer = seal_begin(LANE_EPOCH, out);
+    if extra.is_empty() {
+        out.extend_from_slice(&bytes);
     } else {
-        let mut payloads = Vec::with_capacity(1 + extra.len());
-        payloads.push(bytes.to_vec());
-        payloads.extend(extra.iter().map(|p| p.to_vec()));
-        inner_frame = BatchFrame { payloads }.to_bytes();
-        &inner_frame
-    };
-    let wire = seal_frame(LANE_EPOCH, inner);
+        out.push(BATCH_TAG);
+        encode_varint(out, (1 + extra.len()) as u64);
+        encode_varint(out, bytes.len() as u64);
+        out.extend_from_slice(&bytes);
+        for p in &extra {
+            encode_varint(out, p.len() as u64);
+            out.extend_from_slice(p);
+        }
+    }
+    writer.finish(out);
+    shared.hot_bytes_copied.fetch_add(
+        (bytes.len() + extra.iter().map(|p| p.len()).sum::<usize>()) as u64,
+        Ordering::Relaxed,
+    );
+    drop(bytes);
+    drop(extra);
 
     let t0 = clock.now_nanos();
     let sent = transport.send(&wire);
@@ -882,6 +933,7 @@ fn run_lane(
     shared: &Shared,
     cfg: &PipelineConfig,
     clock: &dyn Clock,
+    pool: &BufPool,
 ) {
     // The in-flight (sent, unacknowledged) frames.
     let mut outstanding: VecDeque<InFlight> = VecDeque::new();
@@ -908,6 +960,7 @@ fn run_lane(
                 shared,
                 cfg,
                 clock,
+                pool,
                 &mut outstanding,
                 seq,
                 lba,

@@ -136,27 +136,34 @@ impl MulTable {
 
     /// `dst = c · src`, elementwise.
     ///
+    /// The lookups are inherently bytewise, but the eight products of
+    /// each lane are composed into one `u64` and written with a single
+    /// wide store — 1/8th the stores of the scalar loop.
+    ///
     /// # Panics
     ///
     /// If the slices differ in length.
     pub fn mul_slice(&self, src: &[u8], dst: &mut [u8]) {
         assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
-        // 64-byte blocks, unrolled 8 wide inside — the same walk shape
-        // as the XOR kernel, minus the u64 lanes a table lookup forbids.
+        // 64-byte blocks, 8-byte lanes inside — the same walk shape as
+        // the XOR kernel.
         const WIDE: usize = 64;
         let blocks = src.len() / WIDE;
         for b in 0..blocks {
             let s = &src[b * WIDE..(b + 1) * WIDE];
             let d = &mut dst[b * WIDE..(b + 1) * WIDE];
             for (dc, sc) in d.chunks_exact_mut(8).zip(s.chunks_exact(8)) {
-                dc[0] = self.row[sc[0] as usize];
-                dc[1] = self.row[sc[1] as usize];
-                dc[2] = self.row[sc[2] as usize];
-                dc[3] = self.row[sc[3] as usize];
-                dc[4] = self.row[sc[4] as usize];
-                dc[5] = self.row[sc[5] as usize];
-                dc[6] = self.row[sc[6] as usize];
-                dc[7] = self.row[sc[7] as usize];
+                let products = u64::from_ne_bytes([
+                    self.row[sc[0] as usize],
+                    self.row[sc[1] as usize],
+                    self.row[sc[2] as usize],
+                    self.row[sc[3] as usize],
+                    self.row[sc[4] as usize],
+                    self.row[sc[5] as usize],
+                    self.row[sc[6] as usize],
+                    self.row[sc[7] as usize],
+                ]);
+                dc.copy_from_slice(&products.to_ne_bytes());
             }
         }
         for (d, s) in dst[blocks * WIDE..].iter_mut().zip(&src[blocks * WIDE..]) {
@@ -165,6 +172,10 @@ impl MulTable {
     }
 
     /// `dst ^= c · src`, elementwise — the RMW parity-strip update.
+    ///
+    /// Eight products per lane fold into one `u64` XOR against the
+    /// destination: one wide load, one wide XOR, one wide store instead
+    /// of eight read-modify-write byte ops.
     ///
     /// # Panics
     ///
@@ -177,17 +188,34 @@ impl MulTable {
             let s = &src[b * WIDE..(b + 1) * WIDE];
             let d = &mut dst[b * WIDE..(b + 1) * WIDE];
             for (dc, sc) in d.chunks_exact_mut(8).zip(s.chunks_exact(8)) {
-                dc[0] ^= self.row[sc[0] as usize];
-                dc[1] ^= self.row[sc[1] as usize];
-                dc[2] ^= self.row[sc[2] as usize];
-                dc[3] ^= self.row[sc[3] as usize];
-                dc[4] ^= self.row[sc[4] as usize];
-                dc[5] ^= self.row[sc[5] as usize];
-                dc[6] ^= self.row[sc[6] as usize];
-                dc[7] ^= self.row[sc[7] as usize];
+                let products = u64::from_ne_bytes([
+                    self.row[sc[0] as usize],
+                    self.row[sc[1] as usize],
+                    self.row[sc[2] as usize],
+                    self.row[sc[3] as usize],
+                    self.row[sc[4] as usize],
+                    self.row[sc[5] as usize],
+                    self.row[sc[6] as usize],
+                    self.row[sc[7] as usize],
+                ]);
+                let lane = u64::from_ne_bytes(dc[..8].try_into().unwrap()) ^ products;
+                dc.copy_from_slice(&lane.to_ne_bytes());
             }
         }
         for (d, s) in dst[blocks * WIDE..].iter_mut().zip(&src[blocks * WIDE..]) {
+            *d ^= self.row[*s as usize];
+        }
+    }
+
+    /// Byte-at-a-time reference for [`mul_xor_slice`](Self::mul_xor_slice)
+    /// — the baseline the kernel benchmarks compare against.
+    ///
+    /// # Panics
+    ///
+    /// If the slices differ in length.
+    pub fn mul_xor_slice_scalar(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_xor_slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
             *d ^= self.row[*s as usize];
         }
     }
@@ -269,6 +297,10 @@ mod tests {
                 mul_xor_slice(c, &src[..len], &mut dst);
                 let want: Vec<u8> = src[..len].iter().map(|&x| 0xa5 ^ mul(c, x)).collect();
                 assert_eq!(dst, want, "mul_xor_slice c={c} len={len}");
+
+                let mut dst = vec![0xa5u8; len];
+                MulTable::new(c).mul_xor_slice_scalar(&src[..len], &mut dst);
+                assert_eq!(dst, want, "mul_xor_slice_scalar c={c} len={len}");
             }
         }
     }

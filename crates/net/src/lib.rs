@@ -18,6 +18,9 @@
 //!   bytes (payload + per-packet header overhead) and packets,
 //! * [`FaultTransport`] — a wrapper whose link a test harness can sever
 //!   and restore, for replica-outage experiments,
+//! * [`SinkTransport`] — discards sends (still metered) and replays a
+//!   pre-loaded receive script; keeps wire allocations out of
+//!   allocation-budget measurements,
 //! * [`Clock`] / [`SimNet`] — the determinism seam: an injectable time
 //!   source and a discrete-event simulated network with virtual time and
 //!   scripted faults (delay, drop, duplicate, reorder, link flap), used
@@ -46,6 +49,7 @@ mod fault;
 mod link;
 mod meter;
 mod sim;
+mod sink;
 mod tcp;
 mod transport;
 
@@ -56,5 +60,6 @@ pub use fault::{FaultTransport, LinkHandle};
 pub use link::LinkModel;
 pub use meter::{MeterSnapshot, TrafficMeter};
 pub use sim::{Dir, MsgRecord, SimClock, SimLinkCtl, SimNet, SimTransport};
+pub use sink::SinkTransport;
 pub use tcp::TcpTransport;
 pub use transport::Transport;

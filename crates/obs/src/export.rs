@@ -281,4 +281,52 @@ mod tests {
         let snap = sample_registry().snapshot();
         assert_eq!(snap.event_summary_json(), "{\"send\":1}");
     }
+
+    /// A registry carrying the buffer-pool gauges the engine publishes
+    /// (`publish_engine_gauges` in prins-core).
+    fn pool_registry() -> std::sync::Arc<Registry> {
+        let reg = Registry::new();
+        reg.gauge("pool_hits").set(970);
+        reg.gauge("pool_misses").set(30);
+        reg.gauge("pool_miss_ppm").set(30_000);
+        reg.gauge("pool_in_use").set(4);
+        reg.gauge("pool_in_use_hwm").set(12);
+        reg.gauge("engine_bytes_copied_per_write").set(8192);
+        reg
+    }
+
+    #[test]
+    fn table_renders_pool_gauges() {
+        let table = pool_registry().snapshot().to_table();
+        for needle in ["pool_in_use", "pool_in_use_hwm", "pool_miss_ppm"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+        assert!(table.contains("engine_bytes_copied_per_write"));
+    }
+
+    #[test]
+    fn json_renders_pool_gauges() {
+        let json = pool_registry().snapshot().to_json();
+        assert!(json.contains("\"pool_in_use\":4"));
+        assert!(json.contains("\"pool_in_use_hwm\":12"));
+        assert!(json.contains("\"pool_miss_ppm\":30000"));
+        assert!(json.contains("\"engine_bytes_copied_per_write\":8192"));
+    }
+
+    #[test]
+    fn prometheus_renders_pool_gauges() {
+        let text = pool_registry().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE pool_in_use gauge\npool_in_use 4"));
+        assert!(text.contains("pool_in_use_hwm 12"));
+        assert!(text.contains("pool_miss_ppm 30000"));
+    }
+
+    #[test]
+    fn event_summary_ignores_pool_gauges() {
+        // The golden-file summary is event counts only; new gauges must
+        // never perturb existing golden files.
+        let snap = pool_registry().snapshot();
+        assert_eq!(snap.event_summary_json(), "{}");
+        assert_eq!(snap.trace(), "");
+    }
 }

@@ -268,6 +268,85 @@ impl SparseCodec {
         }
     }
 
+    /// Walks the merged nonzero extents of the *virtual* parity
+    /// `old ⊕ new` without materializing it, invoking `emit(start, end)`
+    /// for each extent in offset order. Extent boundaries are exactly
+    /// those [`encode`](Self::encode) would produce on
+    /// `forward_parity(old, new)` — the merge logic is byte-for-byte the
+    /// same, but driven by [`scan_mismatch`](crate::scan_mismatch)
+    /// instead of a dense scratch block.
+    fn delta_segments(&self, old: &[u8], new: &[u8], mut emit: impl FnMut(usize, usize)) {
+        let n = old.len();
+        let mut next = crate::scan_mismatch(old, new, 0);
+        while let Some(start) = next {
+            let mut last = start + 1;
+            loop {
+                while last < n && old[last] != new[last] {
+                    last += 1;
+                }
+                match crate::scan_mismatch(old, new, last) {
+                    Some(nz) if nz - last < self.min_gap => last = nz + 1,
+                    later => {
+                        next = later;
+                        break;
+                    }
+                }
+            }
+            emit(start, last);
+        }
+    }
+
+    /// Segment count and exact wire size of the sparse encoding of
+    /// `old ⊕ new`, computed without allocating the parity or the
+    /// encoding. This is what the hot path uses to decide between a
+    /// sparse-parity payload and a full-block fallback before writing a
+    /// single byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn delta_wire_info(&self, old: &[u8], new: &[u8]) -> (usize, usize) {
+        assert_eq!(old.len(), new.len(), "delta of different-sized blocks");
+        let mut count = 0usize;
+        let mut payload = 0usize;
+        let mut prev_end = 0usize;
+        self.delta_segments(old, new, |start, end| {
+            count += 1;
+            payload += varint_len((start - prev_end) as u64);
+            payload += varint_len((end - start) as u64);
+            payload += end - start;
+            prev_end = end;
+        });
+        let total = varint_len(old.len() as u64) + varint_len(count as u64) + payload;
+        (count, total)
+    }
+
+    /// Appends the sparse encoding of `old ⊕ new` directly to `out`,
+    /// byte-identical to
+    /// `self.encode(&forward_parity(old, new)).to_bytes()` but with zero
+    /// intermediate allocations: segment XOR results are computed
+    /// straight into the output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn encode_delta_into(&self, old: &[u8], new: &[u8], out: &mut Vec<u8>) {
+        assert_eq!(old.len(), new.len(), "delta of different-sized blocks");
+        let mut count = 0usize;
+        self.delta_segments(old, new, |_, _| count += 1);
+        encode_varint(out, old.len() as u64);
+        encode_varint(out, count as u64);
+        let mut prev_end = 0usize;
+        self.delta_segments(old, new, |start, end| {
+            encode_varint(out, (start - prev_end) as u64);
+            encode_varint(out, (end - start) as u64);
+            let at = out.len();
+            out.resize(at + (end - start), 0);
+            crate::xor_into(&mut out[at..], &old[start..end], &new[start..end]);
+            prev_end = end;
+        });
+    }
+
     /// Parses the wire format produced by [`SparseParity::to_bytes`].
     ///
     /// # Errors
@@ -576,6 +655,35 @@ mod tests {
 
             prop_assert_eq!(&sequential, &new);
             prop_assert_eq!(one_shot, sequential);
+        }
+
+        /// The fused delta encoder must be byte-identical to the
+        /// materialize-then-encode path — frames built on the pooled hot
+        /// path and the classic path are indistinguishable on the wire.
+        #[test]
+        fn prop_encode_delta_into_is_byte_identical(
+            old in proptest::collection::vec(any::<u8>(), 0..1024),
+            flips in proptest::collection::vec((any::<prop::sample::Index>(), 1u8..), 0..16),
+            min_gap in 1usize..32) {
+            let mut new = old.clone();
+            for (idx, v) in &flips {
+                if !new.is_empty() {
+                    let at = idx.index(new.len());
+                    new[at] ^= v;
+                }
+            }
+            let codec = SparseCodec::new(min_gap);
+            let classic = codec.encode(&forward_parity(&old, &new));
+            let want = classic.to_bytes();
+
+            let mut fused = vec![0xEEu8; 3]; // pre-existing bytes must be preserved
+            codec.encode_delta_into(&old, &new, &mut fused);
+            prop_assert_eq!(&fused[..3], &[0xEEu8; 3][..]);
+            prop_assert_eq!(&fused[3..], want.as_slice());
+
+            let (count, wire) = codec.delta_wire_info(&old, &new);
+            prop_assert_eq!(count, classic.segments().len());
+            prop_assert_eq!(wire, classic.wire_size());
         }
 
         #[test]

@@ -60,4 +60,6 @@ pub use codec::{CodecError, Segment, SparseCodec, SparseParity};
 pub use delta::{apply_parity, apply_parity_in_place, forward_parity, DeltaStats};
 pub use erasure::{EcError, ErasureCodec, XorCodec};
 pub use varint::{decode_varint, encode_varint};
-pub use xor::{scan_nonzero, xor_bytes, xor_in_place, xor_in_place_scalar, xor_into};
+pub use xor::{
+    scan_mismatch, scan_nonzero, xor_bytes, xor_in_place, xor_in_place_scalar, xor_into,
+};

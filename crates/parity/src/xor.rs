@@ -110,6 +110,54 @@ pub fn scan_nonzero(buf: &[u8], from: usize) -> Option<usize> {
         .map(|at| from + offset + at)
 }
 
+/// Index of the first position at or after `from` where `a` and `b`
+/// differ, scanning a word at a time.
+///
+/// This is [`scan_nonzero`] over the *virtual* parity `a ⊕ b` without
+/// materializing it: the hot caller is the pooled encode path
+/// (`SparseCodec::encode_delta_into`), which walks the old/new images
+/// directly instead of allocating a dense parity block first.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use prins_parity::scan_mismatch;
+///
+/// let a = vec![7u8; 100];
+/// let mut b = a.clone();
+/// b[70] ^= 1;
+/// assert_eq!(scan_mismatch(&a, &b, 0), Some(70));
+/// assert_eq!(scan_mismatch(&a, &b, 71), None);
+/// ```
+pub fn scan_mismatch(a: &[u8], b: &[u8], from: usize) -> Option<usize> {
+    assert_eq!(a.len(), b.len(), "scan operands must be equal length");
+    if from >= a.len() {
+        return None;
+    }
+    let (ta, tb) = (&a[from..], &b[from..]);
+    let mut wa = ta.chunks_exact(8);
+    let mut wb = tb.chunks_exact(8);
+    let mut offset = 0usize;
+    for (ca, cb) in wa.by_ref().zip(wb.by_ref()) {
+        let x =
+            u64::from_ne_bytes(ca.try_into().unwrap()) ^ u64::from_ne_bytes(cb.try_into().unwrap());
+        if x != 0 {
+            let at = ca.iter().zip(cb).position(|(p, q)| p != q).unwrap();
+            return Some(from + offset + at);
+        }
+        offset += 8;
+    }
+    wa.remainder()
+        .iter()
+        .zip(wb.remainder())
+        .position(|(p, q)| p != q)
+        .map(|at| from + offset + at)
+}
+
 /// Writes `a ^ b` into `out`.
 ///
 /// # Panics
@@ -204,6 +252,24 @@ mod tests {
     }
 
     #[test]
+    fn scan_mismatch_equals_scan_nonzero_of_the_parity() {
+        let a: Vec<u8> = (0..300).map(|i| (i % 7) as u8).collect();
+        for at in [0usize, 1, 7, 8, 9, 63, 64, 255, 296, 299] {
+            let mut b = a.clone();
+            b[at] ^= 0x80;
+            let parity = xor_bytes(&a, &b);
+            for from in [0usize, 1, at, at + 1, 300, 999] {
+                assert_eq!(
+                    scan_mismatch(&a, &b, from),
+                    scan_nonzero(&parity, from),
+                    "at={at} from={from}"
+                );
+            }
+        }
+        assert_eq!(scan_mismatch(&a, &a, 0), None);
+    }
+
+    #[test]
     fn xor_into_matches_xor_bytes() {
         let a = vec![0xF0u8; 33];
         let b = vec![0x0Fu8; 33];
@@ -244,6 +310,22 @@ mod tests {
             let expected = buf.iter().enumerate().skip(from.min(buf.len()))
                 .find(|(_, &b)| b != 0).map(|(i, _)| i);
             prop_assert_eq!(scan_nonzero(&buf, from), expected);
+        }
+
+        #[test]
+        fn prop_scan_mismatch_matches_parity_scan(
+                a in proptest::collection::vec(any::<u8>(), 0..256),
+                flips in proptest::collection::vec((any::<prop::sample::Index>(), 1u8..), 0..6),
+                from in 0usize..300) {
+            let mut b = a.clone();
+            for (idx, v) in &flips {
+                if !b.is_empty() {
+                    let at = idx.index(b.len());
+                    b[at] ^= v;
+                }
+            }
+            let parity = xor_bytes(&a, &b);
+            prop_assert_eq!(scan_mismatch(&a, &b, from), scan_nonzero(&parity, from));
         }
 
         #[test]

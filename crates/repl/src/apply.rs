@@ -58,6 +58,10 @@ pub struct ReplicaApplier<D> {
     last_epoch: u64,
     require_sealed: bool,
     checksums: HashMap<u64, u32>,
+    /// Recycled block buffer for the backward computation — one device
+    /// block, reused across applies so the steady-state parity path
+    /// performs no heap allocation for the base image.
+    scratch: Vec<u8>,
 }
 
 impl<D: BlockDevice> ReplicaApplier<D> {
@@ -76,6 +80,7 @@ impl<D: BlockDevice> ReplicaApplier<D> {
             last_epoch: 0,
             require_sealed: false,
             checksums: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -259,20 +264,29 @@ impl<D: BlockDevice> ReplicaApplier<D> {
         // here — verify it against the checksum table first, because
         // updating a corrupted base fabricates a block the primary
         // never held and no later check could catch.
-        let mut block = self.device.read_block_vec(lba)?;
-        if let Some(&expected) = self.checksums.get(&lba.index()) {
-            let got = crc32c(&block);
-            if got != expected {
-                return Err(ReplError::ChecksumMismatch { expected, got });
+        //
+        // The base image lands in the recycled scratch buffer (taken
+        // out of `self` for the duration so the codec can borrow it
+        // mutably) — no allocation after the first apply.
+        let mut block = std::mem::take(&mut self.scratch);
+        block.resize(bs, 0);
+        let result = (|| {
+            self.device.read_block(lba, &mut block)?;
+            if let Some(&expected) = self.checksums.get(&lba.index()) {
+                let got = crc32c(&block);
+                if got != expected {
+                    return Err(ReplError::ChecksumMismatch { expected, got });
+                }
             }
-        }
-        for seg in delta.segments() {
-            self.codec
-                .apply_delta(&mut block[seg.offset..seg.end()], coeff, &seg.data)
-                .map_err(|e| ReplError::Malformed(format!("strip delta: {e}")))?;
-        }
-        self.write_checked(lba, &block)?;
-        Ok(())
+            for seg in delta.segments() {
+                self.codec
+                    .apply_delta(&mut block[seg.offset..seg.end()], coeff, &seg.data)
+                    .map_err(|e| ReplError::Malformed(format!("strip delta: {e}")))?;
+            }
+            self.write_checked(lba, &block)
+        })();
+        self.scratch = block;
+        result
     }
 
     /// The zero-run-encoded image of the block at `lba` as read from

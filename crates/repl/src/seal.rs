@@ -76,6 +76,83 @@ pub fn seal_frame(epoch: u64, inner: &[u8]) -> Vec<u8> {
     out
 }
 
+/// An open sealed envelope being written directly into a caller-owned
+/// buffer (e.g. a pooled wire buffer): [`seal_begin`] writes the header
+/// and reserves the checksum slot, the caller appends the inner frame,
+/// and [`finish`](SealWriter::finish) runs **one** CRC32C pass over
+/// whatever was appended and patches the slot.
+///
+/// This is how the sender lanes build batch frames without
+/// materializing the inner frame separately: the envelope, the batch
+/// header and every payload are appended to a single buffer, and the
+/// whole inner region is checksummed in one slicing-by-8 sweep. The
+/// bytes produced are identical to
+/// `seal_frame(epoch, &BatchFrame { .. }.to_bytes())`.
+#[must_use = "a SealWriter must be finished to patch the checksum in"]
+pub struct SealWriter {
+    epoch: u64,
+    crc_at: usize,
+    inner_start: usize,
+}
+
+/// Starts a sealed envelope at the end of `out`: appends the tag and
+/// epoch, reserves the 4-byte checksum slot and returns the writer that
+/// patches it. Bytes already in `out` are left untouched.
+pub fn seal_begin(epoch: u64, out: &mut Vec<u8>) -> SealWriter {
+    out.push(SEAL_TAG);
+    encode_varint(out, epoch);
+    let crc_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    SealWriter {
+        epoch,
+        crc_at,
+        inner_start: crc_at + 4,
+    }
+}
+
+impl SealWriter {
+    /// Checksums everything appended to `out` since [`seal_begin`] and
+    /// patches it into the reserved slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` was truncated below the envelope header since
+    /// [`seal_begin`] — the envelope this writer refers to is gone.
+    pub fn finish(self, out: &mut [u8]) {
+        assert!(
+            out.len() >= self.inner_start,
+            "sealed buffer truncated under an open SealWriter"
+        );
+        let crc = seal_crc(self.epoch, &out[self.inner_start..]);
+        out[self.crc_at..self.crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+}
+
+/// [`seal_frame`] writing into a caller-owned buffer (appended; earlier
+/// bytes are untouched). Byte-identical to `seal_frame(epoch, inner)`.
+pub fn seal_frame_into(epoch: u64, inner: &[u8], out: &mut Vec<u8>) {
+    let writer = seal_begin(epoch, out);
+    out.extend_from_slice(inner);
+    writer.finish(out);
+}
+
+/// Seals a batch of serialized payloads in one pass: builds the
+/// [`BatchFrame`](crate::BatchFrame) body directly inside the envelope
+/// (no intermediate frame buffer, no per-payload re-copy) and covers it
+/// with a single CRC32C sweep. Byte-identical to
+/// `seal_frame(epoch, &BatchFrame { payloads }.to_bytes())`.
+pub fn seal_batch_frame_into<P: AsRef<[u8]>>(epoch: u64, payloads: &[P], out: &mut Vec<u8>) {
+    let writer = seal_begin(epoch, out);
+    out.push(crate::BATCH_TAG);
+    encode_varint(out, payloads.len() as u64);
+    for p in payloads {
+        let p = p.as_ref();
+        encode_varint(out, p.len() as u64);
+        out.extend_from_slice(p);
+    }
+    writer.finish(out);
+}
+
 /// Whether `bytes` starts like a sealed envelope.
 pub fn is_sealed(bytes: &[u8]) -> bool {
     bytes.first() == Some(&SEAL_TAG)
@@ -346,6 +423,38 @@ mod tests {
     }
 
     #[test]
+    fn seal_frame_into_appends_and_matches_seal_frame() {
+        let mut out = vec![0xEEu8; 3]; // pre-existing bytes must survive
+        seal_frame_into(9, b"inner bytes", &mut out);
+        assert_eq!(&out[..3], &[0xEE; 3]);
+        assert_eq!(&out[3..], seal_frame(9, b"inner bytes").as_slice());
+    }
+
+    #[test]
+    fn batch_seal_is_byte_identical_to_frame_then_seal() {
+        let payloads: Vec<Vec<u8>> = vec![vec![1, 2, 3], Vec::new(), vec![0xab; 300]];
+        let expected = seal_frame(
+            4,
+            &crate::BatchFrame {
+                payloads: payloads.clone(),
+            }
+            .to_bytes(),
+        );
+        let mut got = Vec::new();
+        seal_batch_frame_into(4, &payloads, &mut got);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated under an open SealWriter")]
+    fn finish_rejects_truncated_buffer() {
+        let mut out = Vec::new();
+        let writer = seal_begin(1, &mut out);
+        out.clear();
+        writer.finish(&mut out);
+    }
+
+    #[test]
     fn acks_roundtrip_in_all_shapes() {
         for (status, epoch) in [(ACK, 0u64), (ACK, 9), (NAK, 3), (NAK_CORRUPT, 1 << 40)] {
             let frame = encode_ack(status, epoch);
@@ -455,6 +564,38 @@ mod tests {
             let _ = open_frame(&bytes);
             let _ = decode_ack(&bytes);
             let _ = decode_digest_request(&bytes);
+        }
+
+        /// The in-place builder produces the exact bytes of the
+        /// allocate-then-seal path for any epoch and inner frame.
+        #[test]
+        fn prop_seal_frame_into_is_byte_identical(
+                epoch in any::<u64>(),
+                inner in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut got = Vec::new();
+            seal_frame_into(epoch, &inner, &mut got);
+            prop_assert_eq!(got, seal_frame(epoch, &inner));
+        }
+
+        /// Batch-aware sealing (single buffer, single CRC sweep) is
+        /// byte-identical to building the batch frame and sealing it —
+        /// so the read side needs no changes at all.
+        #[test]
+        fn prop_batch_seal_is_byte_identical(
+                epoch in any::<u64>(),
+                payloads in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 0..128), 0..10)) {
+            let expected = seal_frame(
+                epoch,
+                &crate::BatchFrame { payloads: payloads.clone() }.to_bytes(),
+            );
+            let mut got = Vec::new();
+            seal_batch_frame_into(epoch, &payloads, &mut got);
+            prop_assert_eq!(&got, &expected);
+            // And it opens to the same batch.
+            let (e, inner) = open_frame(&got).unwrap();
+            prop_assert_eq!(e, epoch);
+            prop_assert_eq!(crate::BatchFrame::from_bytes(inner).unwrap().payloads, payloads);
         }
     }
 }

@@ -21,6 +21,14 @@ pub trait Replicator: Send + Sync {
     /// always pass images of one device block.
     fn encode_write(&self, lba: Lba, old: &[u8], new: &[u8]) -> Vec<u8>;
 
+    /// Appends the wire bytes of [`encode_write`](Self::encode_write) to
+    /// `out`, byte-identically. The default delegates to `encode_write`;
+    /// strategies on the zero-copy hot path override this to serialize
+    /// straight into a pooled buffer without intermediate allocations.
+    fn encode_write_into(&self, lba: Lba, old: &[u8], new: &[u8], out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.encode_write(lba, old, new));
+    }
+
     /// Short name for reports ("traditional", "compressed", "prins", …).
     fn name(&self) -> &'static str;
 }
@@ -36,6 +44,12 @@ impl Replicator for TraditionalReplicator {
             body: PayloadBody::Full(new.to_vec()),
         }
         .to_bytes()
+    }
+
+    fn encode_write_into(&self, lba: Lba, _old: &[u8], new: &[u8], out: &mut Vec<u8>) {
+        out.push(0); // PayloadBody::Full tag
+        prins_parity::encode_varint(out, lba.index());
+        out.extend_from_slice(new);
     }
 
     fn name(&self) -> &'static str {
@@ -158,6 +172,29 @@ impl Replicator for PrinsReplicator {
         Payload { lba, body }.to_bytes()
     }
 
+    fn encode_write_into(&self, lba: Lba, old: &[u8], new: &[u8], out: &mut Vec<u8>) {
+        if self.compress_parity {
+            // The ablation path runs LZSS over the encoded parity; the
+            // compressor allocates anyway, so the fused encoder buys
+            // nothing here.
+            out.extend_from_slice(&self.encode_write(lba, old, new));
+            return;
+        }
+        // Decide sparse-vs-full from a scan-only pass, then serialize the
+        // winner straight into `out` — the dense parity block and the
+        // intermediate sparse buffer of `encode_write` never exist.
+        let (_, wire) = self.codec.delta_wire_info(old, new);
+        if wire >= new.len() {
+            out.push(0); // PayloadBody::Full tag
+            prins_parity::encode_varint(out, lba.index());
+            out.extend_from_slice(new);
+        } else {
+            out.push(2); // PayloadBody::Parity tag
+            prins_parity::encode_varint(out, lba.index());
+            self.codec.encode_delta_into(old, new, out);
+        }
+    }
+
     fn name(&self) -> &'static str {
         if self.compress_parity {
             "prins+lzss"
@@ -265,6 +302,20 @@ mod tests {
     }
 
     #[test]
+    fn encode_write_into_matches_encode_write_on_fallback() {
+        // Full-block change exercises the Full-image fallback branch of
+        // the fused PRINS encoder.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut old = vec![0u8; 4096];
+        rng.fill_bytes(&mut old);
+        let new: Vec<u8> = old.iter().map(|b| b ^ 0x5a).collect();
+        let r = PrinsReplicator::new();
+        let mut fused = Vec::new();
+        r.encode_write_into(Lba(17), &old, &new, &mut fused);
+        assert_eq!(fused, r.encode_write(Lba(17), &old, &new));
+    }
+
+    #[test]
     fn trait_objects_compose() {
         let reps: Vec<Box<dyn Replicator>> = vec![
             Box::new(TraditionalReplicator),
@@ -274,6 +325,37 @@ mod tests {
         let (old, new) = sample_write(64);
         for r in &reps {
             assert!(!r.encode_write(Lba(0), &old, &new).is_empty());
+        }
+    }
+
+    proptest::proptest! {
+        /// `encode_write_into` must be byte-identical to `encode_write`
+        /// for every strategy and every write shape: the pooled hot path
+        /// may never change what goes on the wire.
+        #[test]
+        fn prop_encode_write_into_is_byte_identical(
+            lba in proptest::prelude::any::<u32>(),
+            old in proptest::collection::vec(proptest::prelude::any::<u8>(), 1..1024),
+            flips in proptest::collection::vec(
+                (proptest::prelude::any::<proptest::sample::Index>(), 1u8..), 0..24)) {
+            let mut new = old.clone();
+            for (idx, v) in &flips {
+                let at = idx.index(new.len());
+                new[at] ^= v;
+            }
+            let reps: Vec<Box<dyn Replicator>> = vec![
+                Box::new(TraditionalReplicator),
+                Box::new(CompressedReplicator::default()),
+                Box::new(PrinsReplicator::new()),
+                Box::new(PrinsReplicator::with_parity_compression()),
+            ];
+            for r in &reps {
+                let want = r.encode_write(Lba(lba as u64), &old, &new);
+                let mut got = vec![0xA5u8]; // pre-existing byte must survive
+                r.encode_write_into(Lba(lba as u64), &old, &new, &mut got);
+                proptest::prop_assert_eq!(&got[..1], &[0xA5u8][..], "{}", r.name());
+                proptest::prop_assert_eq!(&got[1..], want.as_slice(), "{}", r.name());
+            }
         }
     }
 }

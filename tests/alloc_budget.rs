@@ -1,0 +1,117 @@
+//! Allocation budget for the zero-copy hot path.
+//!
+//! A counting global allocator wraps [`System`] and tallies every
+//! `alloc`/`realloc`/`alloc_zeroed` while a flag is raised. The test
+//! drives a manually-stepped engine over a [`SinkTransport`] (sends
+//! discarded, acks pre-loaded before the measured region) so the only
+//! allocations in the loop are the engine's own — and asserts the
+//! steady-state path stays within **2 heap allocations per admitted
+//! write**. The slab pool makes block images, encoded payloads and
+//! wire frames recycle; the one unavoidable allocation left is the
+//! `Arc` created when the encoded payload is frozen for fan-out.
+//!
+//! Kept to a single `#[test]` so no sibling test's allocations leak
+//! into the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
+use prins_core::EngineBuilder;
+use prins_net::SinkTransport;
+use prins_repl::{encode_ack, ReplicationMode, ACK};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Writes + steps one round and returns the allocations it charged.
+fn measure(mode: ReplicationMode, writes: u64) -> u64 {
+    const BLOCKS: u64 = 8;
+    let device = Arc::new(MemDevice::new(BlockSize::kb4(), BLOCKS));
+    let sink = Box::new(SinkTransport::new());
+    // The whole ack script exists before the measured region: warmup
+    // plus measured writes, one per-write ack each, with headroom.
+    sink.preload((0..2 * writes + 64).map(|_| encode_ack(ACK, 1)));
+    let engine = EngineBuilder::new(Arc::clone(&device) as Arc<dyn BlockDevice>)
+        .mode(mode)
+        .replica(sink)
+        .manual_stepping(true)
+        .build();
+
+    let block = vec![0xA5u8; 4096];
+    let mut payload = block.clone();
+
+    // Warmup: populate the pool's freelists, the lane queues and the
+    // reorder map so every container reaches steady-state capacity.
+    for i in 0..writes {
+        payload[(i as usize * 7) % 4096] ^= 0x3C;
+        engine.write_block(Lba(i % BLOCKS), &payload).unwrap();
+        while engine.step() {}
+    }
+    engine.flush().unwrap();
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for i in 0..writes {
+        payload[(i as usize * 13) % 4096] ^= 0xC3;
+        engine.write_block(Lba(i % BLOCKS), &payload).unwrap();
+        while engine.step() {}
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    engine.flush().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.writes, 2 * writes);
+    assert_eq!(stats.writes_replicated, 2 * writes);
+    assert_eq!(stats.replication_errors, 0);
+    engine.shutdown().unwrap();
+    allocs
+}
+
+#[test]
+fn steady_state_write_path_stays_under_two_allocations_per_write() {
+    const WRITES: u64 = 64;
+    for mode in [ReplicationMode::Traditional, ReplicationMode::Prins] {
+        let allocs = measure(mode, WRITES);
+        eprintln!("{mode:?}: {allocs} allocations / {WRITES} writes");
+        assert!(
+            allocs <= 2 * WRITES,
+            "{mode:?}: {allocs} allocations over {WRITES} writes \
+             exceeds the budget of 2 per write"
+        );
+    }
+}
