@@ -57,3 +57,16 @@ cargo run -q --release -p prins-sim --bin sim-replay -- scenario 'corruption_*' 
 # the same command if the EC write/rebuild paths changed intentionally.
 cargo run -q --release -p prins-sim --bin sim-replay -- scenario 'ec_rebuild_*' --events \
     | diff tests/ec_golden.txt -
+# Scale-out determinism gate: live migration under a 10x-slow link with
+# a node kill mid-copy, and offloaded reads racing a replica rejoin.
+# Their event-count summaries must replay byte-identically — regenerate
+# with the same two commands if placement/migration/read-offload
+# behaviour changed intentionally.
+{
+    cargo run -q --release -p prins-sim --bin sim-replay -- scenario migrate_under_faults --events
+    cargo run -q --release -p prins-sim --bin sim-replay -- scenario read_offload_rejoin --events
+} | diff tests/scale_out_golden.txt -
+# Scale figure wiring smoke: the selection must parse without paying
+# for the measurement (the ≥2.5x read-speedup bound itself is asserted
+# by prins-bench's scale test in the workspace suite above).
+cargo run -q --release -p prins-bench --bin figures -- scale --no-run

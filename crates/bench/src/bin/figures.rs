@@ -9,7 +9,9 @@
 //! figures pipeline            # pipelined vs serial replication throughput
 //! figures ec                  # erasure-coded storage + repair-bandwidth economics
 //! figures obs                 # metrics snapshot of a simulated TPC-C mirror
+//! figures scale               # scale-out read throughput sweep vs. MVA prediction
 //! figures --smoke all         # tiny databases (CI-friendly)
+//! figures scale --no-run      # validate the selection without running it
 //! ```
 
 use std::process::ExitCode;
@@ -17,7 +19,7 @@ use std::process::ExitCode;
 use prins_bench::{
     ec_experiment, fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw,
     fig7_fs_micro, fig8_response_t1, fig9_response_t3, measure_traffic, obs_experiment,
-    overhead_experiment, pipeline_experiment, pipeline_figure, resync_figure,
+    overhead_experiment, pipeline_experiment, pipeline_figure, resync_figure, scale_experiment,
     write_rate_experiment, TrafficConfig,
 };
 use prins_block::BlockSize;
@@ -27,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ops: usize = 200;
     let mut bench_scale = true;
+    let mut no_run = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -39,11 +42,43 @@ fn main() -> ExitCode {
                 }
             },
             "--smoke" => bench_scale = false,
+            "--no-run" => no_run = true,
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() {
         wanted.push("all".to_string());
+    }
+    const KNOWN: &[&str] = &[
+        "all",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "resync",
+        "pipeline",
+        "overhead",
+        "writerate",
+        "ec",
+        "obs",
+        "scale",
+    ];
+    if no_run {
+        // Smoke mode: validate the selection against the wiring above
+        // without paying for any measurement.
+        let unknown: Vec<&String> = wanted
+            .iter()
+            .filter(|w| !KNOWN.contains(&w.as_str()))
+            .collect();
+        if unknown.is_empty() {
+            println!("would run: {}", wanted.join(" "));
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("unknown figure selection {unknown:?}; known: {KNOWN:?}");
+        return ExitCode::FAILURE;
     }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
@@ -122,6 +157,10 @@ fn main() -> ExitCode {
             println!("{}", snap.to_table());
             println!("{}", snap.to_json());
         }
+        if want("scale") {
+            ran_any = true;
+            println!("{}\n", scale_experiment(ops, bench_scale)?);
+        }
         Ok(())
     })();
 
@@ -130,9 +169,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if !ran_any {
-        eprintln!(
-            "unknown figure selection {wanted:?}; try: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 resync pipeline overhead writerate ec obs"
-        );
+        eprintln!("unknown figure selection {wanted:?}; try: {KNOWN:?}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -33,6 +33,7 @@ mod kernels;
 mod obs;
 mod pipeline;
 mod resync;
+mod scale;
 mod traffic;
 
 pub use ec::{ec_experiment, EcReport};
@@ -45,4 +46,5 @@ pub use kernels::{seal_experiment, SealMeasurement};
 pub use obs::obs_experiment;
 pub use pipeline::{pipeline_experiment, pipeline_figure, PipelineKnobs, PipelineMeasurement};
 pub use resync::{resync_experiment, resync_figure, ResyncMeasurement};
+pub use scale::{scale_experiment, ScaleCurve, ScaleReport};
 pub use traffic::{measure_traffic, ModeTraffic, TrafficConfig, TrafficMeasurement};

@@ -35,6 +35,10 @@ pub enum ClusterError {
     },
     /// A replica index out of range.
     UnknownReplica(usize),
+    /// A live-migration request the placement or cluster state cannot
+    /// satisfy (non-identity addressing, bad range, or a migration
+    /// already in progress).
+    Migration(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -49,6 +53,7 @@ impl fmt::Display for ClusterError {
                 write!(f, "replica {replica}: invalid transition {from} -> {to}")
             }
             ClusterError::UnknownReplica(idx) => write!(f, "no replica {idx}"),
+            ClusterError::Migration(why) => write!(f, "migration rejected: {why}"),
         }
     }
 }

@@ -8,10 +8,11 @@ use std::time::Duration;
 use prins_block::{crc32c, BlockDevice, Lba};
 use prins_net::{Clock, Transport};
 use prins_obs::{Counter, Event, EventKind, Histogram, Registry};
-use prins_parity::SparseParity;
+use prins_parity::{SparseCodec, SparseParity};
 use prins_repl::{
-    decode_ack, encode_digest_request, seal_frame, AckFrame, Payload, PayloadBody, ReplError,
-    ReplicationMode, Replicator, ACK, DIGEST_ACK, NAK, NAK_CORRUPT,
+    decode_ack, decode_read_ack, encode_digest_request, encode_read_request, seal_frame, AckFrame,
+    Payload, PayloadBody, ReplError, ReplicationMode, Replicator, ACK, DIGEST_ACK, NAK,
+    NAK_CORRUPT, READ_ACK,
 };
 use prins_trap::{TrapDevice, TrapLog};
 
@@ -34,6 +35,11 @@ struct ClusterObs {
     checksum_failures: Arc<Counter>,
     /// Divergent blocks found by the scrubber and repaired.
     scrub_repairs: Arc<Counter>,
+    /// Reads served by a replica instead of the primary.
+    reads_offloaded: Arc<Counter>,
+    /// Read-offload attempts rejected by the freshness guard (replica
+    /// not in sync, block dirty, or a stale-epoch response).
+    read_rejected_stale: Arc<Counter>,
 }
 
 impl ClusterObs {
@@ -42,6 +48,8 @@ impl ClusterObs {
         let wrong_epoch_acks = registry.counter("wrong_epoch_acks");
         let checksum_failures = registry.counter("checksum_failures");
         let scrub_repairs = registry.counter("scrub_repairs");
+        let reads_offloaded = registry.counter("reads_offloaded");
+        let read_rejected_stale = registry.counter("read_rejected_stale");
         Self {
             registry,
             clock,
@@ -49,6 +57,8 @@ impl ClusterObs {
             wrong_epoch_acks,
             checksum_failures,
             scrub_repairs,
+            reads_offloaded,
+            read_rejected_stale,
         }
     }
 
@@ -128,6 +138,7 @@ struct Replica {
     foreground_bytes: u64,
     resync_bytes: u64,
     scrub_bytes: u64,
+    read_bytes: u64,
     deferred_writes: u64,
     acked_writes: u64,
     /// Foreground writes sent but not yet acknowledged (FIFO — the
@@ -155,6 +166,7 @@ impl Replica {
             foreground_bytes: 0,
             resync_bytes: 0,
             scrub_bytes: 0,
+            read_bytes: 0,
             deferred_writes: 0,
             acked_writes: 0,
             outstanding: VecDeque::new(),
@@ -180,6 +192,8 @@ pub struct ReplicaStatus {
     pub resync_bytes: u64,
     /// Payload bytes sent as scrub digest probes.
     pub scrub_bytes: u64,
+    /// Payload bytes sent as offloaded read requests.
+    pub read_bytes: u64,
     /// Foreground writes deferred (not sent) due to dirtiness.
     pub deferred_writes: u64,
     /// Foreground writes this replica acknowledged.
@@ -200,6 +214,18 @@ pub struct WriteOutcome {
     pub deferred: usize,
     /// Replicas skipped because they are offline.
     pub skipped: usize,
+}
+
+/// Outcome of one offloaded read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The block's content.
+    pub data: Vec<u8>,
+    /// The replica that served it, or `None` for the primary image.
+    pub source: Option<usize>,
+    /// Candidate replicas the freshness guard rejected before the read
+    /// was served (not in sync, block dirty, or a stale response).
+    pub rejected: usize,
 }
 
 /// Outcome of a scrub pass over one replica.
@@ -263,6 +289,8 @@ pub struct ClusterGroup<D> {
     replicas: Vec<Replica>,
     config: ClusterConfig,
     obs: Option<ClusterObs>,
+    /// Round-robin cursor for offloaded reads.
+    next_read: usize,
 }
 
 impl<D: BlockDevice> ClusterGroup<D> {
@@ -278,6 +306,7 @@ impl<D: BlockDevice> ClusterGroup<D> {
             replicas: transports.into_iter().map(Replica::new).collect(),
             config,
             obs: None,
+            next_read: 0,
         }
     }
 
@@ -337,6 +366,7 @@ impl<D: BlockDevice> ClusterGroup<D> {
             foreground_bytes: r.foreground_bytes,
             resync_bytes: r.resync_bytes,
             scrub_bytes: r.scrub_bytes,
+            read_bytes: r.read_bytes,
             deferred_writes: r.deferred_writes,
             acked_writes: r.acked_writes,
             in_flight: r.outstanding.len(),
@@ -421,6 +451,169 @@ impl<D: BlockDevice> ClusterGroup<D> {
             });
         }
         Ok(outcome)
+    }
+
+    /// Serves a read, offloading it to an in-sync replica when the
+    /// freshness guard allows and falling back to the primary image
+    /// otherwise — the scale-out read path.
+    ///
+    /// Replicas are tried round-robin. A candidate serves the read only
+    /// if it is [`ReplicaState::Online`] with no dirty or in-flight
+    /// state for `lba` (in-flight acks are collected first, so the
+    /// request rides the same FIFO as the writes it must follow). The
+    /// response is epoch-guarded like every acknowledgement: a replica
+    /// answer stranded from before a failure or rejoin carries an older
+    /// epoch and is dropped, so an offloaded read can never observe
+    /// pre-rejoin state. Every rejected candidate counts in
+    /// [`ReadOutcome::rejected`] (and the `read_rejected_stale`
+    /// counter); a served offload increments `reads_offloaded`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Block`] if the primary fallback read fails.
+    /// Replica-side failures degrade that replica and fall through to
+    /// the next candidate — a read offload failure is never fatal.
+    pub fn read(&mut self, lba: Lba) -> Result<ReadOutcome, ClusterError> {
+        let n = self.replicas.len();
+        let mut rejected = 0usize;
+        for attempt in 0..n {
+            let idx = (self.next_read + attempt) % n;
+            match self.read_offload(idx, lba) {
+                Ok(Some(data)) => {
+                    self.next_read = (idx + 1) % n.max(1);
+                    if let Some(obs) = &self.obs {
+                        obs.reads_offloaded.inc();
+                    }
+                    return Ok(ReadOutcome {
+                        data,
+                        source: Some(idx),
+                        rejected,
+                    });
+                }
+                // Guard rejection or a degraded replica: try the next.
+                Ok(None) | Err(_) => {
+                    rejected += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.read_rejected_stale.inc();
+                    }
+                }
+            }
+        }
+        Ok(ReadOutcome {
+            data: self.device.read_block_vec(lba)?,
+            source: None,
+            rejected,
+        })
+    }
+
+    /// Attempts to serve `lba` from replica `idx`. `Ok(None)` means the
+    /// freshness guard refused (not an error — the caller falls back);
+    /// `Err` means the replica failed mid-read and has been degraded.
+    fn read_offload(&mut self, idx: usize, lba: Lba) -> Result<Option<Vec<u8>>, ClusterError> {
+        if self.replicas[idx].state != ReplicaState::Online
+            || self.replicas[idx].dirty.contains(lba)
+        {
+            return Ok(None);
+        }
+        // Align the FIFO: collect in-flight write acks so the read
+        // request is answered after every write it must reflect. The
+        // drain may degrade the replica — re-check.
+        self.drain_replica(idx);
+        if self.replicas[idx].state != ReplicaState::Online
+            || self.replicas[idx].dirty.contains(lba)
+        {
+            return Ok(None);
+        }
+        let epoch = self.replicas[idx].epoch;
+        let request = seal_frame(epoch, &encode_read_request(lba));
+        if let Err(e) = self.replicas[idx].transport.send(&request) {
+            self.note_failure(idx, None, false);
+            return Err(ReplError::from(e).into());
+        }
+        self.replicas[idx].read_bytes += request.len() as u64;
+        match self.await_read(idx, epoch) {
+            Ok(data) => {
+                self.replicas[idx].consecutive_failures = 0;
+                Ok(Some(data))
+            }
+            Err(e) => {
+                // The response stream is unreliable from here (the read
+                // ack may surface later): open a new generation, like a
+                // failed write collection.
+                if matches!(e, ClusterError::Repl(ReplError::Net(_))) {
+                    self.replicas[idx].epoch += 1;
+                }
+                self.note_failure(idx, None, false);
+                Err(e)
+            }
+        }
+    }
+
+    /// Waits for replica `idx`'s answer to a read request sealed under
+    /// `expected_epoch`, dropping stale-epoch responses on sight.
+    fn await_read(&mut self, idx: usize, expected_epoch: u64) -> Result<Vec<u8>, ClusterError> {
+        let bs = self.device.geometry().block_size().bytes();
+        loop {
+            let frame = self.replicas[idx]
+                .transport
+                .recv_timeout(self.config.ack_timeout)
+                .map_err(ReplError::from)?;
+            if frame.first() == Some(&READ_ACK) {
+                let (epoch, sparse) = decode_read_ack(&frame)?;
+                if epoch < expected_epoch {
+                    // A read answer stranded from an older generation —
+                    // pre-rejoin state. Drop it and keep waiting.
+                    if let Some(obs) = &self.obs {
+                        obs.wrong_epoch_acks.inc();
+                    }
+                    continue;
+                }
+                let image = SparseCodec::default()
+                    .decode(sparse, bs)
+                    .map_err(ReplError::from)?
+                    .to_dense(bs);
+                return Ok(image);
+            }
+            let ack = decode_ack(&frame).map_err(|_| ReplError::MissingAck {
+                replica: idx,
+                got: frame.first().copied(),
+            })?;
+            if ack.status == NAK_CORRUPT {
+                // The replica refused: damaged request or rotten media.
+                if let Some(obs) = &self.obs {
+                    obs.checksum_failures.inc();
+                }
+                return Err(ReplError::ChecksumMismatch {
+                    expected: 0,
+                    got: 0,
+                }
+                .into());
+            }
+            if ack.epoch < expected_epoch {
+                // A stranded write ack surfacing late; drop it.
+                if let Some(obs) = &self.obs {
+                    obs.wrong_epoch_acks.inc();
+                }
+                continue;
+            }
+            return Err(ReplError::MissingAck {
+                replica: idx,
+                got: Some(ack.status),
+            }
+            .into());
+        }
+    }
+
+    /// Opens a new response generation on every replica — the migration
+    /// cutover barrier. Any response to a frame sealed before this call
+    /// (e.g. an ack stranded on a slow link while the shard moved away)
+    /// identifies itself by its older epoch and is dropped
+    /// deterministically instead of being matched against post-cutover
+    /// traffic. Call after [`drain`](Self::drain).
+    pub fn bump_epochs(&mut self) {
+        for r in &mut self.replicas {
+            r.epoch += 1;
+        }
     }
 
     /// Takes replica `idx` offline (e.g. for planned maintenance).
@@ -1232,6 +1425,55 @@ mod tests {
         for dev in &h.devices {
             assert!(verify_consistent(h.cluster.device(), &**dev).unwrap());
         }
+        finish(h);
+    }
+
+    #[test]
+    fn reads_offload_round_robin_and_reject_lagging_replicas() {
+        let registry = prins_obs::Registry::new();
+        let clock = prins_net::SimClock::new();
+        let mut h = harness(2, 8, ClusterConfig::default());
+        h.cluster
+            .attach_observer(Arc::clone(&registry), clock.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..8 {
+            random_write(&mut h.cluster, &mut rng, 8).unwrap();
+        }
+
+        // In-sync replicas serve reads round-robin, byte-identical to
+        // the primary image.
+        let want = h.cluster.device().read_block_vec(Lba(3)).unwrap();
+        let r = h.cluster.read(Lba(3)).unwrap();
+        assert_eq!(r.data, want);
+        assert_eq!(r.source, Some(0));
+        assert_eq!(r.rejected, 0);
+        let r = h.cluster.read(Lba(3)).unwrap();
+        assert_eq!((r.data, r.source), (want.clone(), Some(1)));
+        assert_eq!(registry.snapshot().counters["reads_offloaded"], 2);
+
+        // Degrade replica 0: its candidacy is rejected by the guard and
+        // the read falls through to replica 1 — never stale data.
+        h.links[0].sever();
+        let outcome = random_write(&mut h.cluster, &mut rng, 8).unwrap();
+        assert_eq!(outcome.acked, 1);
+        assert_eq!(h.cluster.state(0), ReplicaState::Lagging);
+        let want: Vec<Vec<u8>> = (0..8)
+            .map(|i| h.cluster.device().read_block_vec(Lba(i)).unwrap())
+            .collect();
+        for i in 0..8u64 {
+            let r = h.cluster.read(Lba(i)).unwrap();
+            assert_eq!(r.data, want[i as usize]);
+            assert_eq!(r.source, Some(1), "lagging replica 0 must not serve");
+        }
+        assert!(registry.snapshot().counters["read_rejected_stale"] > 0);
+
+        // After rejoin and resync the replica serves again.
+        h.links[0].restore();
+        h.cluster.rejoin(0, ResyncStrategy::ParityLog).unwrap();
+        h.cluster.resync_to_completion(0, 16).unwrap();
+        let r = h.cluster.read(Lba(5)).unwrap();
+        assert_eq!(r.data, want[5]);
+        assert_eq!(r.source, Some(0));
         finish(h);
     }
 

@@ -70,13 +70,16 @@ mod ec_group;
 mod error;
 mod group;
 mod lifecycle;
+mod placement;
 mod shard;
 
 pub use dirty::DirtyMap;
 pub use ec_group::{EcConfig, EcGroup, EcPlacement, EcRebuildReport, EcWriteOutcome};
 pub use error::ClusterError;
 pub use group::{
-    ClusterConfig, ClusterGroup, ReplicaStatus, ResyncStrategy, ScrubOutcome, WriteOutcome,
+    ClusterConfig, ClusterGroup, ReadOutcome, ReplicaStatus, ResyncStrategy, ScrubOutcome,
+    WriteOutcome,
 };
 pub use lifecycle::ReplicaState;
-pub use shard::{ShardMap, ShardedCluster};
+pub use placement::{Placement, RendezvousPlacement};
+pub use shard::{MigrationStatus, ShardMap, ShardedCluster};

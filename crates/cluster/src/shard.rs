@@ -6,10 +6,15 @@
 //! service demands of the paper's closed queueing network, so shard
 //! placement feeds directly into the MVA model.
 
+use std::ops::Range;
+use std::sync::Arc;
+
 use prins_block::{BlockDevice, Lba};
+use prins_net::Clock;
+use prins_obs::{Counter, Event, EventKind, Registry};
 use prins_queueing::Mva;
 
-use crate::{ClusterError, ClusterGroup, WriteOutcome};
+use crate::{ClusterError, ClusterGroup, Placement, ReadOutcome, WriteOutcome};
 
 /// A partition of `[0, num_blocks)` into contiguous per-group ranges.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -116,39 +121,112 @@ impl ShardMap {
     }
 }
 
-/// A volume sharded across several [`ClusterGroup`]s.
-///
-/// Each group's device covers only its shard's range; writes are routed
-/// by the [`ShardMap`] with the LBA translated to the group-local
-/// address space.
-pub struct ShardedCluster<D> {
-    map: ShardMap,
-    groups: Vec<ClusterGroup<D>>,
+/// An in-progress live migration of one LBA range between groups.
+#[derive(Clone, Debug)]
+struct Migration {
+    range: Range<u64>,
+    from: usize,
+    to: usize,
+    /// Next LBA to copy; `range.end` means the copy is done.
+    cursor: u64,
 }
 
-impl<D: BlockDevice> ShardedCluster<D> {
+/// Snapshot of an in-progress migration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationStatus {
+    /// The volume LBA range being moved.
+    pub range: Range<u64>,
+    /// Group the range is moving from (still the owner).
+    pub from: usize,
+    /// Group the range is moving to.
+    pub to: usize,
+    /// Blocks copied so far.
+    pub copied: u64,
+    /// Blocks still to copy before cutover.
+    pub remaining: u64,
+}
+
+/// Observability hookup for a [`ShardedCluster`]: migration traffic
+/// and cutover events.
+struct ShardObs {
+    registry: Arc<Registry>,
+    clock: Arc<dyn Clock>,
+    /// Payload bytes copied by live migrations.
+    migration_bytes: Arc<Counter>,
+}
+
+/// A volume sharded across several [`ClusterGroup`]s.
+///
+/// Writes and reads are routed by a [`Placement`] policy — contiguous
+/// ranges ([`ShardMap`], the legacy layout) or weighted rendezvous
+/// hashing ([`RendezvousPlacement`](crate::RendezvousPlacement)) —
+/// with the LBA translated to the group-local address space where the
+/// placement requires it.
+///
+/// Identity-addressed placements additionally support **live
+/// migration**: [`migrate_start`](Self::migrate_start) copies a range
+/// to another group under foreground writes (which dual-dispatch to
+/// both groups until cutover), and the cutover bumps the source
+/// group's response epochs so acknowledgements stranded mid-move drop
+/// deterministically instead of being credited to post-move traffic.
+pub struct ShardedCluster<D, P = ShardMap> {
+    placement: P,
+    groups: Vec<ClusterGroup<D>>,
+    /// Ownership overrides from completed migrations, latest wins.
+    overrides: Vec<(Range<u64>, usize)>,
+    migration: Option<Migration>,
+    obs: Option<ShardObs>,
+}
+
+impl<D: BlockDevice, P: Placement> ShardedCluster<D, P> {
     /// Assembles a sharded volume.
     ///
     /// # Panics
     ///
-    /// Panics if the group count differs from the map's, or a group's
-    /// device does not have exactly its shard's block count.
-    pub fn new(map: ShardMap, groups: Vec<ClusterGroup<D>>) -> Self {
-        assert_eq!(groups.len(), map.group_count(), "one group per shard");
+    /// Panics if the group count differs from the placement's, or a
+    /// group's device does not have the block count the placement
+    /// requires (the shard's range for [`ShardMap`], the full volume
+    /// for identity-addressed placements).
+    pub fn new(placement: P, groups: Vec<ClusterGroup<D>>) -> Self {
+        assert_eq!(groups.len(), placement.group_count(), "one group per shard");
         for (g, group) in groups.iter().enumerate() {
-            let want = map.range(g).end - map.range(g).start;
+            let want = placement.device_blocks(g);
             let have = group.device().geometry().num_blocks();
             assert_eq!(
                 have, want,
-                "group {g} device holds {have} blocks, shard needs {want}"
+                "group {g} device holds {have} blocks, placement needs {want}"
             );
         }
-        Self { map, groups }
+        Self {
+            placement,
+            groups,
+            overrides: Vec::new(),
+            migration: None,
+            obs: None,
+        }
     }
 
-    /// The placement map.
-    pub fn map(&self) -> &ShardMap {
-        &self.map
+    /// Attaches a metrics registry: migrations record `migrate-batch` /
+    /// `cutover` events and the `migration_bytes` counter from here on.
+    /// Attach each group's observer separately (they may share the
+    /// registry).
+    pub fn attach_observer(&mut self, registry: Arc<Registry>, clock: Arc<dyn Clock>) {
+        let migration_bytes = registry.counter("migration_bytes");
+        self.obs = Some(ShardObs {
+            registry,
+            clock,
+            migration_bytes,
+        });
+    }
+
+    /// The placement policy.
+    pub fn placement(&self) -> &P {
+        &self.placement
+    }
+
+    /// Number of replica groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
     }
 
     /// The group serving shard `g`.
@@ -170,20 +248,294 @@ impl<D: BlockDevice> ShardedCluster<D> {
         &mut self.groups[g]
     }
 
-    /// Routes one write to the owning shard.
+    /// The group currently owning `lba`: the latest migration override
+    /// covering it, or the placement's assignment.
+    pub fn owner(&self, lba: Lba) -> usize {
+        for (range, g) in self.overrides.iter().rev() {
+            if range.contains(&lba.index()) {
+                return *g;
+            }
+        }
+        self.placement.group_for(lba)
+    }
+
+    /// Routes `lba` to `(owning group, group-local LBA)`.
+    fn locate(&self, lba: Lba) -> (usize, Lba) {
+        for (range, g) in self.overrides.iter().rev() {
+            if range.contains(&lba.index()) {
+                // Overrides only exist under identity addressing.
+                return (*g, lba);
+            }
+        }
+        self.placement.local_lba(lba)
+    }
+
+    /// Routes one write to the owning shard. While a migration covers
+    /// `lba`, the write dual-dispatches: the target group applies it
+    /// too, so blocks already copied stay current until cutover.
     ///
     /// # Errors
     ///
-    /// As [`ClusterGroup::write`].
+    /// As [`ClusterGroup::write`] (a dual-dispatch failure on the
+    /// migration target surfaces like any replication failure).
     pub fn write(&mut self, lba: Lba, new: &[u8]) -> Result<WriteOutcome, ClusterError> {
-        let (g, local) = self.map.local_lba(lba);
-        self.groups[g].write(local, new)
+        let (g, local) = self.locate(lba);
+        let outcome = self.groups[g].write(local, new)?;
+        if let Some(m) = &self.migration {
+            if m.range.contains(&lba.index()) {
+                // Identity addressing (checked at migrate_start): the
+                // target group uses the same LBA.
+                self.groups[m.to].write(lba, new)?;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Serves one read from the owning shard, offloading to an in-sync
+    /// replica when the freshness guard allows (see
+    /// [`ClusterGroup::read`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterGroup::read`].
+    pub fn read(&mut self, lba: Lba) -> Result<ReadOutcome, ClusterError> {
+        let (g, local) = self.locate(lba);
+        self.groups[g].read(local)
+    }
+
+    /// Snapshot of the in-progress migration, if any.
+    pub fn migration(&self) -> Option<MigrationStatus> {
+        self.migration.as_ref().map(|m| MigrationStatus {
+            range: m.range.clone(),
+            from: m.from,
+            to: m.to,
+            copied: m.cursor - m.range.start,
+            remaining: m.range.end - m.cursor,
+        })
+    }
+
+    /// Begins a live migration of `range` from group `from` to group
+    /// `to`. Drive the copy with [`migrate_step`](Self::migrate_step);
+    /// foreground writes may be interleaved between steps and
+    /// dual-dispatch to both groups until cutover.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Migration`] if the placement is not
+    /// identity-addressed, a migration is already in progress, the
+    /// range is empty/out of bounds, the groups are invalid, or any
+    /// block in `range` is not currently owned by `from`.
+    pub fn migrate_start(
+        &mut self,
+        range: Range<u64>,
+        from: usize,
+        to: usize,
+    ) -> Result<(), ClusterError> {
+        if !self.placement.identity_addressed() {
+            return Err(ClusterError::Migration(
+                "placement is not identity-addressed: blocks cannot keep \
+                 their address on the target group"
+                    .into(),
+            ));
+        }
+        if self.migration.is_some() {
+            return Err(ClusterError::Migration(
+                "a migration is already in progress".into(),
+            ));
+        }
+        if from >= self.groups.len() || to >= self.groups.len() || from == to {
+            return Err(ClusterError::Migration(format!(
+                "invalid group pair {from} -> {to}"
+            )));
+        }
+        if range.is_empty() || range.end > self.placement.num_blocks() {
+            return Err(ClusterError::Migration(format!(
+                "range {range:?} is empty or out of bounds"
+            )));
+        }
+        for i in range.clone() {
+            let owner = self.owner(Lba(i));
+            if owner != from {
+                return Err(ClusterError::Migration(format!(
+                    "block {i} is owned by group {owner}, not {from}"
+                )));
+            }
+        }
+        self.migration = Some(Migration {
+            cursor: range.start,
+            range,
+            from,
+            to,
+        });
+        Ok(())
+    }
+
+    /// Copies up to `max_blocks` blocks of the migrating range to the
+    /// target group (through its full replication path). When the copy
+    /// completes, the migration **cuts over**: both groups drain their
+    /// in-flight traffic, the source group opens a new response
+    /// generation ([`ClusterGroup::bump_epochs`]) so acknowledgements
+    /// stranded mid-move identify themselves as stale, and ownership of
+    /// the range flips to the target.
+    ///
+    /// Returns the number of blocks still to copy (0 = cut over).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Migration`] if no migration is in progress;
+    /// device or replication errors as [`ClusterGroup::write`].
+    pub fn migrate_step(&mut self, max_blocks: usize) -> Result<u64, ClusterError> {
+        let Some(m) = self.migration.clone() else {
+            return Err(ClusterError::Migration("no migration in progress".into()));
+        };
+        let batch_end = m.range.end.min(m.cursor + max_blocks as u64);
+        let bs = self.groups[m.from].device().geometry().block_size().bytes() as u64;
+        for i in m.cursor..batch_end {
+            let lba = Lba(i);
+            let data = self.groups[m.from].device().read_block_vec(lba)?;
+            self.groups[m.to].write(lba, &data)?;
+        }
+        if let Some(live) = self.migration.as_mut() {
+            live.cursor = batch_end;
+        }
+        let copied = batch_end - m.cursor;
+        let remaining = m.range.end - batch_end;
+        if let Some(obs) = &self.obs {
+            obs.migration_bytes.add(copied * bs);
+            obs.registry.events().record(Event::new(
+                obs.clock.now_nanos(),
+                EventKind::MigrateBatch {
+                    copied: copied as u32,
+                    remaining: remaining as u32,
+                },
+            ));
+        }
+        if remaining == 0 {
+            self.cutover();
+        }
+        Ok(remaining)
+    }
+
+    /// Runs a live migration of `range` from group `from` to group `to`
+    /// to completion — [`migrate_start`](Self::migrate_start) plus
+    /// [`migrate_step`](Self::migrate_step) until cutover.
+    ///
+    /// # Errors
+    ///
+    /// As the two driving calls.
+    pub fn migrate(
+        &mut self,
+        range: Range<u64>,
+        from: usize,
+        to: usize,
+    ) -> Result<(), ClusterError> {
+        self.migrate_start(range, from, to)?;
+        while self.migrate_step(64)? > 0 {}
+        Ok(())
+    }
+
+    /// Flips ownership of the migrated range to the target group.
+    fn cutover(&mut self) {
+        let Some(m) = self.migration.take() else {
+            return;
+        };
+        // Settle in-flight traffic on both sides of the move, then
+        // close the source group's response generations: an ack still
+        // queued on a slow link answers a frame from before the move
+        // and must drop on arrival, not be matched to post-cutover
+        // frames.
+        self.groups[m.from].drain();
+        self.groups[m.from].bump_epochs();
+        self.groups[m.to].drain();
+        self.overrides.push((m.range.clone(), m.to));
+        if let Some(obs) = &self.obs {
+            obs.registry.events().record(Event::new(
+                obs.clock.now_nanos(),
+                EventKind::Cutover {
+                    from: m.from as u32,
+                    to: m.to as u32,
+                },
+            ));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{ClusterConfig, RendezvousPlacement};
+    use prins_block::{BlockSize, MemDevice};
+
+    /// A replica-less group: primary image only — enough to exercise
+    /// routing, dual dispatch, and cutover without threads.
+    fn group(blocks: u64) -> ClusterGroup<MemDevice> {
+        ClusterGroup::new(
+            MemDevice::new(BlockSize::kb4(), blocks),
+            ClusterConfig::default(),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn shard_map_cluster_rejects_migration() {
+        let mut cluster = ShardedCluster::new(ShardMap::even(8, 2), vec![group(4), group(4)]);
+        assert!(matches!(
+            cluster.migrate_start(0..1, 0, 1),
+            Err(ClusterError::Migration(_))
+        ));
+    }
+
+    #[test]
+    fn live_migration_cuts_over_under_foreground_writes() {
+        let p = RendezvousPlacement::new(8, 2);
+        let from = p.group_for(Lba(0));
+        let to = 1 - from;
+        let mut c = ShardedCluster::new(p, vec![group(8), group(8)]);
+        c.write(Lba(0), &[0xAA; 4096]).unwrap();
+
+        c.migrate_start(0..1, from, to).unwrap();
+        // A foreground write during the move dual-dispatches.
+        let b = vec![0xBB; 4096];
+        c.write(Lba(0), &b).unwrap();
+        assert_eq!(c.group(to).device().read_block_vec(Lba(0)).unwrap(), b);
+        assert_eq!(c.migration().unwrap().remaining, 1);
+
+        assert_eq!(c.migrate_step(8).unwrap(), 0);
+        assert!(c.migration().is_none());
+        assert_eq!(c.owner(Lba(0)), to);
+
+        // Post-cutover writes land only on the new owner.
+        let d = vec![0xDD; 4096];
+        c.write(Lba(0), &d).unwrap();
+        assert_eq!(c.read(Lba(0)).unwrap().data, d);
+        assert_eq!(c.group(to).device().read_block_vec(Lba(0)).unwrap(), d);
+        assert_eq!(c.group(from).device().read_block_vec(Lba(0)).unwrap(), b);
+    }
+
+    #[test]
+    fn migrate_validates_range_ownership_and_exclusivity() {
+        let p = RendezvousPlacement::new(8, 2);
+        let from = p.group_for(Lba(0));
+        let mut c = ShardedCluster::new(p, vec![group(8), group(8)]);
+        // Self-migration, bad range, and a foreign-owned block all fail.
+        assert!(c.migrate_start(0..1, from, from).is_err());
+        assert!(c.migrate_start(3..3, from, 1 - from).is_err());
+        assert!(c.migrate_start(0..9, from, 1 - from).is_err());
+        assert!(
+            c.migrate_start(0..8, from, 1 - from).is_err(),
+            "the whole volume cannot be owned by one group"
+        );
+        // Only one migration at a time.
+        c.migrate_start(0..1, from, 1 - from).unwrap();
+        let other = (0..8).map(Lba).find(|l| c.owner(*l) == 1 - from).unwrap();
+        assert!(c
+            .migrate_start(other.index()..other.index() + 1, 1 - from, from)
+            .is_err());
+        assert!(matches!(
+            c.migrate_step(0),
+            Ok(1) // zero-block step: copy stands still, no cutover
+        ));
+    }
 
     #[test]
     fn even_split_covers_everything_once() {

@@ -1187,6 +1187,9 @@ mod tests {
                             Ok(Applied::Strip(s)) => {
                                 prins_repl::encode_strip_ack(applier.last_epoch(), &s)
                             }
+                            Ok(Applied::Read(s)) => {
+                                prins_repl::encode_read_ack(applier.last_epoch(), &s)
+                            }
                             Err(ReplError::ChecksumMismatch { .. }) => {
                                 encode_ack(NAK_CORRUPT, applier.last_epoch())
                             }

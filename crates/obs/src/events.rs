@@ -56,6 +56,20 @@ pub enum EventKind {
         /// Stripes reconstructed onto the replacement node.
         stripes: u32,
     },
+    /// One batch of blocks copied by a live shard migration.
+    MigrateBatch {
+        /// Blocks copied in this batch.
+        copied: u32,
+        /// Blocks still to copy after it.
+        remaining: u32,
+    },
+    /// A live migration cut over: the range's ownership moved.
+    Cutover {
+        /// Group the range moved from.
+        from: u32,
+        /// Group the range moved to.
+        to: u32,
+    },
 }
 
 impl EventKind {
@@ -75,6 +89,8 @@ impl EventKind {
             EventKind::ResyncBatch { .. } => "resync-batch",
             EventKind::StateChange { .. } => "state-change",
             EventKind::EcRebuild { .. } => "ec-rebuild",
+            EventKind::MigrateBatch { .. } => "migrate-batch",
+            EventKind::Cutover { .. } => "cutover",
         }
     }
 }
@@ -139,6 +155,10 @@ impl fmt::Display for Event {
             }
             EventKind::StateChange { from, to } => write!(f, " {from}->{to}")?,
             EventKind::EcRebuild { stripes } => write!(f, " stripes={stripes}")?,
+            EventKind::MigrateBatch { copied, remaining } => {
+                write!(f, " copied={copied} remaining={remaining}")?;
+            }
+            EventKind::Cutover { from, to } => write!(f, " {from}->{to}")?,
             _ => {}
         }
         if self.seq != Self::NONE {

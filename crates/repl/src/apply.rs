@@ -7,8 +7,9 @@ use prins_compress::{Codec, Lzss};
 use prins_parity::{ErasureCodec, SparseCodec, XorCodec};
 
 use crate::{
-    decode_digest_request, decode_strip_request, is_digest_request, is_strip_request, open_frame,
-    BatchFrame, Payload, PayloadBody, ReplError, SEAL_TAG,
+    decode_digest_request, decode_read_request, decode_strip_request, is_digest_request,
+    is_read_request, is_strip_request, open_frame, BatchFrame, Payload, PayloadBody, ReplError,
+    SEAL_TAG,
 };
 
 /// What [`ReplicaApplier::handle`] did with an incoming frame, telling
@@ -24,6 +25,9 @@ pub enum Applied {
     /// A rebuild strip read; answer with a strip ack carrying this
     /// zero-run-encoded image of the requested block.
     Strip(Vec<u8>),
+    /// An offloaded block read; answer with a read ack carrying this
+    /// zero-run-encoded image of the requested block.
+    Read(Vec<u8>),
 }
 
 /// Applies replication payloads to a replica's local device.
@@ -147,7 +151,7 @@ impl<D: BlockDevice> ReplicaApplier<D> {
     pub fn apply(&mut self, payload_bytes: &[u8]) -> Result<bool, ReplError> {
         match self.handle(payload_bytes)? {
             Applied::Data(any) => Ok(any),
-            Applied::Digest(_) | Applied::Strip(_) => Err(ReplError::Malformed(
+            Applied::Digest(_) | Applied::Strip(_) | Applied::Read(_) => Err(ReplError::Malformed(
                 "read request on the apply-only path".into(),
             )),
         }
@@ -177,6 +181,10 @@ impl<D: BlockDevice> ReplicaApplier<D> {
                 let lba = decode_strip_request(inner)?;
                 return Ok(Applied::Strip(self.strip_image(lba)?));
             }
+            if is_read_request(inner) {
+                let lba = decode_read_request(inner)?;
+                return Ok(Applied::Read(self.strip_image(lba)?));
+            }
             // The seal's CRC already vouched for the inner frame; apply
             // it without requiring a second (nested) seal.
             return self.apply_inner(inner).map(Applied::Data);
@@ -188,6 +196,10 @@ impl<D: BlockDevice> ReplicaApplier<D> {
         if is_strip_request(frame) {
             let lba = decode_strip_request(frame)?;
             return Ok(Applied::Strip(self.strip_image(lba)?));
+        }
+        if is_read_request(frame) {
+            let lba = decode_read_request(frame)?;
+            return Ok(Applied::Read(self.strip_image(lba)?));
         }
         if self.require_sealed {
             return Err(ReplError::ChecksumMismatch {
@@ -290,8 +302,9 @@ impl<D: BlockDevice> ReplicaApplier<D> {
     }
 
     /// The zero-run-encoded image of the block at `lba` as read from
-    /// disk — a rebuild contribution. Checked against the checksum
-    /// table so a rebuild never ingests silently corrupted media.
+    /// disk — a rebuild contribution or an offloaded-read answer.
+    /// Checked against the checksum table so neither a rebuild nor a
+    /// served read ever ingests silently corrupted media.
     fn strip_image(&mut self, lba: Lba) -> Result<Vec<u8>, ReplError> {
         let block = self.device.read_block_vec(lba)?;
         if let Some(&expected) = self.checksums.get(&lba.index()) {
@@ -588,6 +601,36 @@ mod tests {
         replica.write_block(Lba(2), &damaged).unwrap();
         assert!(matches!(
             applier.handle(&crate::encode_strip_request(Lba(2))),
+            Err(ReplError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn read_request_returns_the_disk_image_or_refuses_corruption() {
+        let replica = MemDevice::new(BlockSize::kb4(), 4);
+        let mut applier = ReplicaApplier::new(&replica);
+        let mut block = vec![0u8; 4096];
+        block[128..192].fill(0xa7);
+        applier
+            .apply(&TraditionalReplicator.encode_write(Lba(1), &[0u8; 4096], &block))
+            .unwrap();
+        let req = crate::encode_read_request(Lba(1));
+        for frame in [crate::seal_frame(3, &req), req] {
+            match applier.handle(&frame).unwrap() {
+                Applied::Read(sparse) => {
+                    let dense = applier.sparse.decode(&sparse, 4096).unwrap().to_dense(4096);
+                    assert_eq!(dense, block);
+                }
+                other => panic!("expected read image, got {other:?}"),
+            }
+        }
+        assert_eq!(applier.last_epoch(), 3);
+        // Media rot under the checksum table is refused, never served.
+        let mut damaged = block.clone();
+        damaged[130] ^= 0x02;
+        replica.write_block(Lba(1), &damaged).unwrap();
+        assert!(matches!(
+            applier.handle(&crate::encode_read_request(Lba(1))),
             Err(ReplError::ChecksumMismatch { .. })
         ));
     }

@@ -304,6 +304,9 @@ where
             Ok(Applied::Strip(sparse)) => {
                 transport.send(&crate::encode_strip_ack(applier.last_epoch(), &sparse))?;
             }
+            Ok(Applied::Read(sparse)) => {
+                transport.send(&crate::encode_read_ack(applier.last_epoch(), &sparse))?;
+            }
             Err(ReplError::ChecksumMismatch { .. }) => {
                 // The frame was damaged, not invalid — ask for a
                 // retransmit and stay up; nothing was applied.

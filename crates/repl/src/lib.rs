@@ -63,10 +63,11 @@ pub use group::{
 pub use mode::ReplicationMode;
 pub use payload::{BatchFrame, Payload, PayloadBody, BATCH_TAG, STRIP_DELTA_TAG};
 pub use seal::{
-    decode_ack, decode_digest_request, decode_strip_ack, decode_strip_request, encode_ack,
-    encode_digest_ack, encode_digest_request, encode_strip_ack, encode_strip_request,
-    is_digest_request, is_sealed, is_strip_request, open_frame, seal_batch_frame_into, seal_begin,
+    decode_ack, decode_digest_request, decode_read_ack, decode_read_request, decode_strip_ack,
+    decode_strip_request, encode_ack, encode_digest_ack, encode_digest_request, encode_read_ack,
+    encode_read_request, encode_strip_ack, encode_strip_request, is_digest_request,
+    is_read_request, is_sealed, is_strip_request, open_frame, seal_batch_frame_into, seal_begin,
     seal_frame, seal_frame_into, AckFrame, SealWriter, DIGEST_ACK, DIGEST_REQ_TAG, NAK_CORRUPT,
-    SEAL_TAG, STRIP_ACK, STRIP_REQ_TAG,
+    READ_ACK, READ_REQ_TAG, SEAL_TAG, STRIP_ACK, STRIP_REQ_TAG,
 };
 pub use strategy::{CompressedReplicator, PrinsReplicator, Replicator, TraditionalReplicator};

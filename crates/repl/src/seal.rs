@@ -53,6 +53,8 @@ pub const DIGEST_REQ_TAG: u8 = 7;
 /// Wire tag of a strip read request (rebuild path; payload tag 8 is
 /// the strip delta).
 pub const STRIP_REQ_TAG: u8 = 9;
+/// Wire tag of an offloaded block read request (serving path).
+pub const READ_REQ_TAG: u8 = 10;
 /// Acknowledgement status: frame failed its integrity check; the sender
 /// should retransmit (the frame was damaged in flight, not rejected).
 pub const NAK_CORRUPT: u8 = 0x18;
@@ -61,6 +63,9 @@ pub const DIGEST_ACK: u8 = 0x19;
 /// Acknowledgement status of a strip read response (carries the strip
 /// image, zero-run encoded).
 pub const STRIP_ACK: u8 = 0x1a;
+/// Acknowledgement status of an offloaded read response (carries the
+/// block image, zero-run encoded).
+pub const READ_ACK: u8 = 0x1b;
 
 fn seal_crc(epoch: u64, inner: &[u8]) -> u32 {
     crc32c_append(crc32c(&epoch.to_le_bytes()), inner)
@@ -344,6 +349,96 @@ pub fn decode_strip_request(bytes: &[u8]) -> Result<Lba, ReplError> {
     Ok(Lba(lba))
 }
 
+/// Encodes an offloaded block read request for `lba`.
+///
+/// The serving path's twin of [`encode_strip_request`]: a primary asks
+/// an in-sync replica for the current image of a block so reads scale
+/// out across the replica set. Always sent sealed — the epoch the
+/// replica echoes back in its [`READ_ACK`] is what lets the primary
+/// reject answers computed before a rejoin.
+pub fn encode_read_request(lba: Lba) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11);
+    out.push(READ_REQ_TAG);
+    encode_varint(&mut out, lba.index());
+    out
+}
+
+/// Whether `bytes` starts like an offloaded read request.
+pub fn is_read_request(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&READ_REQ_TAG)
+}
+
+/// Decodes an offloaded read request, returning the requested block.
+///
+/// # Errors
+///
+/// [`ReplError::Malformed`] on a wrong tag, truncated varint, or
+/// trailing bytes.
+pub fn decode_read_request(bytes: &[u8]) -> Result<Lba, ReplError> {
+    let (&tag, rest) = bytes
+        .split_first()
+        .ok_or_else(|| ReplError::Malformed("empty read request".into()))?;
+    if tag != READ_REQ_TAG {
+        return Err(ReplError::Malformed(format!(
+            "read request tag {tag} != {READ_REQ_TAG}"
+        )));
+    }
+    let (lba, used) = decode_varint(rest)
+        .ok_or_else(|| ReplError::Malformed("truncated read request lba".into()))?;
+    if used != rest.len() {
+        return Err(ReplError::Malformed(
+            "trailing bytes after read request".into(),
+        ));
+    }
+    Ok(Lba(lba))
+}
+
+/// Encodes an offloaded read response: the zero-run-encoded block image
+/// as read from the replica's disk, CRC-protected so a served read is
+/// never silently damaged in flight.
+///
+/// ```text
+/// read-ack := status(0x1b) varint(epoch) crc32c(u32 LE) sparse-bytes
+/// ```
+pub fn encode_read_ack(epoch: u64, sparse: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(sparse.len() + 16);
+    out.push(READ_ACK);
+    encode_varint(&mut out, epoch);
+    out.extend_from_slice(&seal_crc(epoch, sparse).to_le_bytes());
+    out.extend_from_slice(sparse);
+    out
+}
+
+/// Decodes an offloaded read response, returning `(epoch, sparse-bytes)`.
+///
+/// # Errors
+///
+/// [`ReplError::Malformed`] on structure errors;
+/// [`ReplError::ChecksumMismatch`] if the image was damaged in flight.
+pub fn decode_read_ack(bytes: &[u8]) -> Result<(u64, &[u8]), ReplError> {
+    let (&status, rest) = bytes
+        .split_first()
+        .ok_or_else(|| ReplError::Malformed("empty read ack".into()))?;
+    if status != READ_ACK {
+        return Err(ReplError::Malformed(format!(
+            "read ack status {status:#04x} != {READ_ACK:#04x}"
+        )));
+    }
+    let (epoch, used) = decode_varint(rest)
+        .ok_or_else(|| ReplError::Malformed("truncated read ack epoch".into()))?;
+    let rest = &rest[used..];
+    if rest.len() < 4 {
+        return Err(ReplError::Malformed("truncated read ack checksum".into()));
+    }
+    let expected = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+    let sparse = &rest[4..];
+    let got = seal_crc(epoch, sparse);
+    if got != expected {
+        return Err(ReplError::ChecksumMismatch { expected, got });
+    }
+    Ok((epoch, sparse))
+}
+
 /// Encodes a strip read response: the zero-run-encoded strip image as
 /// read from the replica's disk, CRC-protected like a sealed frame so
 /// a rebuild never decodes a corrupted contribution.
@@ -533,6 +628,32 @@ mod tests {
         assert!(decode_strip_ack(&[ACK, 0]).is_err());
     }
 
+    #[test]
+    fn read_request_and_ack_roundtrip() {
+        let req = encode_read_request(Lba(4321));
+        assert!(is_read_request(&req));
+        assert!(!is_strip_request(&req));
+        assert!(!is_digest_request(&req));
+        assert_eq!(decode_read_request(&req).unwrap(), Lba(4321));
+        assert!(decode_read_request(&[READ_REQ_TAG]).is_err());
+        assert!(decode_read_request(&[READ_REQ_TAG, 0, 0]).is_err());
+        assert!(decode_read_request(&[0, 0]).is_err());
+
+        let ack = encode_read_ack(11, b"sparse-block");
+        let (epoch, body) = decode_read_ack(&ack).unwrap();
+        assert_eq!((epoch, body), (11, b"sparse-block".as_slice()));
+        // Damage anywhere in the body is caught by the seal CRC.
+        let mut bad = ack.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            decode_read_ack(&bad),
+            Err(ReplError::ChecksumMismatch { .. })
+        ));
+        assert!(decode_read_ack(&[READ_ACK, 0, 1, 2]).is_err());
+        assert!(decode_read_ack(&encode_strip_ack(11, b"x")).is_err());
+    }
+
     proptest! {
         /// Sealed frames round-trip for arbitrary epochs and inner bytes.
         #[test]
@@ -564,6 +685,8 @@ mod tests {
             let _ = open_frame(&bytes);
             let _ = decode_ack(&bytes);
             let _ = decode_digest_request(&bytes);
+            let _ = decode_read_request(&bytes);
+            let _ = decode_read_ack(&bytes);
         }
 
         /// The in-place builder produces the exact bytes of the

@@ -40,15 +40,26 @@
 //!   are ack drops (the dropped ack's write was applied, so
 //!   misattribution only shuffles credit among applied writes and the
 //!   final timeout lands safely in the uncertain-dirty set).
+//!
+//! Reads ride in every schedule: each [`SimOp::Read`] goes through the
+//! epoch-guarded offload path and is checked against the freshness
+//! oracle on the spot — an offloaded read that returns anything but the
+//! owner's current block content fails the case immediately. A quarter
+//! of all seeds additionally expand into *sharded* cases: two replica
+//! groups behind a rendezvous placement, with a live migration of half
+//! the volume started before the first op, advanced by interleaved
+//! [`SimOp::MigrateStep`]s, and driven to cutover before quiescence —
+//! so every fault in the schedule can land mid-copy or mid-cutover.
 
 use std::time::Duration;
 
+use prins_block::Lba;
 use prins_cluster::{ClusterConfig, ReplicaState, ResyncStrategy};
 use prins_net::Dir;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::world::ClusterWorld;
+use crate::world::{ClusterWorld, ShardWorld};
 
 /// One step of a generated schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +127,18 @@ pub enum SimOp {
     },
     /// Prune the primary's parity log up to the current sequence.
     Prune,
+    /// Epoch-guarded read through the cluster, checked on the spot
+    /// against the freshness oracle: the returned block must equal the
+    /// owner primary's current content, whether it was offloaded to a
+    /// replica or served locally.
+    Read {
+        /// Target block.
+        lba: u64,
+    },
+    /// Advance the live shard migration by a bounded batch. Generated
+    /// only for sharded cases (a no-op on single-group cases, so
+    /// minimization can still delete it freely).
+    MigrateStep,
 }
 
 /// A fully expanded fuzz case: topology plus schedule.
@@ -129,6 +152,10 @@ pub struct FuzzCase {
     pub blocks: u64,
     /// Foreground ack window.
     pub ack_window: usize,
+    /// Sharded topology: two rendezvous-placed replica groups with a
+    /// live migration of the first half of the volume running across
+    /// the whole schedule.
+    pub sharded: bool,
     /// The schedule.
     pub ops: Vec<SimOp>,
 }
@@ -165,15 +192,23 @@ pub fn generate(seed: u64) -> FuzzCase {
     // and a surplus-free ack stream (see module docs): such schedules
     // drop data frames but never duplicate acks; all others vice versa.
     let data_drops = ack_window == 1 && rng.random_bool(0.5);
+    // A quarter of seeds run the sharded topology (two rendezvous
+    // groups, live migration across the schedule); links then span
+    // both groups.
+    let sharded = rng.random_bool(0.25);
+    let n_links = if sharded { 2 * replicas } else { replicas };
     let n_ops = rng.random_range(24usize..=64);
     let mut ops = Vec::with_capacity(n_ops);
     for _ in 0..n_ops {
-        let link = rng.random_range(0usize..replicas);
+        let link = rng.random_range(0usize..n_links);
         let roll = rng.random_range(0u32..100);
         ops.push(match roll {
-            0..=49 => SimOp::Write {
+            0..=41 => SimOp::Write {
                 lba: rng.random_range(0..blocks),
                 tag: rng.random_range(0u32..=255) as u8,
+            },
+            42..=49 => SimOp::Read {
+                lba: rng.random_range(0..blocks),
             },
             // Bit flips keep FIFO credit aligned (the damaged frame
             // still draws a NAK_CORRUPT) but need the closed-loop,
@@ -210,6 +245,7 @@ pub fn generate(seed: u64) -> FuzzCase {
             89..=91 => SimOp::ReorderAcks { link },
             92..=94 => SimOp::Drain,
             95..=97 => SimOp::Rejoin { link },
+            98 if sharded => SimOp::MigrateStep,
             _ => SimOp::Prune,
         });
     }
@@ -218,11 +254,12 @@ pub fn generate(seed: u64) -> FuzzCase {
         replicas,
         blocks,
         ack_window,
+        sharded,
         ops,
     }
 }
 
-fn apply(w: &mut ClusterWorld, op: SimOp, replicas: usize) {
+fn apply(w: &mut ClusterWorld, op: SimOp, replicas: usize) -> Result<(), String> {
     match op {
         SimOp::Write { lba, tag } => {
             let _ = w.write_tag(lba, tag);
@@ -258,7 +295,94 @@ fn apply(w: &mut ClusterWorld, op: SimOp, replicas: usize) {
             let log = w.cluster().log();
             log.prune(log.current_seq());
         }
+        // The read oracle checks freshness inline: a stale offloaded
+        // read fails the op itself, not just a later invariant sweep.
+        SimOp::Read { lba } => {
+            w.read_checked(lba)?;
+        }
+        SimOp::MigrateStep => {}
     }
+    Ok(())
+}
+
+/// Sharded-topology counterpart of [`apply`]: `link` indexes the
+/// flattened `groups × replicas` link matrix, writes and reads route
+/// through the rendezvous placement (dual-dispatching into the
+/// migration target while the copy is live), and `MigrateStep` drives
+/// the copy forward.
+fn apply_sharded(w: &mut ShardWorld, op: SimOp, replicas: usize) -> Result<(), String> {
+    let split = |link: usize| ((link / replicas) % 2, link % replicas);
+    match op {
+        SimOp::Write { lba, tag } => {
+            let _ = w.write_tag(lba, tag);
+        }
+        SimOp::Sever { link } => {
+            let (g, r) = split(link);
+            let ctl = w.ctl(g, r);
+            if ctl.is_up() {
+                ctl.sever();
+            }
+        }
+        SimOp::Restore { link } => {
+            let (g, r) = split(link);
+            let ctl = w.ctl(g, r);
+            if !ctl.is_up() {
+                ctl.restore();
+            }
+        }
+        SimOp::CorruptData { link, n } => {
+            let (g, r) = split(link);
+            w.ctl(g, r).corrupt_next(Dir::AtoB, n);
+        }
+        SimOp::DropData { link, n } => {
+            let (g, r) = split(link);
+            w.ctl(g, r).drop_next(Dir::AtoB, n);
+        }
+        SimOp::DropAcks { link, n } => {
+            let (g, r) = split(link);
+            w.ctl(g, r).drop_next(Dir::BtoA, n);
+        }
+        SimOp::DupAck { link } => {
+            let (g, r) = split(link);
+            w.ctl(g, r).dup_next(Dir::BtoA, 1);
+        }
+        SimOp::ReorderAcks { link } => {
+            let (g, r) = split(link);
+            w.ctl(g, r).reorder_next(Dir::BtoA);
+        }
+        SimOp::Drain => {
+            for g in 0..w.sharded().group_count() {
+                w.sharded_mut().group_mut(g).drain();
+            }
+        }
+        SimOp::Rejoin { link } => {
+            let (g, r) = split(link);
+            let state = w.sharded().group(g).state(r);
+            if state != ReplicaState::Online && w.ctl(g, r).is_up() {
+                let group = w.sharded_mut().group_mut(g);
+                let _ = group.rejoin(r, ResyncStrategy::ParityLog);
+                let _ = group.resync_step(r, 2);
+            }
+        }
+        SimOp::Prune => {
+            for g in 0..w.sharded().group_count() {
+                let log = w.sharded().group(g).log();
+                log.prune(log.current_seq());
+            }
+        }
+        SimOp::Read { lba } => {
+            w.read_checked(lba)?;
+        }
+        // Copy failures here are transient (the cursor does not
+        // advance past an unwritten block); real damage surfaces in
+        // the historical check after the op.
+        SimOp::MigrateStep => {
+            if w.sharded().migration().is_some() {
+                let _ = w.sharded_mut().migrate_step(2);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runs one case to quiescence: the mid-run historical invariant after
@@ -271,6 +395,9 @@ pub fn run_case(case: &FuzzCase) -> RunReport {
         ack_window: case.ack_window,
         ..Default::default()
     };
+    if case.sharded {
+        return run_case_sharded(case, config);
+    }
     let mut w = ClusterWorld::new(
         case.blocks,
         case.replicas,
@@ -279,8 +406,8 @@ pub fn run_case(case: &FuzzCase) -> RunReport {
     );
     let mut verdict = Ok(());
     for (i, &op) in case.ops.iter().enumerate() {
-        apply(&mut w, op, case.replicas);
-        if let Err(e) = w.check_historical() {
+        let step = apply(&mut w, op, case.replicas).and_then(|()| w.check_historical());
+        if let Err(e) = step {
             verdict = Err(format!("after op {i} ({op:?}): {e}"));
             break;
         }
@@ -293,13 +420,73 @@ pub fn run_case(case: &FuzzCase) -> RunReport {
     // Observability oracle: a schedule that injected no link faults
     // must leave a quiet registry — any NAK, ack failure, or lifecycle
     // transition on a healthy network is a bug in the stack (or in the
-    // instrumentation claiming one happened).
-    let fault_free = case
-        .ops
-        .iter()
-        .all(|op| matches!(op, SimOp::Write { .. } | SimOp::Drain | SimOp::Prune));
+    // instrumentation claiming one happened). Reads on a healthy
+    // cluster are quiet too: they offload without a single rejection.
+    let fault_free = case.ops.iter().all(|op| {
+        matches!(
+            op,
+            SimOp::Write { .. } | SimOp::Read { .. } | SimOp::Drain | SimOp::Prune
+        )
+    });
     if verdict.is_ok() && fault_free {
         verdict = w.check_quiet_run();
+    }
+    let mut trace = w.net().trace().join("\n");
+    trace.push_str("\nevents: ");
+    trace.push_str(&w.registry().snapshot().event_summary_json());
+    trace.push_str("\nverdict: ");
+    match &verdict {
+        Ok(()) => trace.push_str("ok"),
+        Err(e) => trace.push_str(e),
+    }
+    RunReport { verdict, trace }
+}
+
+/// Sharded variant of [`run_case`]: two rendezvous-placed groups, a
+/// live migration of the volume's first half started before the first
+/// op and driven to cutover before quiescence, so every generated
+/// fault can land mid-copy. Writes into the migrating range
+/// dual-dispatch for the whole schedule; reads stay under the
+/// freshness oracle throughout.
+fn run_case_sharded(case: &FuzzCase, config: ClusterConfig) -> RunReport {
+    let slot = (case.blocks / 2).max(1);
+    let mut w = ShardWorld::with_slots(
+        case.blocks,
+        2,
+        case.replicas,
+        config,
+        Duration::from_micros(200),
+        slot,
+    );
+    let from = w.sharded().owner(Lba(0));
+    let to = 1 - from;
+    let mut verdict = w
+        .sharded_mut()
+        .migrate_start(0..slot, from, to)
+        .map_err(|e| format!("migrate_start: {e}"));
+    if verdict.is_ok() {
+        for (i, &op) in case.ops.iter().enumerate() {
+            let step = apply_sharded(&mut w, op, case.replicas).and_then(|()| w.check_historical());
+            if let Err(e) = step {
+                verdict = Err(format!("after op {i} ({op:?}): {e}"));
+                break;
+            }
+        }
+    }
+    if verdict.is_ok() {
+        // Drive the copy to cutover (faults may still be live — the
+        // copy path degrades like any replicated write), then heal and
+        // run the full per-group invariant set.
+        while verdict.is_ok() && w.sharded().migration().is_some() {
+            verdict = w
+                .sharded_mut()
+                .migrate_step(64)
+                .map(|_| ())
+                .map_err(|e| format!("migrate_step at quiescence: {e}"));
+        }
+        verdict = verdict
+            .and_then(|()| w.quiesce(ResyncStrategy::ParityLog))
+            .and_then(|()| w.check_invariants());
     }
     let mut trace = w.net().trace().join("\n");
     trace.push_str("\nevents: ");

@@ -46,4 +46,6 @@ pub use fuzz::{
     fuzz_seed, generate, minimize, run_case, run_seed, FuzzCase, FuzzFailure, RunReport, SimOp,
 };
 pub use scenario::{run_scenario, SCENARIOS};
-pub use world::{content_hash, ClusterWorld, EcWorld, EngineWorld, EngineWorldConfig, History};
+pub use world::{
+    content_hash, ClusterWorld, EcWorld, EngineWorld, EngineWorldConfig, History, ShardWorld,
+};

@@ -8,11 +8,11 @@
 
 use std::time::Duration;
 
-use prins_block::BlockDevice;
+use prins_block::{BlockDevice, Lba};
 use prins_cluster::{ClusterConfig, ClusterError, ReplicaState, ResyncStrategy};
 use prins_net::Dir;
 
-use crate::world::{ClusterWorld, EcWorld, EngineWorld, EngineWorldConfig};
+use crate::world::{ClusterWorld, EcWorld, EngineWorld, EngineWorldConfig, ShardWorld};
 
 fn cluster_config(ack_window: usize, write_quorum: usize) -> ClusterConfig {
     ClusterConfig {
@@ -503,6 +503,148 @@ pub fn ec_rebuild_two() -> Result<String, String> {
     Ok(w.registry().snapshot().event_summary_json())
 }
 
+/// A live shard migration runs to cutover while the source group's
+/// link crawls at 10× its normal delay, foreground writes keep landing
+/// in the moving range, offloaded reads keep being served, and one of
+/// the target group's replicas is killed mid-copy. The history oracle
+/// must hold throughout: no offloaded read observes stale content, and
+/// the cutover leaves the range owned by the target with every replica
+/// of every group on a historical state.
+pub fn migrate_under_faults() -> Result<String, String> {
+    // 16 blocks in 8-block slots: each slot's run shares an owner, so
+    // a contiguous range is available to migrate.
+    let mut w = ShardWorld::with_slots(
+        16,
+        2,
+        2,
+        cluster_config(1, 0),
+        Duration::from_micros(200),
+        8,
+    );
+    let mut tag = 0u8;
+    for lba in 0..16 {
+        tag = tag.wrapping_add(1);
+        w.write_tag(lba, tag).map_err(op_err)?;
+    }
+    let from = w.sharded().owner(Lba(0));
+    let to = 1 - from;
+
+    // The source group's first link crawls: in-flight acks lag the
+    // copy, exercising the epoch guard at cutover.
+    w.ctl(from, 0).set_delay(
+        Dir::AtoB,
+        Duration::from_millis(2),
+        Duration::from_micros(200),
+    );
+    w.ctl(from, 0)
+        .set_delay(Dir::BtoA, Duration::from_millis(2), Duration::ZERO);
+
+    w.sharded_mut()
+        .migrate_start(0..8, from, to)
+        .map_err(op_err)?;
+    let mut killed = false;
+    loop {
+        let remaining = w.sharded_mut().migrate_step(2).map_err(op_err)?;
+        // Foreground writes into the moving range between copy steps
+        // (dual-dispatched until cutover), plus checked reads.
+        tag = tag.wrapping_add(1);
+        w.write_tag(remaining % 8, tag).map_err(op_err)?;
+        w.read_checked(remaining % 8)?;
+        w.check_historical()?;
+        if !killed && remaining <= 4 {
+            // Node kill mid-copy: one of the target group's replicas
+            // dies; the copy must keep going (write quorum 0).
+            w.ctl(to, 1).sever();
+            killed = true;
+        }
+        if remaining == 0 {
+            break;
+        }
+    }
+    if w.sharded().migration().is_some() {
+        return Err("migration still pending after the copy drained".into());
+    }
+    for lba in 0..8 {
+        if w.sharded().owner(Lba(lba)) != to {
+            return Err(format!("block {lba} not owned by group {to} after cutover"));
+        }
+    }
+    // Post-cutover traffic routes to the new owner; reads stay fresh.
+    for lba in 0..8 {
+        tag = tag.wrapping_add(1);
+        w.write_tag(lba, tag).map_err(op_err)?;
+        w.read_checked(lba)?;
+    }
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()?;
+    let snap = w.registry().snapshot();
+    if snap.counters["migration_bytes"] == 0 {
+        return Err("live migration booked no migration bytes".into());
+    }
+    Ok(w.registry().snapshot().event_summary_json())
+}
+
+/// Offloaded reads race a replica outage and rejoin: while the replica
+/// is lagging, offline, or still resyncing, the freshness guard must
+/// reject it as a read source (`read_rejected_stale`), and no read may
+/// ever return pre-rejoin bytes — the oracle checks every single read.
+pub fn read_offload_rejoin() -> Result<String, String> {
+    let mut w = ClusterWorld::new(16, 3, cluster_config(1, 0), Duration::from_micros(200));
+    let mut tag = 0u8;
+    for lba in 0..16 {
+        tag = tag.wrapping_add(1);
+        w.write_tag(lba, tag).map_err(op_err)?;
+    }
+    // Healthy: reads spread over all three replicas.
+    for lba in 0..16 {
+        w.read_checked(lba)?;
+    }
+    let snap = w.registry().snapshot();
+    if snap.counters["reads_offloaded"] != 16 {
+        return Err(format!(
+            "healthy cluster offloaded {} of 16 reads",
+            snap.counters["reads_offloaded"]
+        ));
+    }
+
+    // Replica 0 dies and misses writes; reads keep flowing and must
+    // never be served its stale copy.
+    w.ctl(0).sever();
+    for lba in 0..16 {
+        tag = tag.wrapping_add(1);
+        w.write_tag(lba, tag).map_err(op_err)?;
+        w.read_checked(lba)?;
+    }
+    w.check_historical()?;
+
+    // Rejoin races the read stream: reads issued mid-resync must skip
+    // the still-catching-up replica.
+    w.ctl(0).restore();
+    w.cluster_mut()
+        .rejoin(0, ResyncStrategy::ParityLog)
+        .map_err(op_err)?;
+    loop {
+        let remaining = w.cluster_mut().resync_step(0, 2).map_err(op_err)?;
+        tag = tag.wrapping_add(1);
+        w.write_tag(u64::from(tag) % 16, tag).map_err(op_err)?;
+        w.read_checked(u64::from(tag) % 16)?;
+        if remaining == 0 {
+            break;
+        }
+    }
+    w.quiesce(ResyncStrategy::ParityLog)?;
+    w.check_invariants()?;
+    // Back online: the rejoined replica serves again.
+    for lba in 0..16 {
+        w.read_checked(lba)?;
+    }
+    let snap = w.registry().snapshot();
+    if snap.counters["read_rejected_stale"] == 0 {
+        return Err("outage and rejoin produced no guard rejections".into());
+    }
+    Ok(w.registry().snapshot().event_summary_json())
+}
+
 fn op_err(e: impl std::fmt::Display) -> String {
     format!("unexpected operation failure: {e}")
 }
@@ -529,6 +671,8 @@ pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
     ("corruption_wire_retransmit", corruption_wire_retransmit),
     ("ec_rebuild_one", ec_rebuild_one),
     ("ec_rebuild_two", ec_rebuild_two),
+    ("migrate_under_faults", migrate_under_faults),
+    ("read_offload_rejoin", read_offload_rejoin),
 ];
 
 /// Runs one scenario by name, returning its event-count summary.

@@ -17,7 +17,7 @@ use std::time::Duration;
 use prins_block::{BlockDevice, BlockSize, Lba, MemDevice};
 use prins_cluster::{
     ClusterConfig, ClusterError, ClusterGroup, EcConfig, EcGroup, EcRebuildReport, EcWriteOutcome,
-    ReplicaState, ResyncStrategy, WriteOutcome,
+    ReadOutcome, RendezvousPlacement, ReplicaState, ResyncStrategy, ShardedCluster, WriteOutcome,
 };
 use prins_core::{EngineBuilder, PrinsEngine};
 use prins_ec::ReedSolomon;
@@ -95,6 +95,7 @@ fn spawn_replica(
                     Ok(Applied::Data(_)) => encode_ack(ACK, applier.last_epoch()),
                     Ok(Applied::Digest(d)) => encode_digest_ack(applier.last_epoch(), d),
                     Ok(Applied::Strip(s)) => prins_repl::encode_strip_ack(applier.last_epoch(), &s),
+                    Ok(Applied::Read(s)) => prins_repl::encode_read_ack(applier.last_epoch(), &s),
                     Err(ReplError::ChecksumMismatch { .. }) => {
                         encode_ack(NAK_CORRUPT, applier.last_epoch())
                     }
@@ -118,7 +119,7 @@ fn frame_lbas(bytes: &[u8]) -> Vec<u64> {
             Err(_) => Vec::new(),
         };
     }
-    if prins_repl::is_digest_request(bytes) {
+    if prins_repl::is_digest_request(bytes) || prins_repl::is_read_request(bytes) {
         return Vec::new();
     }
     if BatchFrame::is_batch(bytes) {
@@ -366,6 +367,42 @@ impl ClusterWorld {
         self.write(lba, &data)
     }
 
+    /// Reads through the cluster (offloading to a replica when the
+    /// freshness guard allows) and checks the read oracle: whatever
+    /// source served it, the content must equal the primary's *current*
+    /// block — an offloaded read may never observe pre-rejoin state.
+    ///
+    /// # Errors
+    ///
+    /// A stale or unhistorical read is an invariant violation (`Err`
+    /// with the diagnostic); read transport failures degrade the
+    /// replica and fall back, so they do not surface here.
+    pub fn read_checked(&mut self, lba: u64) -> Result<ReadOutcome, String> {
+        let out = self
+            .cluster
+            .read(Lba(lba))
+            .map_err(|e| format!("read lba {lba}: {e}"))?;
+        let want = self
+            .cluster
+            .device()
+            .read_block_vec(Lba(lba))
+            .map_err(|e| format!("primary read lba {lba}: {e}"))?;
+        if out.data != want {
+            return Err(format!(
+                "offloaded read of lba {lba} from {:?} returned stale content \
+                 (freshness oracle violated)",
+                out.source
+            ));
+        }
+        if !self.history.contains(lba, content_hash(&out.data)) {
+            return Err(format!(
+                "read of lba {lba} from {:?} returned a state the primary never had",
+                out.source
+            ));
+        }
+        Ok(out)
+    }
+
     /// Heals every link, drains in-flight work, and resyncs every
     /// non-online replica with `strategy` until the cluster is fully
     /// online (bounded retries).
@@ -461,12 +498,16 @@ impl ClusterWorld {
     }
 
     /// Byte conservation: what the cluster booked as sent (foreground +
-    /// resync + scrub probes) must equal what actually hit each wire.
+    /// resync + scrub probes + read requests) must equal what actually
+    /// hit each wire.
     pub fn check_conservation(&self) -> Result<(), String> {
         for idx in 0..self.cluster.replica_count() {
             let status = self.cluster.status(idx);
             let sent = self.primary_ends[idx].meter().payload_bytes_sent();
-            let booked = status.foreground_bytes + status.resync_bytes + status.scrub_bytes;
+            let booked = status.foreground_bytes
+                + status.resync_bytes
+                + status.scrub_bytes
+                + status.read_bytes;
             if sent != booked {
                 return Err(format!(
                     "replica {idx} byte accounting: wire saw {sent}, cluster booked {booked}"
@@ -482,6 +523,315 @@ impl std::fmt::Debug for ClusterWorld {
         f.debug_struct("ClusterWorld")
             .field("blocks", &self.blocks)
             .field("replicas", &self.replica_devs.len())
+            .field("net", &self.net)
+            .finish()
+    }
+}
+
+/// A [`ShardedCluster`] over simulated links: rendezvous placement,
+/// offloaded reads, and live migration between groups, with the
+/// volume-wide history oracle and per-group invariants.
+///
+/// Every group shares one [`SimNet`] and one registry (so a scenario's
+/// event summary covers the whole volume). Devices are full-size
+/// (identity addressing), the precondition migration needs.
+pub struct ShardWorld {
+    net: SimNet,
+    sharded: ShardedCluster<MemDevice, RendezvousPlacement>,
+    registry: Arc<Registry>,
+    /// `ctls[g][r]` is group g, replica r's link.
+    ctls: Vec<Vec<SimLinkCtl>>,
+    primary_ends: Vec<Vec<SimTransport>>,
+    replica_devs: Vec<Vec<Arc<MemDevice>>>,
+    replica_eps: Vec<usize>,
+    history: History,
+    blocks: u64,
+    block_size: usize,
+}
+
+impl ShardWorld {
+    /// A fresh sharded world: `groups` replica groups of
+    /// `replicas_per_group` each, all devices zeroed and full-size,
+    /// equal-weight rendezvous placement.
+    pub fn new(
+        blocks: u64,
+        groups: usize,
+        replicas_per_group: usize,
+        config: ClusterConfig,
+        delay: Duration,
+    ) -> Self {
+        Self::with_slots(blocks, groups, replicas_per_group, config, delay, 1)
+    }
+
+    /// [`ShardWorld::new`] with `slot_blocks` contiguous LBAs hashed as
+    /// one placement slot — slot-sized runs share an owner, giving
+    /// migration scenarios contiguous ranges to move.
+    pub fn with_slots(
+        blocks: u64,
+        groups: usize,
+        replicas_per_group: usize,
+        config: ClusterConfig,
+        delay: Duration,
+        slot_blocks: u64,
+    ) -> Self {
+        let net = SimNet::new();
+        let block_size = BlockSize::kb4();
+        let registry = Registry::new();
+        let mut ctls = Vec::new();
+        let mut primary_ends = Vec::new();
+        let mut replica_devs = Vec::new();
+        let mut replica_eps = Vec::new();
+        let mut cluster_groups = Vec::new();
+        for g in 0..groups {
+            let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+            let mut group_ctls = Vec::new();
+            let mut group_ends = Vec::new();
+            let mut group_devs = Vec::new();
+            for r in 0..replicas_per_group {
+                let (a, ctl, dev, ep) =
+                    spawn_replica(&net, g * replicas_per_group + r, block_size, blocks, delay);
+                group_ends.push(a.clone());
+                transports.push(Box::new(a));
+                group_ctls.push(ctl);
+                group_devs.push(dev);
+                replica_eps.push(ep);
+            }
+            let mut group =
+                ClusterGroup::new(MemDevice::new(block_size, blocks), config, transports);
+            group.attach_observer(Arc::clone(&registry), net.clock());
+            cluster_groups.push(group);
+            ctls.push(group_ctls);
+            primary_ends.push(group_ends);
+            replica_devs.push(group_devs);
+        }
+        let placement = RendezvousPlacement::new(blocks, groups).with_slot_blocks(slot_blocks);
+        let mut sharded = ShardedCluster::new(placement, cluster_groups);
+        sharded.attach_observer(Arc::clone(&registry), net.clock());
+        Self {
+            net,
+            sharded,
+            registry,
+            ctls,
+            primary_ends,
+            replica_devs,
+            replica_eps,
+            history: History::seed(blocks, block_size.bytes()),
+            blocks,
+            block_size: block_size.bytes(),
+        }
+    }
+
+    /// The simulated network.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The shared metrics registry (all groups plus migration events).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Fault controls for group `g`, replica `r`'s link.
+    pub fn ctl(&self, g: usize, r: usize) -> &SimLinkCtl {
+        &self.ctls[g][r]
+    }
+
+    /// The sharded cluster under test.
+    pub fn sharded(&self) -> &ShardedCluster<MemDevice, RendezvousPlacement> {
+        &self.sharded
+    }
+
+    /// Mutable access to the sharded cluster under test.
+    pub fn sharded_mut(&mut self) -> &mut ShardedCluster<MemDevice, RendezvousPlacement> {
+        &mut self.sharded
+    }
+
+    /// Number of blocks in the volume.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Writes `data` through the sharded cluster, recording the new
+    /// content in the volume-wide oracle (also on quorum loss).
+    pub fn write(&mut self, lba: u64, data: &[u8]) -> Result<WriteOutcome, ClusterError> {
+        let res = self.sharded.write(Lba(lba), data);
+        match &res {
+            Ok(_) | Err(ClusterError::QuorumLost { .. }) => {
+                self.history.record(lba, content_hash(data));
+            }
+            Err(_) => {}
+        }
+        res
+    }
+
+    /// Writes a deterministic sparse block derived from `(lba, tag)`.
+    pub fn write_tag(&mut self, lba: u64, tag: u8) -> Result<WriteOutcome, ClusterError> {
+        let mut data = vec![0u8; self.block_size];
+        data[..8].copy_from_slice(&lba.to_le_bytes());
+        data[8] = tag;
+        data[9] = tag.wrapping_mul(31).wrapping_add(7);
+        self.write(lba, &data)
+    }
+
+    /// Reads through the sharded cluster and checks the read oracle:
+    /// the content must equal the owning group's *current* primary
+    /// block, and be a state the volume actually had.
+    ///
+    /// # Errors
+    ///
+    /// A stale or unhistorical read is an invariant violation.
+    pub fn read_checked(&mut self, lba: u64) -> Result<ReadOutcome, String> {
+        let out = self
+            .sharded
+            .read(Lba(lba))
+            .map_err(|e| format!("read lba {lba}: {e}"))?;
+        let owner = self.sharded.owner(Lba(lba));
+        let want = self
+            .sharded
+            .group(owner)
+            .device()
+            .read_block_vec(Lba(lba))
+            .map_err(|e| format!("group {owner} primary read lba {lba}: {e}"))?;
+        if out.data != want {
+            return Err(format!(
+                "offloaded read of lba {lba} (group {owner}, source {:?}) returned \
+                 stale content (freshness oracle violated)",
+                out.source
+            ));
+        }
+        if !self.history.contains(lba, content_hash(&out.data)) {
+            return Err(format!(
+                "read of lba {lba} returned a state the volume never had"
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Heals every link, drains in-flight work, and resyncs every
+    /// non-online replica of every group with `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// If a replica cannot be brought back online.
+    pub fn quiesce(&mut self, strategy: ResyncStrategy) -> Result<(), String> {
+        for group_ctls in &self.ctls {
+            for ctl in group_ctls {
+                ctl.clear_faults();
+                if !ctl.is_up() {
+                    ctl.restore();
+                }
+            }
+        }
+        self.net.run_until_idle();
+        for g in 0..self.sharded.group_count() {
+            let cluster = self.sharded.group_mut(g);
+            cluster.drain();
+            for idx in 0..cluster.replica_count() {
+                let mut attempts = 0;
+                let mut last_err = String::new();
+                while cluster.state(idx) != ReplicaState::Online {
+                    attempts += 1;
+                    if attempts > 8 {
+                        return Err(format!(
+                            "group {g} replica {idx} stuck {:?} after {attempts} rejoin \
+                             attempts (last error: {last_err})",
+                            cluster.state(idx)
+                        ));
+                    }
+                    if matches!(
+                        cluster.state(idx),
+                        ReplicaState::Offline | ReplicaState::Lagging
+                    ) {
+                        if let Err(e) = cluster.rejoin(idx, strategy) {
+                            last_err = e.to_string();
+                        }
+                    }
+                    if cluster.state(idx) == ReplicaState::Resyncing {
+                        if let Err(e) = cluster.resync_to_completion(idx, 4) {
+                            last_err = e.to_string();
+                        }
+                    }
+                }
+            }
+            self.sharded.group_mut(g).drain();
+        }
+        self.net.run_until_idle();
+        Ok(())
+    }
+
+    /// Cheap mid-run invariant: every replica block of every group is a
+    /// state the volume actually had.
+    pub fn check_historical(&self) -> Result<(), String> {
+        for (g, devs) in self.replica_devs.iter().enumerate() {
+            check_historical(&self.history, self.blocks, devs)
+                .map_err(|e| format!("group {g}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// The full post-quiescence invariant set, per group: every replica
+    /// online and clean, bit-identical to its group primary, holding
+    /// only historical volume states, delivery order intact, byte
+    /// accounting equal to the wire meters.
+    ///
+    /// (The lifecycle-chain check is per-[`ClusterWorld`]: with all
+    /// groups sharing one registry, replica indices collide across
+    /// groups, so it is not applicable here.)
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for g in 0..self.sharded.group_count() {
+            let cluster = self.sharded.group(g);
+            for idx in 0..cluster.replica_count() {
+                let status = cluster.status(idx);
+                if status.state != ReplicaState::Online {
+                    return Err(format!(
+                        "group {g} replica {idx} not online: {:?}",
+                        status.state
+                    ));
+                }
+                if status.dirty_blocks != 0 {
+                    return Err(format!(
+                        "group {g} replica {idx} still dirty at quiescence: {} blocks",
+                        status.dirty_blocks
+                    ));
+                }
+            }
+            check_identity(cluster.device(), self.blocks, &self.replica_devs[g])
+                .map_err(|e| format!("group {g}: {e}"))?;
+        }
+        self.check_historical()?;
+        check_delivery_order(&self.net, &self.replica_eps)?;
+        self.check_conservation()
+    }
+
+    /// Byte conservation per group and replica: booked bytes
+    /// (foreground + resync + scrub + reads) equal the wire meter.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for g in 0..self.sharded.group_count() {
+            let cluster = self.sharded.group(g);
+            for idx in 0..cluster.replica_count() {
+                let status = cluster.status(idx);
+                let sent = self.primary_ends[g][idx].meter().payload_bytes_sent();
+                let booked = status.foreground_bytes
+                    + status.resync_bytes
+                    + status.scrub_bytes
+                    + status.read_bytes;
+                if sent != booked {
+                    return Err(format!(
+                        "group {g} replica {idx} byte accounting: wire saw {sent}, \
+                         cluster booked {booked}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ShardWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardWorld")
+            .field("blocks", &self.blocks)
+            .field("groups", &self.replica_devs.len())
             .field("net", &self.net)
             .finish()
     }
@@ -756,6 +1106,7 @@ fn spawn_strip_node(
                     Ok(Applied::Data(_)) => encode_ack(ACK, applier.last_epoch()),
                     Ok(Applied::Digest(d)) => encode_digest_ack(applier.last_epoch(), d),
                     Ok(Applied::Strip(s)) => prins_repl::encode_strip_ack(applier.last_epoch(), &s),
+                    Ok(Applied::Read(s)) => prins_repl::encode_read_ack(applier.last_epoch(), &s),
                     Err(ReplError::ChecksumMismatch { .. }) => {
                         encode_ack(NAK_CORRUPT, applier.last_epoch())
                     }

@@ -41,6 +41,16 @@ fn lost_ack_never_double_applies_parity() {
 }
 
 #[test]
+fn live_migration_survives_slow_links_and_node_kill() {
+    run_scenario("migrate_under_faults").unwrap();
+}
+
+#[test]
+fn offloaded_reads_stay_fresh_across_rejoin() {
+    run_scenario("read_offload_rejoin").unwrap();
+}
+
+#[test]
 fn the_whole_scenario_table_passes() {
     for (name, f) in SCENARIOS {
         f().unwrap_or_else(|e| panic!("scenario {name}: {e}"));
