@@ -23,6 +23,9 @@ cargo clippy -p prins-ec -- -D warnings
 # Same standalone treatment for the hot-path buffer pool: every byte the
 # write path touches flows through prins-buf.
 cargo clippy -p prins-buf -- -D warnings
+# And for the observability crate: the tracing fast path (Span drop,
+# TraceSink::event) sits on every write, so its lints gate alone too.
+cargo clippy -p prins-obs -- -D warnings
 cargo build --release
 cargo bench --workspace --no-run     # criterion benches must keep compiling
 # Cap test parallelism: the pipeline/cluster suites spawn their own
@@ -66,6 +69,14 @@ cargo run -q --release -p prins-sim --bin sim-replay -- scenario 'ec_rebuild_*' 
     cargo run -q --release -p prins-sim --bin sim-replay -- scenario migrate_under_faults --events
     cargo run -q --release -p prins-sim --bin sim-replay -- scenario read_offload_rejoin --events
 } | diff tests/scale_out_golden.txt -
+# Trace determinism gate: the migrate_under_faults flight-recorder
+# summary (per-stage tail attribution, SLO burn, sampling counts) must
+# replay byte-identically — trace IDs and sampling are derived from
+# deterministic counters, never entropy. A diff means the traced hop
+# set changed (regenerate with the same command if intentional) or a
+# nondeterministic hop crept into the write path.
+cargo run -q --release -p prins-sim --bin sim-replay -- scenario migrate_under_faults --traces \
+    | diff tests/trace_golden.json -
 # Scale figure wiring smoke: the selection must parse without paying
 # for the measurement (the ≥2.5x read-speedup bound itself is asserted
 # by prins-bench's scale test in the workspace suite above).

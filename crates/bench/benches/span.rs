@@ -1,0 +1,64 @@
+//! Observability hot-path micro-benchmarks: the `Span` start/finish
+//! pair every pipeline stage pays per write, and the `TraceSink` hop
+//! append the flight recorder adds on top. Both must stay deep in the
+//! nanoseconds for tracing to be default-on in the engine.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prins_net::{Clock, WallClock};
+use prins_obs::{Histogram, Span, TraceConfig, TraceId, TraceSink, TraceStage};
+
+fn bench_span(c: &mut Criterion) {
+    let clock = WallClock::new();
+    let hist = Histogram::new();
+    c.bench_function("obs/span/start_finish", |b| {
+        b.iter(|| Span::start(&clock, &hist).finish())
+    });
+    c.bench_function("obs/span/start_cancel", |b| {
+        b.iter(|| Span::start(&clock, &hist).cancel())
+    });
+}
+
+fn bench_trace_hop(c: &mut Criterion) {
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let sink = TraceSink::new(TraceConfig::default());
+    let id = TraceId::from_seq(7);
+    sink.begin(id, 0, u32::MAX, clock.now_nanos(), 4096);
+    // One live trace, hammered with hop appends: the per-write cost of
+    // an event once the slot lock is warm. The huge pending count keeps
+    // the trace from finalizing mid-benchmark.
+    c.bench_function("obs/trace/event_append", |b| {
+        b.iter(|| sink.event(id, TraceStage::Send, 1, clock.now_nanos(), 4096))
+    });
+    let miss = TraceId::from_seq(8 + 1024);
+    c.bench_function("obs/trace/event_inactive_slot", |b| {
+        b.iter(|| sink.event(miss, TraceStage::Send, 1, clock.now_nanos(), 4096))
+    });
+}
+
+fn bench_trace_lifecycle(c: &mut Criterion) {
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let sink = TraceSink::new(TraceConfig::default());
+    let mut seq = 0u64;
+    // The full per-write recorder bill: begin, three hops, complete.
+    c.bench_function("obs/trace/begin_to_complete", |b| {
+        b.iter(|| {
+            seq += 1;
+            let id = TraceId::from_seq(seq);
+            let t = clock.now_nanos();
+            sink.begin(id, 0, 1, t, 4096);
+            sink.event(id, TraceStage::Encode, u32::MAX, t, 4096);
+            sink.event(id, TraceStage::LaneQueue, 0, t, 4096);
+            sink.event(id, TraceStage::Send, 0, t, 4096);
+            sink.complete(id, TraceStage::Ack, 0, t, 0);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_span, bench_trace_hop, bench_trace_lifecycle
+}
+criterion_main!(benches);

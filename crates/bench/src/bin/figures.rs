@@ -9,6 +9,7 @@
 //! figures pipeline            # pipelined vs serial replication throughput
 //! figures ec                  # erasure-coded storage + repair-bandwidth economics
 //! figures obs                 # metrics snapshot of a simulated TPC-C mirror
+//! figures trace               # tail-latency attribution under a 10x-slow link
 //! figures scale               # scale-out read throughput sweep vs. MVA prediction
 //! figures --smoke all         # tiny databases (CI-friendly)
 //! figures scale --no-run      # validate the selection without running it
@@ -20,7 +21,7 @@ use prins_bench::{
     ec_experiment, fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw,
     fig7_fs_micro, fig8_response_t1, fig9_response_t3, measure_traffic, obs_experiment,
     overhead_experiment, pipeline_experiment, pipeline_figure, resync_figure, scale_experiment,
-    write_rate_experiment, TrafficConfig,
+    trace_experiment, write_rate_experiment, TrafficConfig,
 };
 use prins_block::BlockSize;
 use prins_workloads::Workload;
@@ -64,6 +65,7 @@ fn main() -> ExitCode {
         "writerate",
         "ec",
         "obs",
+        "trace",
         "scale",
     ];
     if no_run {
@@ -156,6 +158,10 @@ fn main() -> ExitCode {
             let snap = obs_experiment(ops)?;
             println!("{}", snap.to_table());
             println!("{}", snap.to_json());
+        }
+        if want("trace") {
+            ran_any = true;
+            println!("{}", trace_experiment(ops)?);
         }
         if want("scale") {
             ran_any = true;

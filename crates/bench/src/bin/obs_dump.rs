@@ -7,6 +7,9 @@
 //! obs-dump --summary         # event-count summary only (the CI golden)
 //! obs-dump --table           # human-readable table
 //! obs-dump --prometheus      # Prometheus text exposition
+//! obs-dump --traces          # flight-recorder dump of the traced
+//!                            # 10x-slow-link run: summary JSON, then
+//!                            # the retained traces as a table
 //! ```
 //!
 //! The run is virtual-time simulation: two runs with the same `--ops`
@@ -15,7 +18,7 @@
 
 use std::process::ExitCode;
 
-use prins_bench::obs_experiment;
+use prins_bench::{obs_experiment, trace_experiment};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,14 +38,30 @@ fn main() -> ExitCode {
             "--table" => format = "table",
             "--prometheus" => format = "prometheus",
             "--json" => format = "json",
+            "--traces" => format = "traces",
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: obs-dump \
-                     [--ops N] [--summary | --table | --prometheus | --json]"
+                     [--ops N] [--summary | --table | --prometheus | --json | --traces]"
                 );
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if format == "traces" {
+        // The traced run is a separate experiment (one lane 10x slow)
+        // so the untraced obs golden keeps its exact event counts.
+        return match trace_experiment(ops) {
+            Ok(report) => {
+                println!("{}", report.sink.summary_json());
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("obs-dump failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     match obs_experiment(ops) {
         Ok(snap) => {

@@ -34,6 +34,7 @@ mod obs;
 mod pipeline;
 mod resync;
 mod scale;
+mod tailtrace;
 mod traffic;
 
 pub use ec::{ec_experiment, EcReport};
@@ -47,4 +48,5 @@ pub use obs::obs_experiment;
 pub use pipeline::{pipeline_experiment, pipeline_figure, PipelineKnobs, PipelineMeasurement};
 pub use resync::{resync_experiment, resync_figure, ResyncMeasurement};
 pub use scale::{scale_experiment, ScaleCurve, ScaleReport};
+pub use tailtrace::{trace_experiment, TailTraceReport};
 pub use traffic::{measure_traffic, ModeTraffic, TrafficConfig, TrafficMeasurement};

@@ -37,7 +37,7 @@ use std::time::Duration;
 
 use prins_block::{BlockDevice, Lba};
 use prins_net::{Clock, Transport};
-use prins_obs::{Counter, Event, EventKind, Histogram, Registry};
+use prins_obs::{Counter, Event, EventKind, Histogram, Registry, TraceId, TraceSink, TraceStage};
 use prins_parity::{ErasureCodec, SparseCodec};
 use prins_repl::{
     decode_ack, decode_strip_ack, encode_strip_request, seal_frame, Payload, PayloadBody,
@@ -113,6 +113,24 @@ impl EcObs {
             decode_failures,
             rebuild_nanos,
         }
+    }
+}
+
+/// Causal-tracing hookup for an [`EcGroup`]: one trace per logical
+/// write, spanning the data/parity strip fan-out and the per-node
+/// acknowledgements.
+struct EcTracer {
+    sink: Arc<TraceSink>,
+    clock: Arc<dyn Clock>,
+    shard: u32,
+    counter: u64,
+}
+
+impl EcTracer {
+    fn next_id(&mut self) -> TraceId {
+        let id = TraceId::for_shard(self.shard, self.counter);
+        self.counter += 1;
+        id
     }
 }
 
@@ -194,6 +212,7 @@ pub struct EcGroup<D, C> {
     dirty_stripes: BTreeSet<u64>,
     rebuild_bytes: u64,
     obs: Option<EcObs>,
+    tracer: Option<EcTracer>,
 }
 
 impl<D: BlockDevice, C: ErasureCodec> EcGroup<D, C> {
@@ -237,6 +256,7 @@ impl<D: BlockDevice, C: ErasureCodec> EcGroup<D, C> {
             dirty_stripes: BTreeSet::new(),
             rebuild_bytes: 0,
             obs: None,
+            tracer: None,
         }
     }
 
@@ -245,6 +265,25 @@ impl<D: BlockDevice, C: ErasureCodec> EcGroup<D, C> {
     /// histogram, and `ec-rebuild` events.
     pub fn attach_observer(&mut self, registry: Arc<Registry>, clock: Arc<dyn Clock>) {
         self.obs = Some(EcObs::new(registry, clock));
+    }
+
+    /// Attaches a trace sink: every logical write mints a
+    /// deterministic [`TraceId`] tagged with `shard` and records one
+    /// `strip-data` / `strip-parity` hop per strip-delta frame (lane =
+    /// node index) plus a `strip-ack` hop per acknowledgement, so the
+    /// flight recorder sees the full k-of-n fan-out of a slow write.
+    pub fn attach_tracer(&mut self, sink: Arc<TraceSink>, shard: u32, clock: Arc<dyn Clock>) {
+        self.tracer = Some(EcTracer {
+            sink,
+            clock,
+            shard,
+            counter: 0,
+        });
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.tracer.as_ref().map(|t| &t.sink)
     }
 
     /// The placement map.
@@ -355,6 +394,14 @@ impl<D: BlockDevice, C: ErasureCodec> EcGroup<D, C> {
 
         let delta = self.codec.delta(&old, new);
         let sparse = self.sparse.encode(&delta).to_bytes();
+        // One trace per logical write; the hold (pending = 1) keeps it
+        // open across the strip fan-out and is released after the last
+        // acknowledgement is collected below.
+        let tid = self.tracer.as_mut().map(|t| {
+            let id = t.next_id();
+            t.sink.begin(id, t.shard, 1, t.clock.now_nanos(), new.len());
+            id
+        });
         let mut outcome = EcWriteOutcome {
             acked: 0,
             skipped: 0,
@@ -398,6 +445,16 @@ impl<D: BlockDevice, C: ErasureCodec> EcGroup<D, C> {
                     obs.parity_update_bytes.add(sealed.len() as u64);
                 }
             }
+            if let (Some(t), Some(id)) = (&self.tracer, tid) {
+                let stage = if role < k {
+                    TraceStage::StripData
+                } else {
+                    TraceStage::StripParity
+                };
+                t.sink.add_pending(id, 1);
+                t.sink
+                    .event(id, stage, node as u32, t.clock.now_nanos(), sealed.len());
+            }
             await_from.push(node);
         }
         if let Some(obs) = &self.obs {
@@ -405,7 +462,19 @@ impl<D: BlockDevice, C: ErasureCodec> EcGroup<D, C> {
         }
         for node in await_from {
             self.await_ack(node)?;
+            if let (Some(t), Some(id)) = (&self.tracer, tid) {
+                t.sink.complete(
+                    id,
+                    TraceStage::StripAck,
+                    node as u32,
+                    t.clock.now_nanos(),
+                    0,
+                );
+            }
             outcome.acked += 1;
+        }
+        if let (Some(t), Some(id)) = (&self.tracer, tid) {
+            t.sink.release(id, t.clock.now_nanos());
         }
         Ok(outcome)
     }

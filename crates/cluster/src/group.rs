@@ -7,7 +7,9 @@ use std::time::Duration;
 
 use prins_block::{crc32c, BlockDevice, Lba};
 use prins_net::{Clock, Transport};
-use prins_obs::{Counter, Event, EventKind, Histogram, Registry};
+use prins_obs::{
+    Counter, Event, EventKind, Histogram, Registry, TraceId, TraceSink, TraceStage, NO_LANE,
+};
 use prins_parity::{SparseCodec, SparseParity};
 use prins_repl::{
     decode_ack, decode_read_ack, encode_digest_request, encode_read_request, seal_frame, AckFrame,
@@ -79,6 +81,38 @@ impl ClusterObs {
     }
 }
 
+/// Causal-tracing hookup for a [`ClusterGroup`]: mints a deterministic
+/// [`TraceId`] per foreground write (and per offloaded read) and
+/// appends the replica fan-out hops into a shared [`TraceSink`], so a
+/// write's trace spans dispatch → per-replica send → ack (or the
+/// wrong-epoch / error hop that ended it).
+struct ClusterTracer {
+    sink: Arc<TraceSink>,
+    clock: Arc<dyn Clock>,
+    /// Shard tag minted into every trace id — ties the group's SLO
+    /// accounting to its slot in [`prins_obs::TraceConfig::shards`].
+    shard: u32,
+    /// Monotonic per-group counter: ids are deterministic functions of
+    /// dispatch order, never of randomness or wall time.
+    counter: u64,
+    /// The trace whose response is currently being awaited, so the
+    /// stale-epoch drop sites deep in the ack loop can attribute the
+    /// wrong-epoch hop to the right trace.
+    awaiting: Option<TraceId>,
+}
+
+impl ClusterTracer {
+    fn next_id(&mut self) -> TraceId {
+        let id = TraceId::for_shard(self.shard, self.counter);
+        self.counter += 1;
+        id
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+}
+
 /// How a rejoining replica is caught up.
 ///
 /// The three strategies are the x-axis of the resync-traffic figure:
@@ -143,8 +177,9 @@ struct Replica {
     acked_writes: u64,
     /// Foreground writes sent but not yet acknowledged (FIFO — the
     /// transport delivers and the replica acknowledges in order), each
-    /// remembering the epoch its frame was sealed with.
-    outstanding: VecDeque<(Lba, u64, u64)>,
+    /// remembering the epoch its frame was sealed with and the trace
+    /// the eventual acknowledgement retires.
+    outstanding: VecDeque<(Lba, u64, u64, Option<TraceId>)>,
     /// The replica's response-stream generation. Every frame is sealed
     /// with the current epoch and the replica echoes it in each ack, so
     /// a response stranded by a lost link (its write already booked as
@@ -289,6 +324,7 @@ pub struct ClusterGroup<D> {
     replicas: Vec<Replica>,
     config: ClusterConfig,
     obs: Option<ClusterObs>,
+    tracer: Option<ClusterTracer>,
     /// Round-robin cursor for offloaded reads.
     next_read: usize,
 }
@@ -306,6 +342,7 @@ impl<D: BlockDevice> ClusterGroup<D> {
             replicas: transports.into_iter().map(Replica::new).collect(),
             config,
             obs: None,
+            tracer: None,
             next_read: 0,
         }
     }
@@ -325,6 +362,30 @@ impl<D: BlockDevice> ClusterGroup<D> {
     /// The attached metrics registry, if any.
     pub fn registry(&self) -> Option<&Arc<Registry>> {
         self.obs.as_ref().map(|o| &o.registry)
+    }
+
+    /// Attaches a trace sink: from here on every foreground write (and
+    /// every offloaded read) mints a deterministic [`TraceId`] tagged
+    /// with `shard` and records its replica fan-out — per-replica send,
+    /// acknowledgement, wrong-epoch drop, or error — as trace hops.
+    /// Share one sink across groups (and with an engine's flight
+    /// recorder) for cluster-wide tail attribution; `clock` timestamps
+    /// the hops —
+    /// pass the transports' [`SimClock`](prins_net::SimClock) for
+    /// deterministic traces under simulation.
+    pub fn attach_tracer(&mut self, sink: Arc<TraceSink>, shard: u32, clock: Arc<dyn Clock>) {
+        self.tracer = Some(ClusterTracer {
+            sink,
+            clock,
+            shard,
+            counter: 0,
+            awaiting: None,
+        });
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.tracer.as_ref().map(|t| &t.sink)
     }
 
     /// The primary device (wrapped with the parity log).
@@ -389,6 +450,16 @@ impl<D: BlockDevice> ClusterGroup<D> {
         let seq = self.log().current_seq();
         let payload = self.replicator.encode_write(lba, &old, new);
 
+        // One trace per cluster write; the hold (pending = 1) keeps it
+        // open across the replica fan-out and is released at the end of
+        // this call, so with a pipelined window the trace finalizes on
+        // whichever later collection retires the last acknowledgement.
+        let tid = self.tracer.as_mut().map(|t| {
+            let id = t.next_id();
+            t.sink.begin(id, t.shard, 1, t.now(), new.len());
+            id
+        });
+
         let mut outcome = WriteOutcome {
             seq,
             acked: 0,
@@ -402,13 +473,29 @@ impl<D: BlockDevice> ClusterGroup<D> {
                     let sealed = seal_frame(epoch, &payload);
                     match self.replicas[idx].transport.send(&sealed) {
                         Ok(()) => {
+                            if let (Some(t), Some(id)) = (&self.tracer, tid) {
+                                t.sink.add_pending(id, 1);
+                                t.sink.event(
+                                    id,
+                                    TraceStage::ReplicaSend,
+                                    idx as u32,
+                                    t.now(),
+                                    sealed.len(),
+                                );
+                            }
                             let r = &mut self.replicas[idx];
                             r.foreground_bytes += sealed.len() as u64;
-                            r.outstanding.push_back((lba, seq, epoch));
+                            r.outstanding.push_back((lba, seq, epoch, tid));
                         }
                         // The frame never left: the replica certainly
                         // did not apply it.
-                        Err(_) => self.note_failure(idx, Some((lba, seq)), false),
+                        Err(_) => {
+                            if let (Some(t), Some(id)) = (&self.tracer, tid) {
+                                t.sink
+                                    .event(id, TraceStage::SendError, idx as u32, t.now(), 0);
+                            }
+                            self.note_failure(idx, Some((lba, seq)), false);
+                        }
                     }
                 }
                 Route::Defer => {
@@ -442,8 +529,14 @@ impl<D: BlockDevice> ClusterGroup<D> {
         let in_flight = self
             .replicas
             .iter()
-            .filter(|r| r.outstanding.iter().any(|&(_, s, _)| s == seq))
+            .filter(|r| r.outstanding.iter().any(|&(_, s, _, _)| s == seq))
             .count();
+        // Drop the dispatch hold: with everything acknowledged the
+        // trace finalizes here; under a pipelined window it stays open
+        // until the last outstanding acknowledgement is collected.
+        if let (Some(t), Some(id)) = (&self.tracer, tid) {
+            t.sink.release(id, t.now());
+        }
         if outcome.acked + in_flight < self.config.write_quorum {
             return Err(ClusterError::QuorumLost {
                 acked: outcome.acked,
@@ -476,13 +569,30 @@ impl<D: BlockDevice> ClusterGroup<D> {
     pub fn read(&mut self, lba: Lba) -> Result<ReadOutcome, ClusterError> {
         let n = self.replicas.len();
         let mut rejected = 0usize;
+        // Offloaded reads get their own trace: one hop per rejected
+        // candidate, completed by whichever source served the block
+        // (lane = replica index, or `NO_LANE` for the primary image).
+        let tid = self.tracer.as_mut().map(|t| {
+            let id = t.next_id();
+            t.sink.begin(id, t.shard, 1, t.now(), 0);
+            id
+        });
         for attempt in 0..n {
             let idx = (self.next_read + attempt) % n;
-            match self.read_offload(idx, lba) {
+            match self.read_offload(idx, lba, tid) {
                 Ok(Some(data)) => {
                     self.next_read = (idx + 1) % n.max(1);
                     if let Some(obs) = &self.obs {
                         obs.reads_offloaded.inc();
+                    }
+                    if let (Some(t), Some(id)) = (&self.tracer, tid) {
+                        t.sink.complete(
+                            id,
+                            TraceStage::ReadOffload,
+                            idx as u32,
+                            t.now(),
+                            data.len(),
+                        );
                     }
                     return Ok(ReadOutcome {
                         data,
@@ -496,11 +606,20 @@ impl<D: BlockDevice> ClusterGroup<D> {
                     if let Some(obs) = &self.obs {
                         obs.read_rejected_stale.inc();
                     }
+                    if let (Some(t), Some(id)) = (&self.tracer, tid) {
+                        t.sink
+                            .event(id, TraceStage::ReadReject, idx as u32, t.now(), 0);
+                    }
                 }
             }
         }
+        let data = self.device.read_block_vec(lba)?;
+        if let (Some(t), Some(id)) = (&self.tracer, tid) {
+            t.sink
+                .complete(id, TraceStage::ReadOffload, NO_LANE, t.now(), data.len());
+        }
         Ok(ReadOutcome {
-            data: self.device.read_block_vec(lba)?,
+            data,
             source: None,
             rejected,
         })
@@ -509,7 +628,12 @@ impl<D: BlockDevice> ClusterGroup<D> {
     /// Attempts to serve `lba` from replica `idx`. `Ok(None)` means the
     /// freshness guard refused (not an error — the caller falls back);
     /// `Err` means the replica failed mid-read and has been degraded.
-    fn read_offload(&mut self, idx: usize, lba: Lba) -> Result<Option<Vec<u8>>, ClusterError> {
+    fn read_offload(
+        &mut self,
+        idx: usize,
+        lba: Lba,
+        tid: Option<TraceId>,
+    ) -> Result<Option<Vec<u8>>, ClusterError> {
         if self.replicas[idx].state != ReplicaState::Online
             || self.replicas[idx].dirty.contains(lba)
         {
@@ -531,7 +655,16 @@ impl<D: BlockDevice> ClusterGroup<D> {
             return Err(ReplError::from(e).into());
         }
         self.replicas[idx].read_bytes += request.len() as u64;
-        match self.await_read(idx, epoch) {
+        // Point the stale-epoch drop sites in the response loop at this
+        // read's trace (the drain above cleared any previous target).
+        if let Some(t) = &mut self.tracer {
+            t.awaiting = tid;
+        }
+        let read = self.await_read(idx, epoch);
+        if let Some(t) = &mut self.tracer {
+            t.awaiting = None;
+        }
+        match read {
             Ok(data) => {
                 self.replicas[idx].consecutive_failures = 0;
                 Ok(Some(data))
@@ -566,6 +699,11 @@ impl<D: BlockDevice> ClusterGroup<D> {
                     if let Some(obs) = &self.obs {
                         obs.wrong_epoch_acks.inc();
                     }
+                    if let Some(t) = &self.tracer {
+                        if let Some(id) = t.awaiting {
+                            t.sink.mark_wrong_epoch(id, idx as u32, t.now());
+                        }
+                    }
                     continue;
                 }
                 let image = SparseCodec::default()
@@ -593,6 +731,11 @@ impl<D: BlockDevice> ClusterGroup<D> {
                 // A stranded write ack surfacing late; drop it.
                 if let Some(obs) = &self.obs {
                     obs.wrong_epoch_acks.inc();
+                }
+                if let Some(t) = &self.tracer {
+                    if let Some(id) = t.awaiting {
+                        t.sink.mark_wrong_epoch(id, idx as u32, t.now());
+                    }
                 }
                 continue;
             }
@@ -659,8 +802,23 @@ impl<D: BlockDevice> ClusterGroup<D> {
     /// acknowledgement. Returns the retired `(lba, seq)` on success; on
     /// failure the replica degrades and the write is marked dirty.
     fn collect_oldest(&mut self, idx: usize) -> Option<(Lba, u64)> {
-        let (lba, seq, epoch) = self.replicas[idx].outstanding.pop_front()?;
-        match self.await_ack(idx, epoch) {
+        let (lba, seq, epoch, tid) = self.replicas[idx].outstanding.pop_front()?;
+        if let Some(t) = &mut self.tracer {
+            t.awaiting = tid;
+        }
+        let collected = self.await_ack(idx, epoch);
+        if let Some(t) = &mut self.tracer {
+            t.awaiting = None;
+            if let Some(id) = tid {
+                let stage = if collected.is_ok() {
+                    TraceStage::ReplicaAck
+                } else {
+                    TraceStage::AckError
+                };
+                t.sink.complete(id, stage, idx as u32, t.now(), 0);
+            }
+        }
+        match collected {
             Ok(()) => {
                 let r = &mut self.replicas[idx];
                 r.consecutive_failures = 0;
@@ -1233,6 +1391,11 @@ impl<D: BlockDevice> ClusterGroup<D> {
         if ack.epoch < expected_epoch && ack.status != NAK_CORRUPT {
             if let Some(obs) = &self.obs {
                 obs.wrong_epoch_acks.inc();
+            }
+            if let Some(t) = &self.tracer {
+                if let Some(id) = t.awaiting {
+                    t.sink.mark_wrong_epoch(id, idx as u32, t.now());
+                }
             }
             return Ok(None);
         }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use prins_block::{BlockDevice, Lba};
 use prins_net::Clock;
-use prins_obs::{Counter, Event, EventKind, Registry};
+use prins_obs::{Counter, Event, EventKind, Registry, TraceId, TraceSink, TraceStage};
 use prins_queueing::Mva;
 
 use crate::{ClusterError, ClusterGroup, Placement, ReadOutcome, WriteOutcome};
@@ -155,6 +155,18 @@ struct ShardObs {
     migration_bytes: Arc<Counter>,
 }
 
+/// Tracing hookup for migration batches. Per-write traces live in each
+/// group's own tracer (shard tag = group index); this one only mints
+/// the standalone copy-batch traces.
+struct MigrateTracer {
+    sink: Arc<TraceSink>,
+    clock: Arc<dyn Clock>,
+    /// Shard tag for migration traces — one past the last group, so
+    /// batch ids can never collide with any group's write ids.
+    shard: u32,
+    counter: u64,
+}
+
 /// A volume sharded across several [`ClusterGroup`]s.
 ///
 /// Writes and reads are routed by a [`Placement`] policy — contiguous
@@ -176,6 +188,7 @@ pub struct ShardedCluster<D, P = ShardMap> {
     overrides: Vec<(Range<u64>, usize)>,
     migration: Option<Migration>,
     obs: Option<ShardObs>,
+    tracer: Option<MigrateTracer>,
 }
 
 impl<D: BlockDevice, P: Placement> ShardedCluster<D, P> {
@@ -203,6 +216,7 @@ impl<D: BlockDevice, P: Placement> ShardedCluster<D, P> {
             overrides: Vec::new(),
             migration: None,
             obs: None,
+            tracer: None,
         }
     }
 
@@ -217,6 +231,32 @@ impl<D: BlockDevice, P: Placement> ShardedCluster<D, P> {
             clock,
             migration_bytes,
         });
+    }
+
+    /// Attaches one shared trace sink to every group (shard tag =
+    /// group index, so a dual-dispatched write during a migration
+    /// naturally produces one trace per group) and arms migration
+    /// tracing: each [`migrate_step`](Self::migrate_step) batch mints
+    /// a standalone trace completed by a `migrate-copy` hop on the
+    /// target group's lane. Size
+    /// [`TraceConfig::shards`](prins_obs::TraceConfig::shards) as
+    /// `group_count() + 1` to give migration traffic its own SLO slot.
+    pub fn attach_tracer(&mut self, sink: Arc<TraceSink>, clock: Arc<dyn Clock>) {
+        for (g, group) in self.groups.iter_mut().enumerate() {
+            group.attach_tracer(Arc::clone(&sink), g as u32, Arc::clone(&clock));
+        }
+        let shard = self.groups.len() as u32;
+        self.tracer = Some(MigrateTracer {
+            sink,
+            clock,
+            shard,
+            counter: 0,
+        });
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.tracer.as_ref().map(|t| &t.sink)
     }
 
     /// The placement policy.
@@ -390,6 +430,14 @@ impl<D: BlockDevice, P: Placement> ShardedCluster<D, P> {
         };
         let batch_end = m.range.end.min(m.cursor + max_blocks as u64);
         let bs = self.groups[m.from].device().geometry().block_size().bytes() as u64;
+        // One trace per copy batch (the per-block writes below mint
+        // their own traces through the target group's tracer).
+        let tid = self.tracer.as_mut().map(|t| {
+            let id = TraceId::for_shard(t.shard, t.counter);
+            t.counter += 1;
+            t.sink.begin(id, t.shard, 1, t.clock.now_nanos(), 0);
+            id
+        });
         for i in m.cursor..batch_end {
             let lba = Lba(i);
             let data = self.groups[m.from].device().read_block_vec(lba)?;
@@ -400,6 +448,15 @@ impl<D: BlockDevice, P: Placement> ShardedCluster<D, P> {
         }
         let copied = batch_end - m.cursor;
         let remaining = m.range.end - batch_end;
+        if let (Some(t), Some(id)) = (&self.tracer, tid) {
+            t.sink.complete(
+                id,
+                TraceStage::MigrateCopy,
+                m.to as u32,
+                t.clock.now_nanos(),
+                (copied * bs) as usize,
+            );
+        }
         if let Some(obs) = &self.obs {
             obs.migration_bytes.add(copied * bs);
             obs.registry.events().record(Event::new(

@@ -44,6 +44,7 @@ pub struct EngineBuilder {
     config: PipelineConfig,
     clock: Option<Arc<dyn Clock>>,
     registry: Option<Arc<prins_obs::Registry>>,
+    trace: Option<prins_obs::TraceConfig>,
 }
 
 impl EngineBuilder {
@@ -57,6 +58,7 @@ impl EngineBuilder {
             config: PipelineConfig::default(),
             clock: None,
             registry: None,
+            trace: None,
         }
     }
 
@@ -134,6 +136,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables per-write causal tracing and the anomaly flight
+    /// recorder (default: off): every write mints a deterministic
+    /// [`TraceId`](prins_obs::TraceId) at admission and each pipeline
+    /// hop appends a stage event; completed traces feed latency, tail
+    /// attribution and SLO accounting, with a 1-in-N sample plus every
+    /// anomalous trace retained in the recorder. Read the sink via
+    /// [`PrinsEngine::trace_sink`](crate::PrinsEngine::trace_sink).
+    pub fn flight_recorder(mut self, config: prins_obs::TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
     /// Injects the time source used for all latency accounting
     /// (default: the OS monotonic clock). The simulation harness passes
     /// a shared virtual clock so stats reflect simulated time.
@@ -187,6 +201,8 @@ impl EngineBuilder {
             config,
             clock,
             self.registry,
+            self.trace
+                .map(|cfg| Arc::new(prins_obs::TraceSink::new(cfg))),
         ))
     }
 
@@ -204,6 +220,8 @@ impl EngineBuilder {
             config,
             clock,
             self.registry,
+            self.trace
+                .map(|cfg| Arc::new(prins_obs::TraceSink::new(cfg))),
         )
     }
 }

@@ -46,6 +46,7 @@ pub struct PrinsEngine {
 }
 
 impl PrinsEngine {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn start(
         device: Arc<dyn BlockDevice>,
         mode: ReplicationMode,
@@ -53,9 +54,11 @@ impl PrinsEngine {
         config: PipelineConfig,
         clock: Arc<dyn Clock>,
         registry: Option<Arc<prins_obs::Registry>>,
+        trace: Option<Arc<prins_obs::TraceSink>>,
     ) -> Self {
         let shared = Arc::new(Shared {
             obs: registry.map(PipeObs::new),
+            trace,
             ..Shared::default()
         });
         let replicator: Arc<dyn Replicator> = Arc::from(mode.replicator());
@@ -99,6 +102,14 @@ impl PrinsEngine {
     /// attached via [`observe`](crate::EngineBuilder::observe).
     pub fn registry(&self) -> Option<&Arc<prins_obs::Registry>> {
         self.shared.obs.as_ref().map(|obs| &obs.registry)
+    }
+
+    /// The per-write trace sink, if tracing was enabled via
+    /// [`flight_recorder`](crate::EngineBuilder::flight_recorder).
+    /// Share it with cluster layers (`attach_tracer`) for end-to-end
+    /// traces across the whole stack.
+    pub fn trace_sink(&self) -> Option<&Arc<prins_obs::TraceSink>> {
+        self.shared.trace.as_ref()
     }
 
     /// Drives one pipeline round when the engine was built with

@@ -64,9 +64,11 @@ use std::time::Duration;
 use prins_block::Lba;
 use prins_buf::{BufPool, PooledBuf, PooledBytes};
 use prins_net::{Clock, Transport};
-use prins_obs::{Event, EventKind};
+use prins_obs::{Event, EventKind, TraceId, TraceSink, TraceStage, NO_LANE};
 use prins_parity::encode_varint;
-use prins_repl::{decode_ack, seal_begin, ReplError, Replicator, ACK, BATCH_TAG, NAK, NAK_CORRUPT};
+use prins_repl::{
+    decode_ack, seal_begin, ReplError, Replicator, SeqRange, ACK, BATCH_TAG, NAK, NAK_CORRUPT,
+};
 
 use crate::obs::PipeObs;
 
@@ -131,6 +133,10 @@ pub(crate) struct Shared {
     pub last_error: parking_lot::Mutex<Option<String>>,
     /// Registry wiring; `None` costs one branch per stage.
     pub obs: Option<PipeObs>,
+    /// Per-write causal tracing; `None` costs one branch per stage.
+    /// Stage hops record into fixed slots, so the write path stays
+    /// allocation-free with tracing on.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 pub(crate) fn record_error(shared: &Shared, e: &ReplError) {
@@ -348,6 +354,11 @@ struct SteppedLane {
 /// buffer; acknowledgement recycles it.
 struct InFlight {
     writes: u64,
+    /// The pipeline writes the frame carries. Reorder releases in
+    /// strict sequence order and lane queues are FIFO, so a batch is
+    /// always a contiguous run — two words correlate the eventual ack
+    /// back to every write's trace.
+    range: SeqRange,
     frame: PooledBuf,
 }
 
@@ -551,6 +562,8 @@ impl Pipeline {
     /// a fold recycles the superseded `new` image immediately.
     pub fn admit(&self, lba: Lba, old: PooledBuf, new: PooledBuf) -> Result<(), ReplError> {
         let obs = self.inner.shared.obs.as_ref();
+        let trace = self.inner.shared.trace.as_ref();
+        let new_len = new.len();
         let mut st = self.inner.admit.lock().unwrap();
         if st.closed {
             return Err(ReplError::Net(prins_net::NetError::Disconnected));
@@ -566,10 +579,15 @@ impl Pipeline {
                     .shared
                     .coalesced_writes
                     .fetch_add(1, Ordering::Relaxed);
-                if let Some(obs) = obs {
+                if obs.is_some() || trace.is_some() {
                     let now = self.inner.clock.now_nanos();
-                    obs.queue_depth.record(st.queue.len() as u64);
-                    obs.record(Event::new(now, EventKind::Coalesce).seq(seq).lba(lba.0));
+                    if let Some(obs) = obs {
+                        obs.queue_depth.record(st.queue.len() as u64);
+                        obs.record(Event::new(now, EventKind::Coalesce).seq(seq).lba(lba.0));
+                    }
+                    if let Some(trace) = trace {
+                        trace.fold(TraceId::from_seq(seq), now, new_len);
+                    }
                 }
                 return Ok(());
             }
@@ -579,9 +597,18 @@ impl Pipeline {
         if self.coalesce {
             st.by_lba.insert(lba.0, seq);
         }
-        let admitted_at = if let Some(obs) = obs {
+        let admitted_at = if obs.is_some() || trace.is_some() {
             let now = self.inner.clock.now_nanos();
-            obs.record(Event::new(now, EventKind::Admit).seq(seq).lba(lba.0));
+            if let Some(obs) = obs {
+                obs.record(Event::new(now, EventKind::Admit).seq(seq).lba(lba.0));
+            }
+            if let Some(trace) = trace {
+                // One expected completion per lane plus the reorder
+                // stage's hold, released once the payload is handed to
+                // the lanes — so a zero-replica engine still finalizes.
+                let pending = self.inner.lanes.len() as u32 + 1;
+                trace.begin(TraceId::from_seq(seq), 0, pending, now, new_len);
+            }
             now
         } else {
             0
@@ -689,6 +716,7 @@ fn claim_job(st: &mut AdmitState) -> Option<EncodeJob> {
 /// the lanes. Shared by the encode-pool workers and the stepped driver.
 fn encode_and_release(inner: &Inner, replicator: &dyn Replicator, job: EncodeJob) {
     let obs = inner.shared.obs.as_ref();
+    let trace = inner.shared.trace.as_ref();
     let t0 = inner.clock.now_nanos();
     // Serialize straight into a pooled buffer: the fused encoders write
     // the wire payload without materializing the parity, and freezing
@@ -712,6 +740,15 @@ fn encode_and_release(inner: &Inner, replicator: &dyn Replicator, job: EncodeJob
             Event::new(t1, EventKind::EncodeDone)
                 .seq(job.seq)
                 .lba(job.lba.0),
+        );
+    }
+    if let Some(trace) = trace {
+        trace.event(
+            TraceId::from_seq(job.seq),
+            TraceStage::Encode,
+            NO_LANE,
+            t1,
+            payload.len(),
         );
     }
 
@@ -738,14 +775,24 @@ fn encode_and_release(inner: &Inner, replicator: &dyn Replicator, job: EncodeJob
             .shared
             .dispatched_writes
             .fetch_add(ready.writes, Ordering::Relaxed);
-        let released_at = if let Some(obs) = obs {
+        let released_at = if obs.is_some() || trace.is_some() {
             let now = inner.clock.now_nanos();
-            obs.reorder_hold
-                .record(now.saturating_sub(ready.encoded_at));
+            if let Some(obs) = obs {
+                obs.reorder_hold
+                    .record(now.saturating_sub(ready.encoded_at));
+            }
             now
         } else {
             0
         };
+        if let Some(trace) = trace {
+            let id = TraceId::from_seq(seq);
+            trace.event(id, TraceStage::Reorder, NO_LANE, released_at, 0);
+            // Release the reorder hold *before* the lanes see the
+            // payload: pending stays ≥ lane count until their acks, and
+            // a zero-lane engine finalizes right here.
+            trace.release(id, released_at);
+        }
         for lane in &inner.lanes {
             lane.push(LaneMsg::Payload {
                 seq,
@@ -811,9 +858,12 @@ fn lane_handle_payload(
     released_at: u64,
 ) {
     let obs = shared.obs.as_ref();
-    let picked_up = if let Some(obs) = obs {
+    let tsink = shared.trace.as_ref();
+    let picked_up = if obs.is_some() || tsink.is_some() {
         let now = clock.now_nanos();
-        obs.lane_queue.record(now.saturating_sub(released_at));
+        if let Some(obs) = obs {
+            obs.lane_queue.record(now.saturating_sub(released_at));
+        }
         now
     } else {
         0
@@ -825,6 +875,16 @@ fn lane_handle_payload(
     if tracing {
         trace.push((lba, seq));
     }
+    if let Some(tsink) = tsink {
+        tsink.event(
+            TraceId::from_seq(seq),
+            TraceStage::LaneQueue,
+            idx as u32,
+            picked_up,
+            bytes.len(),
+        );
+    }
+    let mut range = SeqRange::single(seq);
     let mut total_writes = writes;
     let mut extra: Vec<PooledBytes> = Vec::new();
     while extra.len() + 1 < cfg.batch_frames {
@@ -842,6 +902,17 @@ fn lane_handle_payload(
                 if tracing {
                     trace.push((lba, seq));
                 }
+                if let Some(tsink) = tsink {
+                    tsink.event(
+                        TraceId::from_seq(seq),
+                        TraceStage::LaneQueue,
+                        idx as u32,
+                        picked_up,
+                        bytes.len(),
+                    );
+                }
+                let contiguous = range.push(seq);
+                debug_assert!(contiguous, "lane batches are contiguous seq runs");
                 total_writes += writes;
                 extra.push(bytes);
             }
@@ -899,8 +970,21 @@ fn lane_handle_payload(
                     .replica(idx),
                 );
             }
+            if let Some(tsink) = tsink {
+                let wire_len = wire.len();
+                for s in range.iter() {
+                    tsink.event(
+                        TraceId::from_seq(s),
+                        TraceStage::Send,
+                        idx as u32,
+                        t1,
+                        if s == first_seq { wire_len } else { 0 },
+                    );
+                }
+            }
             outstanding.push_back(InFlight {
                 writes: total_writes,
+                range,
                 frame: wire,
             });
             while outstanding.len() >= cfg.ack_window.max(1) {
@@ -918,6 +1002,17 @@ fn lane_handle_payload(
                         .lba(first_lba.0)
                         .replica(idx),
                 );
+            }
+            if let Some(tsink) = tsink {
+                for s in range.iter() {
+                    tsink.complete(
+                        TraceId::from_seq(s),
+                        TraceStage::SendError,
+                        idx as u32,
+                        t1,
+                        0,
+                    );
+                }
             }
             record_error(shared, &e.into());
         }
@@ -994,8 +1089,10 @@ fn collect_one(
     outstanding: &mut VecDeque<InFlight>,
 ) {
     let obs = shared.obs.as_ref();
+    let tsink = shared.trace.as_ref();
     let InFlight {
         writes: frame_writes,
+        range,
         frame,
     } = outstanding.pop_front().expect("outstanding frame");
     let sole_in_flight = outstanding.is_empty();
@@ -1043,6 +1140,11 @@ fn collect_one(
                 if let Some(obs) = obs {
                     obs.retransmits.inc();
                 }
+                if let Some(tsink) = tsink {
+                    for s in range.iter() {
+                        tsink.mark_retransmit(TraceId::from_seq(s), idx as u32, t1);
+                    }
+                }
             }
             other => {
                 break Err(ReplError::MissingAck {
@@ -1063,6 +1165,11 @@ fn collect_one(
             if let Some(obs) = obs {
                 obs.record(Event::new(t1, EventKind::AckOk).replica(idx));
             }
+            if let Some(tsink) = tsink {
+                for s in range.iter() {
+                    tsink.complete(TraceId::from_seq(s), TraceStage::Ack, idx as u32, t1, 0);
+                }
+            }
         }
         Err(e) => {
             if let Some(obs) = obs {
@@ -1071,6 +1178,17 @@ fn collect_one(
                     _ => EventKind::AckError,
                 };
                 obs.record(Event::new(t1, kind).replica(idx));
+            }
+            if let Some(tsink) = tsink {
+                for s in range.iter() {
+                    tsink.complete(
+                        TraceId::from_seq(s),
+                        TraceStage::AckError,
+                        idx as u32,
+                        t1,
+                        0,
+                    );
+                }
             }
             lane.errors.fetch_add(1, Ordering::Relaxed);
             record_error(shared, &e);

@@ -287,6 +287,43 @@ mod tests {
     }
 
     #[test]
+    fn per_kind_counts_stay_exact_across_threaded_wraparound() {
+        use std::sync::Arc;
+        // 4 threads push 200 events each through a 64-slot ring: the
+        // buffer wraps many times over, but the per-kind totals must
+        // come out exact and the ring must hold exactly `cap` events.
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 200;
+        let ring = Arc::new(EventRing::new(64));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let kind = match i % 4 {
+                            0 => EventKind::Admit,
+                            1 => EventKind::Send { writes: 1 },
+                            2 => EventKind::AckOk,
+                            _ => EventKind::Nak,
+                        };
+                        ring.record(Event::new(t * PER_THREAD + i, kind).seq(i));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let total = THREADS * PER_THREAD;
+        for kind in ["admit", "send", "ack-ok", "nak"] {
+            assert_eq!(ring.count(kind), total / 4, "kind {kind}");
+        }
+        assert_eq!(ring.counts().values().sum::<u64>(), total);
+        assert_eq!(ring.events().len(), ring.capacity());
+        assert_eq!(ring.dropped(), total - ring.capacity() as u64);
+    }
+
+    #[test]
     fn events_render_deterministically() {
         let e = Event::new(
             42,

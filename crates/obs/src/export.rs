@@ -71,6 +71,21 @@ pub struct Snapshot {
     pub events_dropped: u64,
 }
 
+/// Escapes a Prometheus label *value*: backslash, double quote, and
+/// newline must be backslash-escaped per the text exposition format.
+fn prometheus_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -212,9 +227,20 @@ impl Snapshot {
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
         }
-        for (name, v) in &self.event_counts {
+        if !self.event_counts.is_empty() {
             let _ = writeln!(out, "# TYPE prins_events_total counter");
-            let _ = writeln!(out, "prins_events_total{{kind=\"{name}\"}} {v}");
+            for (name, v) in &self.event_counts {
+                let _ = writeln!(
+                    out,
+                    "prins_events_total{{kind=\"{}\"}} {v}",
+                    prometheus_escape_label(name)
+                );
+            }
+        }
+        // Some scrapers reject an exposition that does not end in a
+        // newline; guarantee one even for an empty registry.
+        if !out.ends_with('\n') {
+            out.push('\n');
         }
         out
     }
@@ -274,6 +300,28 @@ mod tests {
         assert!(text.contains("encode_nanos_count 4"));
         assert!(text.contains("encode_nanos_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("prins_events_total{kind=\"send\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values_and_ends_with_newline() {
+        let mut snap = sample_registry().snapshot();
+        snap.event_counts
+            .insert("odd\"kind\\with\nnewline".to_string(), 3);
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("prins_events_total{kind=\"odd\\\"kind\\\\with\\nnewline\"} 3"),
+            "label not escaped in:\n{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE prins_events_total counter").count(),
+            1,
+            "one TYPE line for the shared metric family:\n{text}"
+        );
+        assert!(text.ends_with('\n'));
+        // Even a registry with no instruments produces a newline-terminated
+        // (non-empty) exposition.
+        let empty = Registry::new().snapshot().to_prometheus();
+        assert!(empty.ends_with('\n'));
     }
 
     #[test]

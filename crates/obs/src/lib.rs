@@ -51,12 +51,19 @@ mod events;
 mod export;
 mod meter;
 mod metrics;
+mod recorder;
 mod registry;
 mod span;
+mod trace;
 
 pub use events::{Event, EventKind, EventRing};
 pub use export::{HistogramSnapshot, Snapshot};
 pub use meter::register_meter;
 pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
+pub use recorder::{CompletedTrace, FlightRecorder};
 pub use registry::Registry;
 pub use span::Span;
+pub use trace::{
+    lane_bucket, TraceConfig, TraceEvent, TraceId, TraceSink, TraceStage, LANE_BUCKETS,
+    MAX_TRACE_EVENTS, NO_LANE, STAGE_COUNT,
+};

@@ -185,9 +185,22 @@ impl Histogram {
     /// Estimated `permille/1000` quantile: the upper edge of the bucket
     /// containing that rank, clamped to the observed maximum. Integer
     /// math throughout — deterministic across runs and platforms.
+    ///
+    /// Edges: an empty histogram is 0 at every quantile, and
+    /// `permille == 0` is the *lower* edge of the first non-empty
+    /// bucket (a minimum-side estimate), so quantiles are monotone in
+    /// `permille` and `p0` never exceeds any recorded sample.
     pub fn quantile_permille(&self, permille: u64) -> u64 {
         let count = self.count();
         if count == 0 {
+            return 0;
+        }
+        if permille == 0 {
+            for i in 0..BUCKETS {
+                if self.bucket(i) > 0 {
+                    return bucket_lower(i);
+                }
+            }
             return 0;
         }
         // Rank of the requested quantile, 1-based, rounded up.
@@ -335,6 +348,43 @@ mod tests {
         }
         assert_eq!(combined.p50(), reference.p50());
         assert_eq!(combined.p99(), reference.p99());
+    }
+
+    #[test]
+    fn permille_zero_is_a_minimum_side_estimate() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_permille(0), 0, "empty histogram");
+        h.record(100); // bucket [64, 127]
+        h.record(5000);
+        assert_eq!(h.quantile_permille(0), 64, "lower edge, not upper");
+        assert!(h.quantile_permille(0) <= 100);
+        assert!(h.quantile_permille(0) <= h.quantile_permille(500));
+    }
+
+    proptest::proptest! {
+        /// Quantiles are monotone in `permille`, `p1000` reaches the
+        /// observed max exactly, and `p0` never exceeds any sample.
+        #[test]
+        fn quantiles_are_monotone_in_permille(
+            samples in proptest::collection::vec(0u64..1u64 << 40, 1..200),
+            raw_cuts in proptest::collection::vec(0u64..=1000, 2..8),
+        ) {
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut cuts = raw_cuts;
+            cuts.sort_unstable();
+            for pair in cuts.windows(2) {
+                proptest::prop_assert!(
+                    h.quantile_permille(pair[0]) <= h.quantile_permille(pair[1]),
+                    "q({}) > q({})", pair[0], pair[1]
+                );
+            }
+            let min = *samples.iter().min().unwrap();
+            proptest::prop_assert!(h.quantile_permille(0) <= min);
+            proptest::prop_assert_eq!(h.quantile_permille(1000), h.max());
+        }
     }
 
     #[test]

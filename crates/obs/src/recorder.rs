@@ -1,0 +1,305 @@
+//! The anomaly flight recorder: a bounded ring of completed traces.
+//!
+//! [`TraceSink`](crate::TraceSink) pushes every finalized trace that is
+//! part of the deterministic 1-in-N sample or flagged anomalous; the
+//! ring keeps the newest [`TraceConfig::retain`](crate::TraceConfig)
+//! of them. The deque is allocated to capacity up front and eviction
+//! pops before pushing, so steady-state retention performs no heap
+//! allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::{TraceEvent, TraceId, MAX_TRACE_EVENTS, NO_LANE};
+
+/// A finalized trace as retained by the recorder: fixed-size, copyable.
+#[derive(Clone, Copy, Debug)]
+pub struct CompletedTrace {
+    /// The trace's identity.
+    pub id: TraceId,
+    /// Shard tag the trace was opened under.
+    pub shard: u32,
+    /// Application writes riding the trace (1 + coalesced folds).
+    pub writes: u32,
+    /// Retransmissions booked while the trace was live.
+    pub retransmits: u32,
+    /// Stale-epoch responses dropped while the trace waited.
+    pub wrong_epoch: u32,
+    /// Clock reading at trace birth.
+    pub started_at: u64,
+    /// Clock reading at the final completion.
+    pub finished_at: u64,
+    /// Retained because it breached a threshold.
+    pub anomaly: bool,
+    /// Retained by the deterministic 1-in-N sample.
+    pub sampled: bool,
+    /// Some hops were dropped after the event buffer filled.
+    pub truncated: bool,
+    /// Events recorded (prefix of `events` that is valid).
+    pub len: u8,
+    /// The hop records, in append order.
+    pub events: [TraceEvent; MAX_TRACE_EVENTS],
+}
+
+impl CompletedTrace {
+    /// End-to-end latency in virtual nanoseconds.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.finished_at.saturating_sub(self.started_at)
+    }
+
+    /// The valid hop records.
+    #[must_use]
+    pub fn hops(&self) -> &[TraceEvent] {
+        &self.events[..self.len as usize]
+    }
+
+    /// One-line deterministic JSON for this trace (integers and
+    /// stage-name strings only, keys in sorted order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"anomaly\":{},\"events\":[",
+            if self.anomaly { 1 } else { 0 }
+        );
+        for (i, hop) in self.hops().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at\":{},\"bytes\":{},\"lane\":{},\"stage\":\"{}\"}}",
+                hop.at,
+                hop.bytes,
+                if hop.lane == NO_LANE {
+                    -1i64
+                } else {
+                    i64::from(hop.lane)
+                },
+                hop.stage.name()
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"finished_at\":{},\"id\":\"{}\",\"latency\":{},\"retransmits\":{},\
+             \"sampled\":{},\"shard\":{},\"started_at\":{},\"truncated\":{},\
+             \"wrong_epoch\":{},\"writes\":{}}}",
+            self.finished_at,
+            self.id,
+            self.latency(),
+            self.retransmits,
+            if self.sampled { 1 } else { 0 },
+            self.shard,
+            self.started_at,
+            if self.truncated { 1 } else { 0 },
+            self.wrong_epoch,
+            self.writes
+        );
+        out
+    }
+}
+
+/// Bounded ring of retained [`CompletedTrace`]s, newest last.
+pub struct FlightRecorder {
+    inner: Mutex<std::collections::VecDeque<CompletedTrace>>,
+    cap: usize,
+    pushed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `cap` traces.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            inner: Mutex::new(std::collections::VecDeque::with_capacity(cap)),
+            cap,
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Retains `trace`, evicting the oldest once full. Allocation-free
+    /// in steady state: the deque never grows past its initial
+    /// capacity because eviction pops first.
+    pub fn push(&self, trace: CompletedTrace) {
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.inner.lock().unwrap();
+        if ring.len() >= self.cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(trace);
+    }
+
+    /// Traces currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Traces ever pushed (retained plus later evicted).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Retained traces later evicted to make room.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained traces, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<CompletedTrace> {
+        self.inner.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Every retained trace as one JSON line each, oldest first.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        for trace in self.snapshot() {
+            out.push_str(&trace.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Retained traces as a human table, oldest first.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let traces = self.snapshot();
+        if traces.is_empty() {
+            return String::from("flight recorder: empty\n");
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>6} {:>12} {:>7} {:>6} {:>4} hops",
+            "trace", "shard", "writes", "latency(ns)", "retrans", "wepoch", "flag"
+        );
+        for t in traces {
+            let flag = if t.anomaly { "anom" } else { "samp" };
+            let _ = write!(
+                out,
+                "{:<16} {:>5} {:>6} {:>12} {:>7} {:>6} {:>4} ",
+                format!("{}", t.id),
+                t.shard,
+                t.writes,
+                t.latency(),
+                t.retransmits,
+                t.wrong_epoch,
+                flag
+            );
+            for (i, hop) in t.hops().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" > ");
+                }
+                let _ = write!(out, "{}", hop.stage.name());
+                if hop.lane != NO_LANE {
+                    let _ = write!(out, "[{}]", hop.lane);
+                }
+                let _ = write!(out, "@{}", hop.at.saturating_sub(t.started_at));
+            }
+            if t.truncated {
+                out.push_str(" > ...");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("cap", &self.cap)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceStage;
+
+    fn trace(seq: u64, latency: u64) -> CompletedTrace {
+        let mut events = [TraceEvent {
+            at: 0,
+            stage: TraceStage::Capture,
+            lane: NO_LANE,
+            bytes: 0,
+        }; MAX_TRACE_EVENTS];
+        events[1] = TraceEvent {
+            at: latency,
+            stage: TraceStage::Ack,
+            lane: 0,
+            bytes: 64,
+        };
+        CompletedTrace {
+            id: TraceId::from_seq(seq),
+            shard: 0,
+            writes: 1,
+            retransmits: 0,
+            wrong_epoch: 0,
+            started_at: 0,
+            finished_at: latency,
+            anomaly: false,
+            sampled: true,
+            truncated: false,
+            len: 2,
+            events,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let rec = FlightRecorder::new(2);
+        for seq in 0..5 {
+            rec.push(trace(seq, 100 + seq));
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.pushed(), 5);
+        assert_eq!(rec.dropped(), 3);
+        let kept = rec.snapshot();
+        assert_eq!(kept[0].id, TraceId::from_seq(3));
+        assert_eq!(kept[1].id, TraceId::from_seq(4));
+    }
+
+    #[test]
+    fn ring_never_grows_past_initial_capacity() {
+        let rec = FlightRecorder::new(8);
+        let cap_before = rec.inner.lock().unwrap().capacity();
+        for seq in 0..100 {
+            rec.push(trace(seq, seq));
+        }
+        assert_eq!(rec.inner.lock().unwrap().capacity(), cap_before);
+    }
+
+    #[test]
+    fn trace_json_is_deterministic_with_stage_names() {
+        let rec = FlightRecorder::new(4);
+        rec.push(trace(7, 250));
+        let a = rec.to_json();
+        assert_eq!(a, rec.to_json());
+        assert!(a.contains("\"stage\":\"ack\""), "{a}");
+        assert!(a.contains("\"latency\":250"), "{a}");
+        assert!(a.ends_with('\n'));
+        let table = rec.to_table();
+        assert!(table.contains("capture@0 > ack[0]@250"), "{table}");
+    }
+}

@@ -1,0 +1,921 @@
+//! Per-write causal tracing: trace IDs, stage events, and the
+//! lock-light [`TraceSink`] every pipeline hop reports into.
+//!
+//! A trace is born when a write enters the system ([`TraceSink::begin`])
+//! and finalizes when its last expected completion arrives — one per
+//! replica lane, strip target, or read answer. Each hop appends a
+//! fixed-size [`TraceEvent`] (stage, lane, virtual-ns timestamp, bytes)
+//! into a bounded per-trace buffer held in a fixed slot table, so the
+//! steady-state record path performs **zero heap allocations**: no
+//! `Vec` growth, no `Arc` clones, no map inserts.
+//!
+//! On finalize the sink:
+//!
+//! * records end-to-end latency into a log2 histogram;
+//! * decomposes the trace into per-stage time (the gap each event
+//!   closed) and, for traces at or above the current p99, charges those
+//!   nanoseconds to `(stage, lane)` **tail attribution** counters plus
+//!   a per-stage "dominant stage" counter;
+//! * burns the per-shard `slo_writes_over_budget` counter when the
+//!   trace exceeded [`TraceConfig::latency_budget_nanos`];
+//! * retains the trace in the [`FlightRecorder`] if it is part of the
+//!   deterministic 1-in-N sample or is an **anomaly** (over budget,
+//!   retransmitted, or hit a wrong-epoch drop).
+//!
+//! Determinism: IDs derive from sequence numbers (no randomness),
+//! timestamps come from the injected clock, and every exported summary
+//! is integers in sorted key order — byte-identical across replays of
+//! the same simulated schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::Histogram;
+use crate::recorder::{CompletedTrace, FlightRecorder};
+
+/// Maximum events retained per trace; later hops set the truncation
+/// flag instead of growing the buffer.
+pub const MAX_TRACE_EVENTS: usize = 24;
+
+/// Lane tag for events not bound to a replica lane.
+pub const NO_LANE: u32 = u32::MAX;
+
+/// Lane histogram buckets for tail attribution: lanes `0..8` map to
+/// their own bucket, everything else (higher lanes, [`NO_LANE`]) to the
+/// last.
+pub const LANE_BUCKETS: usize = 9;
+
+/// A causal trace identifier, minted deterministically from a sequence
+/// number (engine pipeline) or a `(shard, counter)` pair (cluster
+/// layers) — never from randomness, so replays of the same simulated
+/// schedule mint the same IDs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// An ID for engine-pipeline write `seq`.
+    #[must_use]
+    pub fn from_seq(seq: u64) -> Self {
+        Self(seq)
+    }
+
+    /// An ID for the `counter`-th traced operation of shard `shard`.
+    #[must_use]
+    pub fn for_shard(shard: u32, counter: u64) -> Self {
+        Self((u64::from(shard) << 48) | (counter & 0xffff_ffff_ffff))
+    }
+
+    /// The raw key (slot index and sampling both derive from it).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The well-mixed display form, rendered as 16 hex digits.
+    #[must_use]
+    pub fn display(self) -> u64 {
+        // splitmix64 finalizer: a bijective mix, so display IDs are
+        // unique exactly when raw keys are.
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.display())
+    }
+}
+
+/// A pipeline hop a trace event can mark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceStage {
+    /// Write captured at the primary (trace birth).
+    Capture = 0,
+    /// Write entered the engine admission queue.
+    Admit = 1,
+    /// Write folded into a queued job for the same LBA.
+    Coalesce = 2,
+    /// Parity/payload encoding finished.
+    Encode = 3,
+    /// Released from the reorder buffer to the sender lanes.
+    Reorder = 4,
+    /// Picked up by a sender lane's queue.
+    LaneQueue = 5,
+    /// Frame handed to the transport.
+    Send = 6,
+    /// Send failed before the frame left the primary.
+    SendError = 7,
+    /// Frame retransmitted after a corrupt-NAK.
+    Retransmit = 8,
+    /// Positive acknowledgement collected.
+    Ack = 9,
+    /// Acknowledgement collection failed.
+    AckError = 10,
+    /// Cluster foreground frame sent to a replica.
+    ReplicaSend = 11,
+    /// Cluster replica acknowledgement collected.
+    ReplicaAck = 12,
+    /// A stale-epoch response was dropped while this trace waited.
+    WrongEpoch = 13,
+    /// Read served by an in-sync replica.
+    ReadOffload = 14,
+    /// Read candidate rejected by the freshness guard.
+    ReadReject = 15,
+    /// One migration batch copied through the target group.
+    MigrateCopy = 16,
+    /// Erasure-coded data-strip delta sent.
+    StripData = 17,
+    /// Erasure-coded parity-strip delta sent.
+    StripParity = 18,
+    /// Erasure-coded strip acknowledgement collected.
+    StripAck = 19,
+}
+
+/// Number of [`TraceStage`] variants.
+pub const STAGE_COUNT: usize = 20;
+
+impl TraceStage {
+    /// Every stage, in tag order.
+    pub const ALL: [TraceStage; STAGE_COUNT] = [
+        TraceStage::Capture,
+        TraceStage::Admit,
+        TraceStage::Coalesce,
+        TraceStage::Encode,
+        TraceStage::Reorder,
+        TraceStage::LaneQueue,
+        TraceStage::Send,
+        TraceStage::SendError,
+        TraceStage::Retransmit,
+        TraceStage::Ack,
+        TraceStage::AckError,
+        TraceStage::ReplicaSend,
+        TraceStage::ReplicaAck,
+        TraceStage::WrongEpoch,
+        TraceStage::ReadOffload,
+        TraceStage::ReadReject,
+        TraceStage::MigrateCopy,
+        TraceStage::StripData,
+        TraceStage::StripParity,
+        TraceStage::StripAck,
+    ];
+
+    /// Dense index of the stage (its discriminant).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable stage name — the key of trace summaries and goldens.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStage::Capture => "capture",
+            TraceStage::Admit => "admit",
+            TraceStage::Coalesce => "coalesce",
+            TraceStage::Encode => "encode",
+            TraceStage::Reorder => "reorder",
+            TraceStage::LaneQueue => "lane-queue",
+            TraceStage::Send => "send",
+            TraceStage::SendError => "send-error",
+            TraceStage::Retransmit => "retransmit",
+            TraceStage::Ack => "ack",
+            TraceStage::AckError => "ack-error",
+            TraceStage::ReplicaSend => "replica-send",
+            TraceStage::ReplicaAck => "replica-ack",
+            TraceStage::WrongEpoch => "wrong-epoch",
+            TraceStage::ReadOffload => "read-offload",
+            TraceStage::ReadReject => "read-reject",
+            TraceStage::MigrateCopy => "migrate-copy",
+            TraceStage::StripData => "strip-data",
+            TraceStage::StripParity => "strip-parity",
+            TraceStage::StripAck => "strip-ack",
+        }
+    }
+}
+
+/// One fixed-size hop record inside a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Clock reading (virtual nanoseconds) when the hop happened.
+    pub at: u64,
+    /// Which hop.
+    pub stage: TraceStage,
+    /// Replica/lane index, or [`NO_LANE`].
+    pub lane: u32,
+    /// Bytes the hop moved (0 where not applicable).
+    pub bytes: u32,
+}
+
+impl TraceEvent {
+    const EMPTY: TraceEvent = TraceEvent {
+        at: 0,
+        stage: TraceStage::Capture,
+        lane: NO_LANE,
+        bytes: 0,
+    };
+}
+
+/// Tail-attribution lane bucket of a lane tag.
+#[must_use]
+pub fn lane_bucket(lane: u32) -> usize {
+    (lane as usize).min(LANE_BUCKETS - 1)
+}
+
+/// Tracing configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Active-trace slots (rounded up to a power of two). A key whose
+    /// slot is occupied by an older live trace evicts it.
+    pub slots: usize,
+    /// Deterministic sampling: traces whose raw key is divisible by
+    /// this are retained in the flight recorder even when healthy.
+    pub sample_every: u64,
+    /// End-to-end latency SLO; a trace over this burns the per-shard
+    /// `slo_writes_over_budget` counter and is retained as an anomaly.
+    pub latency_budget_nanos: u64,
+    /// Completed traces the flight recorder keeps (oldest evicted).
+    pub retain: usize,
+    /// Shards the SLO counters are split across (shard tags at or past
+    /// this index fold into the last counter).
+    pub shards: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            slots: 1024,
+            sample_every: 64,
+            latency_budget_nanos: 25_000_000,
+            retain: 256,
+            shards: 1,
+        }
+    }
+}
+
+/// One active-trace slot.
+struct Slot {
+    active: bool,
+    key: u64,
+    shard: u32,
+    /// Completions still expected before the trace finalizes.
+    pending: u32,
+    /// Application writes riding the trace (1 + coalesced folds).
+    writes: u32,
+    retransmits: u32,
+    wrong_epoch: u32,
+    started_at: u64,
+    len: u8,
+    truncated: bool,
+    events: [TraceEvent; MAX_TRACE_EVENTS],
+}
+
+impl Slot {
+    const fn empty() -> Self {
+        Self {
+            active: false,
+            key: 0,
+            shard: 0,
+            pending: 0,
+            writes: 0,
+            retransmits: 0,
+            wrong_epoch: 0,
+            started_at: 0,
+            len: 0,
+            truncated: false,
+            events: [TraceEvent::EMPTY; MAX_TRACE_EVENTS],
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if (self.len as usize) < MAX_TRACE_EVENTS {
+            self.events[self.len as usize] = event;
+            self.len += 1;
+        } else {
+            self.truncated = true;
+        }
+    }
+}
+
+/// The per-write trace collector: a fixed table of active-trace slots
+/// feeding latency, tail-attribution, and SLO accounting plus the
+/// [`FlightRecorder`].
+///
+/// All record-path methods take `&self`, lock only the one slot they
+/// touch, and never allocate — safe to call from the encode pool and
+/// every sender lane concurrently.
+pub struct TraceSink {
+    cfg: TraceConfig,
+    mask: u64,
+    slots: Box<[Mutex<Slot>]>,
+    recorder: FlightRecorder,
+    latency: Histogram,
+    started: AtomicU64,
+    completed: AtomicU64,
+    evicted: AtomicU64,
+    truncated: AtomicU64,
+    sampled: AtomicU64,
+    anomalies: AtomicU64,
+    /// Above-p99 traces whose dominant stage this is.
+    tail_traces: [AtomicU64; STAGE_COUNT],
+    /// Above-p99 nanoseconds charged to `(stage, lane bucket)`.
+    tail_nanos: [[AtomicU64; LANE_BUCKETS]; STAGE_COUNT],
+    /// Per-shard writes that finished over the latency budget.
+    slo_over_budget: Box<[AtomicU64]>,
+}
+
+impl TraceSink {
+    /// A sink with `cfg` (slot count rounded up to a power of two).
+    #[must_use]
+    pub fn new(cfg: TraceConfig) -> Self {
+        let slots = cfg.slots.next_power_of_two().max(2);
+        Self {
+            mask: slots as u64 - 1,
+            slots: (0..slots).map(|_| Mutex::new(Slot::empty())).collect(),
+            recorder: FlightRecorder::new(cfg.retain),
+            latency: Histogram::new(),
+            started: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            anomalies: AtomicU64::new(0),
+            tail_traces: std::array::from_fn(|_| AtomicU64::new(0)),
+            tail_nanos: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            slo_over_budget: (0..cfg.shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            cfg,
+        }
+    }
+
+    /// The configuration the sink was built with.
+    #[must_use]
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// The flight recorder holding retained traces.
+    #[must_use]
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// End-to-end latency distribution of completed traces.
+    #[must_use]
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    fn slot(&self, id: TraceId) -> &Mutex<Slot> {
+        &self.slots[(id.raw() & self.mask) as usize]
+    }
+
+    /// Opens a trace: `pending` completions are expected before it
+    /// finalizes (use 1 plus [`add_pending`](Self::add_pending) when
+    /// the fan-out is only known later). Records a `capture` event
+    /// carrying the write's bytes. An older live trace in the same slot
+    /// is evicted (counted, dropped).
+    pub fn begin(&self, id: TraceId, shard: u32, pending: u32, at: u64, bytes: usize) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.slot(id).lock().unwrap();
+        if slot.active {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Slot {
+            active: true,
+            key: id.raw(),
+            shard,
+            pending: pending.max(1),
+            writes: 1,
+            retransmits: 0,
+            wrong_epoch: 0,
+            started_at: at,
+            len: 0,
+            truncated: false,
+            events: [TraceEvent::EMPTY; MAX_TRACE_EVENTS],
+        };
+        slot.push(TraceEvent {
+            at,
+            stage: TraceStage::Capture,
+            lane: NO_LANE,
+            bytes: bytes.min(u32::MAX as usize) as u32,
+        });
+    }
+
+    /// Appends a hop to a live trace (ignored if the trace was evicted
+    /// or already finalized).
+    pub fn event(&self, id: TraceId, stage: TraceStage, lane: u32, at: u64, bytes: usize) {
+        let mut slot = self.slot(id).lock().unwrap();
+        if slot.active && slot.key == id.raw() {
+            slot.push(TraceEvent {
+                at,
+                stage,
+                lane,
+                bytes: bytes.min(u32::MAX as usize) as u32,
+            });
+        }
+    }
+
+    /// Raises the number of completions the trace waits for by `n`.
+    pub fn add_pending(&self, id: TraceId, n: u32) {
+        let mut slot = self.slot(id).lock().unwrap();
+        if slot.active && slot.key == id.raw() {
+            slot.pending = slot.pending.saturating_add(n);
+        }
+    }
+
+    /// Books one more application write folded into the trace and
+    /// appends a `coalesce` event.
+    pub fn fold(&self, id: TraceId, at: u64, bytes: usize) {
+        let mut slot = self.slot(id).lock().unwrap();
+        if slot.active && slot.key == id.raw() {
+            slot.writes = slot.writes.saturating_add(1);
+            slot.push(TraceEvent {
+                at,
+                stage: TraceStage::Coalesce,
+                lane: NO_LANE,
+                bytes: bytes.min(u32::MAX as usize) as u32,
+            });
+        }
+    }
+
+    /// Books one retransmission (and its hop event).
+    pub fn mark_retransmit(&self, id: TraceId, lane: u32, at: u64) {
+        let mut slot = self.slot(id).lock().unwrap();
+        if slot.active && slot.key == id.raw() {
+            slot.retransmits = slot.retransmits.saturating_add(1);
+            slot.push(TraceEvent {
+                at,
+                stage: TraceStage::Retransmit,
+                lane,
+                bytes: 0,
+            });
+        }
+    }
+
+    /// Books one stale-epoch response dropped while this trace waited.
+    pub fn mark_wrong_epoch(&self, id: TraceId, lane: u32, at: u64) {
+        let mut slot = self.slot(id).lock().unwrap();
+        if slot.active && slot.key == id.raw() {
+            slot.wrong_epoch = slot.wrong_epoch.saturating_add(1);
+            slot.push(TraceEvent {
+                at,
+                stage: TraceStage::WrongEpoch,
+                lane,
+                bytes: 0,
+            });
+        }
+    }
+
+    /// Appends a terminal hop and retires one pending completion; the
+    /// trace finalizes when the last one lands.
+    pub fn complete(&self, id: TraceId, stage: TraceStage, lane: u32, at: u64, bytes: usize) {
+        let mut slot = self.slot(id).lock().unwrap();
+        if !slot.active || slot.key != id.raw() {
+            return;
+        }
+        slot.push(TraceEvent {
+            at,
+            stage,
+            lane,
+            bytes: bytes.min(u32::MAX as usize) as u32,
+        });
+        slot.pending = slot.pending.saturating_sub(1);
+        if slot.pending == 0 {
+            self.finalize(&mut slot, at);
+        }
+    }
+
+    /// Retires one pending completion without a hop event — the
+    /// "primary hold" a layer releases once its fan-out is booked.
+    pub fn release(&self, id: TraceId, at: u64) {
+        let mut slot = self.slot(id).lock().unwrap();
+        if !slot.active || slot.key != id.raw() {
+            return;
+        }
+        slot.pending = slot.pending.saturating_sub(1);
+        if slot.pending == 0 {
+            self.finalize(&mut slot, at);
+        }
+    }
+
+    fn finalize(&self, slot: &mut Slot, finished_at: u64) {
+        slot.active = false;
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if slot.truncated {
+            self.truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        let latency = finished_at.saturating_sub(slot.started_at);
+        self.latency.record(latency);
+
+        // Tail attribution: time decomposes into the gap each event
+        // closed, charged to that event's (stage, lane). The p99 is the
+        // histogram's running estimate at completion time — under a
+        // deterministic schedule the comparison replays identically.
+        if latency >= self.latency.quantile_permille(990) && latency > 0 {
+            let mut prev = slot.started_at;
+            let mut per_stage = [0u64; STAGE_COUNT];
+            for event in &slot.events[..slot.len as usize] {
+                let gap = event.at.saturating_sub(prev);
+                prev = prev.max(event.at);
+                if gap == 0 {
+                    continue;
+                }
+                per_stage[event.stage.index()] += gap;
+                self.tail_nanos[event.stage.index()][lane_bucket(event.lane)]
+                    .fetch_add(gap, Ordering::Relaxed);
+            }
+            let dominant = per_stage
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if per_stage[dominant] > 0 {
+                self.tail_traces[dominant].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let over_budget = latency > self.cfg.latency_budget_nanos;
+        if over_budget {
+            let shard = (slot.shard as usize).min(self.slo_over_budget.len() - 1);
+            self.slo_over_budget[shard].fetch_add(u64::from(slot.writes), Ordering::Relaxed);
+        }
+        let anomaly = over_budget || slot.retransmits > 0 || slot.wrong_epoch > 0;
+        let sampled = slot.key.is_multiple_of(self.cfg.sample_every.max(1));
+        if anomaly {
+            self.anomalies.fetch_add(1, Ordering::Relaxed);
+        }
+        if sampled {
+            self.sampled.fetch_add(1, Ordering::Relaxed);
+        }
+        if anomaly || sampled {
+            self.recorder.push(CompletedTrace {
+                id: TraceId(slot.key),
+                shard: slot.shard,
+                writes: slot.writes,
+                retransmits: slot.retransmits,
+                wrong_epoch: slot.wrong_epoch,
+                started_at: slot.started_at,
+                finished_at,
+                anomaly,
+                sampled,
+                truncated: slot.truncated,
+                len: slot.len,
+                events: slot.events,
+            });
+        }
+    }
+
+    /// Traces opened.
+    #[must_use]
+    pub fn started(&self) -> u64 {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Traces finalized.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Live traces evicted by a slot collision before completing.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Completed traces that overflowed [`MAX_TRACE_EVENTS`].
+    #[must_use]
+    pub fn truncated(&self) -> u64 {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
+    /// Completed traces retained by the deterministic 1-in-N sample.
+    #[must_use]
+    pub fn sampled(&self) -> u64 {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Completed traces flagged anomalous (over budget, retransmitted,
+    /// or wrong-epoch).
+    #[must_use]
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies.load(Ordering::Relaxed)
+    }
+
+    /// Above-p99 traces whose dominant stage is `stage`.
+    #[must_use]
+    pub fn tail_traces(&self, stage: TraceStage) -> u64 {
+        self.tail_traces[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Above-p99 nanoseconds charged to `stage` in lane bucket
+    /// `bucket` (see [`lane_bucket`]).
+    #[must_use]
+    pub fn tail_lane_nanos(&self, stage: TraceStage, bucket: usize) -> u64 {
+        self.tail_nanos[stage.index()][bucket.min(LANE_BUCKETS - 1)].load(Ordering::Relaxed)
+    }
+
+    /// Above-p99 nanoseconds charged to lane bucket `bucket` across
+    /// every stage.
+    #[must_use]
+    pub fn tail_bucket_nanos(&self, bucket: usize) -> u64 {
+        TraceStage::ALL
+            .iter()
+            .map(|&s| self.tail_lane_nanos(s, bucket))
+            .sum()
+    }
+
+    /// Writes that finished over the latency budget, per shard.
+    #[must_use]
+    pub fn slo_over_budget(&self) -> Vec<u64> {
+        self.slo_over_budget
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// One-line deterministic JSON of the sink's aggregate state — the
+    /// trace-summary golden CI diffs across replays. Integers only,
+    /// keys sorted, per-stage tail entries included only when nonzero.
+    #[must_use]
+    pub fn summary_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"anomalies\":{},\"completed\":{},\"evicted\":{}",
+            self.anomalies(),
+            self.completed(),
+            self.evicted()
+        );
+        let _ = write!(
+            out,
+            ",\"latency\":{{\"count\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            self.latency.count(),
+            self.latency.max(),
+            self.latency.p50(),
+            self.latency.p99()
+        );
+        let _ = write!(
+            out,
+            ",\"retained\":{},\"sampled\":{}",
+            self.recorder.len(),
+            self.sampled()
+        );
+        out.push_str(",\"slo_writes_over_budget\":[");
+        for (i, v) in self.slo_over_budget().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("],\"started\":");
+        let _ = write!(out, "{}", self.started());
+        out.push_str(",\"tail\":{");
+        let mut first = true;
+        for &stage in &TraceStage::ALL {
+            let traces = self.tail_traces(stage);
+            let nanos: u64 = (0..LANE_BUCKETS)
+                .map(|b| self.tail_lane_nanos(stage, b))
+                .sum();
+            if traces == 0 && nanos == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{{\"lanes\":[", stage.name());
+            for b in 0..LANE_BUCKETS {
+                if b > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", self.tail_lane_nanos(stage, b));
+            }
+            let _ = write!(out, "],\"nanos\":{nanos},\"traces\":{traces}}}");
+        }
+        out.push_str("},\"truncated\":");
+        let _ = write!(out, "{}", self.truncated());
+        out.push('}');
+        out
+    }
+
+    /// The aggregate state as a human table: latency quantiles, tail
+    /// attribution per stage, SLO burn per shard.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "traces: {} started, {} completed, {} anomalies, {} sampled, \
+             {} retained ({} evicted, {} truncated)",
+            self.started(),
+            self.completed(),
+            self.anomalies(),
+            self.sampled(),
+            self.recorder.len(),
+            self.evicted(),
+            self.truncated()
+        );
+        let _ = writeln!(
+            out,
+            "latency (ns): count {} p50 {} p99 {} max {}",
+            self.latency.count(),
+            self.latency.p50(),
+            self.latency.p99(),
+            self.latency.max()
+        );
+        let total_tail: u64 = (0..LANE_BUCKETS).map(|b| self.tail_bucket_nanos(b)).sum();
+        if total_tail > 0 {
+            out.push_str("tail attribution (above-p99 traces)\n");
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8} {:>14} {:>6}",
+                "stage", "traces", "nanos", "share"
+            );
+            for &stage in &TraceStage::ALL {
+                let nanos: u64 = (0..LANE_BUCKETS)
+                    .map(|b| self.tail_lane_nanos(stage, b))
+                    .sum();
+                let traces = self.tail_traces(stage);
+                if nanos == 0 && traces == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>8} {:>14} {:>5}%",
+                    stage.name(),
+                    traces,
+                    nanos,
+                    nanos * 100 / total_tail.max(1)
+                );
+            }
+        }
+        for (shard, burned) in self.slo_over_budget().iter().enumerate() {
+            if *burned > 0 {
+                let _ = writeln!(out, "slo_writes_over_budget{{shard={shard}}} {burned}");
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("slots", &self.slots.len())
+            .field("started", &self.started())
+            .field("completed", &self.completed())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink() -> TraceSink {
+        TraceSink::new(TraceConfig {
+            slots: 8,
+            sample_every: 2,
+            latency_budget_nanos: 1_000,
+            retain: 16,
+            shards: 2,
+        })
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        assert_eq!(TraceId::from_seq(7), TraceId::from_seq(7));
+        assert_ne!(
+            TraceId::from_seq(7).display(),
+            TraceId::from_seq(8).display()
+        );
+        let sharded = TraceId::for_shard(3, 5);
+        assert_eq!(sharded.raw() >> 48, 3);
+        assert_eq!(format!("{}", TraceId::from_seq(1)).len(), 16);
+    }
+
+    #[test]
+    fn trace_completes_after_all_pending_and_lands_in_recorder() {
+        let s = sink();
+        let id = TraceId::from_seq(0); // key 0: sampled under every N
+        s.begin(id, 0, 2, 100, 4096);
+        s.event(id, TraceStage::Send, 0, 150, 64);
+        s.complete(id, TraceStage::Ack, 0, 300, 0);
+        assert_eq!(s.completed(), 0, "one completion still pending");
+        s.complete(id, TraceStage::Ack, 1, 400, 0);
+        assert_eq!(s.completed(), 1);
+        assert_eq!(s.latency().count(), 1);
+        assert_eq!(s.latency().max(), 300);
+        let traces = s.recorder().snapshot();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].writes, 1);
+        assert!(traces[0].sampled);
+        assert_eq!(traces[0].len, 4, "capture + send + 2 acks");
+    }
+
+    #[test]
+    fn anomalies_are_retained_even_when_not_sampled() {
+        let s = sink();
+        let id = TraceId::from_seq(3); // 3 % 2 != 0: not sampled
+        s.begin(id, 1, 1, 0, 128);
+        s.mark_retransmit(id, 0, 10);
+        s.complete(id, TraceStage::Ack, 0, 20, 0);
+        let traces = s.recorder().snapshot();
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].anomaly);
+        assert!(!traces[0].sampled);
+        assert_eq!(traces[0].retransmits, 1);
+        assert_eq!(s.anomalies(), 1);
+    }
+
+    #[test]
+    fn slo_burn_counts_folded_writes_per_shard() {
+        let s = sink();
+        let id = TraceId::from_seq(1);
+        s.begin(id, 1, 1, 0, 64);
+        s.fold(id, 5, 64);
+        s.fold(id, 6, 64);
+        s.complete(id, TraceStage::Ack, 0, 5_000, 0); // over the 1µs budget
+        assert_eq!(s.slo_over_budget(), vec![0, 3]);
+    }
+
+    #[test]
+    fn slot_collision_evicts_the_older_trace() {
+        let s = sink(); // 8 slots
+        let a = TraceId::from_seq(1);
+        let b = TraceId::from_seq(9); // same slot as 1
+        s.begin(a, 0, 1, 0, 0);
+        s.begin(b, 0, 1, 10, 0);
+        assert_eq!(s.evicted(), 1);
+        // The evicted trace's completions are ignored.
+        s.complete(a, TraceStage::Ack, 0, 20, 0);
+        assert_eq!(s.completed(), 0);
+        s.complete(b, TraceStage::Ack, 0, 30, 0);
+        assert_eq!(s.completed(), 1);
+    }
+
+    #[test]
+    fn tail_attribution_charges_the_slow_lane() {
+        let s = TraceSink::new(TraceConfig {
+            slots: 64,
+            sample_every: 1,
+            latency_budget_nanos: u64::MAX,
+            retain: 64,
+            shards: 1,
+        });
+        // Every trace: fast ack on lane 0 at +100, slow ack on lane 2
+        // closing a 10_000ns gap. Slow-lane time dominates every trace,
+        // so whatever the p99 cut keeps must attribute to lane 2.
+        for seq in 0..50u64 {
+            let id = TraceId::from_seq(seq);
+            s.begin(id, 0, 2, seq * 100_000, 4096);
+            s.complete(id, TraceStage::Ack, 0, seq * 100_000 + 100, 0);
+            s.complete(id, TraceStage::Ack, 2, seq * 100_000 + 10_100, 0);
+        }
+        let slow = s.tail_bucket_nanos(lane_bucket(2));
+        let total: u64 = (0..LANE_BUCKETS).map(|b| s.tail_bucket_nanos(b)).sum();
+        assert!(total > 0, "some traces must clear the p99 cut");
+        assert!(
+            slow * 10 >= total * 8,
+            "slow lane got {slow} of {total} tail nanos"
+        );
+        assert!(s.tail_traces(TraceStage::Ack) > 0);
+    }
+
+    #[test]
+    fn events_overflow_sets_truncated_not_panics() {
+        let s = sink();
+        let id = TraceId::from_seq(0);
+        s.begin(id, 0, 1, 0, 0);
+        for i in 0..(MAX_TRACE_EVENTS as u64 + 8) {
+            s.event(id, TraceStage::Send, 0, i, 0);
+        }
+        s.complete(id, TraceStage::Ack, 0, 999, 0);
+        assert_eq!(s.truncated(), 1);
+        let traces = s.recorder().snapshot();
+        assert!(traces[0].truncated);
+        assert_eq!(traces[0].len as usize, MAX_TRACE_EVENTS);
+    }
+
+    #[test]
+    fn summary_json_is_deterministic_and_integer_only() {
+        let s = sink();
+        let id = TraceId::from_seq(0);
+        s.begin(id, 0, 1, 0, 64);
+        s.complete(id, TraceStage::Ack, 0, 5_000, 0);
+        let a = s.summary_json();
+        let b = s.summary_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"completed\":1"), "{a}");
+        assert!(a.contains("\"slo_writes_over_budget\":[1,0]"), "{a}");
+        assert!(!a.contains('.'), "no floats: {a}");
+        assert!(s.to_table().contains("slo_writes_over_budget{shard=0} 1"));
+    }
+}

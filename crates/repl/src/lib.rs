@@ -52,6 +52,7 @@ mod error;
 mod group;
 mod mode;
 mod payload;
+mod range;
 mod seal;
 mod strategy;
 
@@ -62,6 +63,7 @@ pub use group::{
 };
 pub use mode::ReplicationMode;
 pub use payload::{BatchFrame, Payload, PayloadBody, BATCH_TAG, STRIP_DELTA_TAG};
+pub use range::SeqRange;
 pub use seal::{
     decode_ack, decode_digest_request, decode_read_ack, decode_read_request, decode_strip_ack,
     decode_strip_request, encode_ack, encode_digest_ack, encode_digest_request, encode_read_ack,

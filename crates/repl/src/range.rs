@@ -1,0 +1,141 @@
+//! Contiguous sequence-number runs, for correlating one wire frame
+//! (or one acknowledgement) with the pipeline writes it carries.
+//!
+//! The engine's reorder buffer releases writes to every sender lane in
+//! strict sequence order and each lane's queue is FIFO, so the writes a
+//! batch frame carries are always a contiguous run of sequence numbers.
+//! A [`SeqRange`] captures that run in two words — the in-flight table
+//! and the tracing layer correlate acks back to individual writes
+//! without keeping a `Vec<u64>` per frame.
+
+/// A contiguous, possibly empty run of sequence numbers
+/// `[first, first + len)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeqRange {
+    first: u64,
+    len: u32,
+}
+
+impl SeqRange {
+    /// The empty range.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { first: 0, len: 0 }
+    }
+
+    /// A range holding exactly `seq`.
+    #[must_use]
+    pub fn single(seq: u64) -> Self {
+        Self { first: seq, len: 1 }
+    }
+
+    /// Appends `seq`: starts the run when empty, extends it when `seq`
+    /// is the next number, returns `false` (unchanged) otherwise.
+    pub fn push(&mut self, seq: u64) -> bool {
+        if self.len == 0 {
+            self.first = seq;
+            self.len = 1;
+            true
+        } else if seq == self.first + u64::from(self.len) && self.len < u32::MAX {
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// First sequence number, or `None` when empty.
+    #[must_use]
+    pub fn first(&self) -> Option<u64> {
+        (self.len > 0).then_some(self.first)
+    }
+
+    /// Last sequence number, or `None` when empty.
+    #[must_use]
+    pub fn last(&self) -> Option<u64> {
+        (self.len > 0).then(|| self.first + u64::from(self.len) - 1)
+    }
+
+    /// Sequence numbers in the run.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the run holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `seq` is inside the run.
+    #[must_use]
+    pub fn contains(&self, seq: u64) -> bool {
+        self.len > 0 && seq >= self.first && seq - self.first < u64::from(self.len)
+    }
+
+    /// The run's sequence numbers in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..u64::from(self.len)).map(move |i| self.first + i)
+    }
+}
+
+impl Default for SeqRange {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl IntoIterator for SeqRange {
+    type Item = u64;
+    type IntoIter = std::iter::Map<std::ops::Range<u64>, Box<dyn Fn(u64) -> u64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let first = self.first;
+        (0..u64::from(self.len)).map(Box::new(move |i| first + i) as _)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_builds_only_contiguous_runs() {
+        let mut r = SeqRange::empty();
+        assert!(r.is_empty());
+        assert!(r.push(10));
+        assert!(r.push(11));
+        assert!(r.push(12));
+        assert!(!r.push(14), "gap rejected");
+        assert!(!r.push(12), "duplicate rejected");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.first(), Some(10));
+        assert_eq!(r.last(), Some(12));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn single_and_contains() {
+        let r = SeqRange::single(7);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(7));
+        assert!(!r.contains(6));
+        assert!(!r.contains(8));
+        assert!(!SeqRange::empty().contains(0));
+        assert_eq!(SeqRange::empty().first(), None);
+        assert_eq!(SeqRange::empty().last(), None);
+    }
+
+    #[test]
+    fn into_iter_matches_iter() {
+        let mut r = SeqRange::empty();
+        for seq in 3..8 {
+            assert!(r.push(seq));
+        }
+        let by_ref: Vec<u64> = r.iter().collect();
+        let by_val: Vec<u64> = r.into_iter().collect();
+        assert_eq!(by_ref, by_val);
+        assert_eq!(by_val, vec![3, 4, 5, 6, 7]);
+    }
+}

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! sim-replay <seed>                  replay one fuzz seed, print trace + verdict
-//! sim-replay scenario <name|prefix*|all> [--events]
+//! sim-replay scenario <name|prefix*|all> [--events] [--traces]
 //!                                    run named scenario(s); --events prints
 //!                                    each run's deterministic event-count
-//!                                    summary (diffed against a golden in CI)
+//!                                    summary, --traces its flight-recorder
+//!                                    trace summary (both diffed against
+//!                                    goldens in CI)
 //! sim-replay corpus <file> [--fresh N] [--append-failures]
 //!                                    run every seed in <file> plus N fresh
 //!                                    random seeds; print failing seeds;
@@ -20,7 +22,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use prins_sim::{fuzz_seed, run_scenario, run_seed, SCENARIOS};
+use prins_sim::{fuzz_seed, run_scenario_full, run_seed, SCENARIOS};
 
 fn parse_seed(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x") {
@@ -124,7 +126,7 @@ fn run_corpus(path: &str, fresh: usize, append_failures: bool) -> bool {
     failures.is_empty()
 }
 
-fn run_scenarios(pattern: &str, events: bool) -> bool {
+fn run_scenarios(pattern: &str, events: bool, traces: bool) -> bool {
     // `all` runs everything; a trailing `*` runs every scenario with
     // that prefix (how CI pins the corruption_* event-summary golden).
     let names: Vec<&str> = if pattern == "all" {
@@ -144,9 +146,18 @@ fn run_scenarios(pattern: &str, events: bool) -> bool {
     }
     let mut ok = true;
     for name in names {
-        match run_scenario(name) {
-            Ok(summary) if events => println!("scenario {name}: {summary}"),
-            Ok(_) => println!("scenario {name}: ok"),
+        match run_scenario_full(name) {
+            Ok(outcome) => {
+                if events {
+                    println!("scenario {name}: {}", outcome.events);
+                }
+                if traces {
+                    println!("scenario {name}: {}", outcome.traces);
+                }
+                if !events && !traces {
+                    println!("scenario {name}: ok");
+                }
+            }
             Err(e) => {
                 println!("scenario {name}: FAILED: {e}");
                 ok = false;
@@ -160,9 +171,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ok = match args.first().map(String::as_str) {
         Some("scenario") => match args.get(1) {
-            Some(name) => run_scenarios(name, args.iter().any(|a| a == "--events")),
+            Some(name) => run_scenarios(
+                name,
+                args.iter().any(|a| a == "--events"),
+                args.iter().any(|a| a == "--traces"),
+            ),
             None => {
-                eprintln!("usage: sim-replay scenario <name|prefix*|all> [--events]");
+                eprintln!("usage: sim-replay scenario <name|prefix*|all> [--events] [--traces]");
                 false
             }
         },

@@ -45,7 +45,7 @@ pub mod world;
 pub use fuzz::{
     fuzz_seed, generate, minimize, run_case, run_seed, FuzzCase, FuzzFailure, RunReport, SimOp,
 };
-pub use scenario::{run_scenario, SCENARIOS};
+pub use scenario::{run_scenario, run_scenario_full, ScenarioOutcome, SCENARIOS};
 pub use world::{
     content_hash, ClusterWorld, EcWorld, EngineWorld, EngineWorldConfig, History, ShardWorld,
 };

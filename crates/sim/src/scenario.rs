@@ -2,17 +2,39 @@
 //! worlds, each ending in quiescence and the full invariant set.
 //!
 //! Every scenario is a plain function returning the run's deterministic
-//! event-count summary (the `sim-replay --events` golden) or a
-//! description of the violated invariant; the [`SCENARIOS`] table maps
-//! names to functions for the test suite and the `sim-replay` binary.
+//! event-count summary (the `sim-replay --events` golden) and trace
+//! summary (the `--traces` golden) or a description of the violated
+//! invariant; the [`SCENARIOS`] table maps names to functions for the
+//! test suite and the `sim-replay` binary.
 
 use std::time::Duration;
 
 use prins_block::{BlockDevice, Lba};
 use prins_cluster::{ClusterConfig, ClusterError, ReplicaState, ResyncStrategy};
 use prins_net::Dir;
+use prins_obs::{Registry, TraceSink};
 
 use crate::world::{ClusterWorld, EcWorld, EngineWorld, EngineWorldConfig, ShardWorld};
+
+/// What a scenario run leaves behind: the deterministic event-count
+/// summary (the `sim-replay --events` golden) and the trace-summary
+/// JSON from the world's flight recorder (the `--traces` golden).
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Sorted event-kind → count JSON from the registry's event ring.
+    pub events: String,
+    /// One-line trace summary JSON from the world's [`TraceSink`].
+    pub traces: String,
+}
+
+impl ScenarioOutcome {
+    fn collect(registry: &Registry, trace: &TraceSink) -> Self {
+        Self {
+            events: registry.snapshot().event_summary_json(),
+            traces: trace.summary_json(),
+        }
+    }
+}
 
 fn cluster_config(ack_window: usize, write_quorum: usize) -> ClusterConfig {
     ClusterConfig {
@@ -29,7 +51,7 @@ fn cluster_config(ack_window: usize, write_quorum: usize) -> ClusterConfig {
 /// A link repeatedly drops and recovers while writes keep flowing; the
 /// flapping replica degrades, misses writes, and must delta-resync back
 /// to bit-identity.
-pub fn link_flap() -> Result<String, String> {
+pub fn link_flap() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     let mut tag = 0u8;
     for flap in 0..4 {
@@ -47,14 +69,14 @@ pub fn link_flap() -> Result<String, String> {
         w.quiesce(ResyncStrategy::ParityLog)?;
         w.check_invariants()?;
     }
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// The replica's link dies *while a parity-log resync is replaying*:
 /// already-sent but unacknowledged resync frames must be re-marked
 /// uncertain, and the second resync must fall back to full images for
 /// them instead of double-applying parity chains.
-pub fn crash_mid_resync() -> Result<String, String> {
+pub fn crash_mid_resync() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     for lba in 0..8 {
         w.write_tag(lba, 1).map_err(op_err)?;
@@ -81,13 +103,13 @@ pub fn crash_mid_resync() -> Result<String, String> {
     w.ctl(0).restore();
     w.quiesce(ResyncStrategy::ParityLog)?;
     w.check_invariants()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Acknowledgements come back out of order (and one pair of
 /// distinct-LBA data frames swaps on the wire); per-LBA apply order and
 /// final bit-identity must survive.
-pub fn reorder() -> Result<String, String> {
+pub fn reorder() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(4, 0), Duration::from_micros(200));
     w.ctl(0).reorder_next(Dir::BtoA);
     for lba in 0..8 {
@@ -101,13 +123,13 @@ pub fn reorder() -> Result<String, String> {
     w.cluster_mut().drain();
     w.quiesce(ResyncStrategy::ParityLog)?;
     w.check_invariants()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// An acknowledgement is duplicated on the wire. The ack-stream
 /// alignment logic must absorb the stray ack without crediting a write
 /// that was never applied.
-pub fn dup() -> Result<String, String> {
+pub fn dup() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(2, 0), Duration::from_micros(200));
     w.ctl(0).dup_next(Dir::BtoA, 1);
     for lba in 0..8 {
@@ -116,12 +138,12 @@ pub fn dup() -> Result<String, String> {
     w.cluster_mut().drain();
     w.quiesce(ResyncStrategy::ParityLog)?;
     w.check_invariants()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// A high-latency, per-byte-priced WAN link: correctness is unchanged
 /// and the virtual clock (not the wall clock) pays for the distance.
-pub fn slow_wan() -> Result<String, String> {
+pub fn slow_wan() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(4, 0), Duration::from_micros(200));
     w.ctl(0).set_delay(
         Dir::AtoB,
@@ -142,13 +164,13 @@ pub fn slow_wan() -> Result<String, String> {
     }
     w.quiesce(ResyncStrategy::ParityLog)?;
     w.check_invariants()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Every replica link dies under a `write_quorum` of 2: writes must
 /// fail with `QuorumLost` (while still landing on the primary), and the
 /// cluster must recover to bit-identity once links return.
-pub fn quorum_loss() -> Result<String, String> {
+pub fn quorum_loss() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 2), Duration::from_micros(200));
     for lba in 0..4 {
         w.write_tag(lba, 1).map_err(op_err)?;
@@ -169,14 +191,14 @@ pub fn quorum_loss() -> Result<String, String> {
     w.check_historical()?;
     w.quiesce(ResyncStrategy::DirtyBitmap)?;
     w.check_invariants()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Engine pipeline: XOR-fold coalescing under load, then a link dies
 /// mid-stream ("crash"). The flush must report the failure, surviving
 /// replicas must be bit-identical, and the dead replica must hold a
 /// historical prefix — never a torn or double-applied state.
-pub fn fold_then_crash() -> Result<String, String> {
+pub fn fold_then_crash() -> Result<ScenarioOutcome, String> {
     let mut w = EngineWorld::new(EngineWorldConfig {
         coalesce: true,
         ack_window: 8,
@@ -206,13 +228,13 @@ pub fn fold_then_crash() -> Result<String, String> {
     if w.engine().stats().coalesced_writes == 0 {
         return Err("workload produced no coalesced writes".into());
     }
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// The primary prunes its parity log past a lagging replica's first
 /// miss; a parity-log rejoin must detect the gap and fall back to full
 /// block images instead of replaying a truncated chain.
-pub fn prune_then_rejoin() -> Result<String, String> {
+pub fn prune_then_rejoin() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     for lba in 0..8 {
         w.write_tag(lba, 1).map_err(op_err)?;
@@ -231,14 +253,14 @@ pub fn prune_then_rejoin() -> Result<String, String> {
     if resync_bytes == 0 {
         return Err("pruned-log rejoin shipped no resync bytes".into());
     }
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Engine pipeline: `flush()` is called while a replica link is down.
 /// The barrier must complete (not hang), report the lane failure, and
 /// leave the surviving replica bit-identical after a second, clean
 /// flush.
-pub fn flush_during_link_failure() -> Result<String, String> {
+pub fn flush_during_link_failure() -> Result<ScenarioOutcome, String> {
     let mut w = EngineWorld::new(EngineWorldConfig {
         ack_window: 4,
         ..Default::default()
@@ -265,14 +287,14 @@ pub fn flush_during_link_failure() -> Result<String, String> {
     let _ = w.flush();
     w.check_historical()?;
     w.check_obs()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// A data frame is silently dropped by the network (the sender's
 /// `send()` succeeds). The lost acknowledgement times out, the block is
 /// marked *uncertain*-dirty, and the delta resync must ship a full
 /// image — a parity replay could not know whether the frame arrived.
-pub fn drop_data_frame() -> Result<String, String> {
+pub fn drop_data_frame() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     w.write_tag(5, 1).map_err(op_err)?;
     w.ctl(0).drop_next(Dir::AtoB, 1);
@@ -280,7 +302,7 @@ pub fn drop_data_frame() -> Result<String, String> {
     w.check_historical()?;
     w.quiesce(ResyncStrategy::ParityLog)?;
     w.check_invariants()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// The mirror image of [`drop_data_frame`]: the frame arrives and is
@@ -288,7 +310,7 @@ pub fn drop_data_frame() -> Result<String, String> {
 /// distinguish the two cases; replaying the parity chain here would XOR
 /// the parity in twice. The uncertain-dirty fallback must keep the
 /// replica on a historical state.
-pub fn lost_ack_resync() -> Result<String, String> {
+pub fn lost_ack_resync() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     w.write_tag(5, 1).map_err(op_err)?;
     w.ctl(0).drop_next(Dir::BtoA, 1);
@@ -296,14 +318,14 @@ pub fn lost_ack_resync() -> Result<String, String> {
     w.check_historical()?;
     w.quiesce(ResyncStrategy::ParityLog)?;
     w.check_invariants()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// A data frame takes a bit flip on the wire. The seal's CRC32C catches
 /// it at the replica (`NAK_CORRUPT`), the block goes uncertain-dirty,
 /// and resync restores bit-identity — the corruption is *detected*,
 /// never silently applied as a garbage XOR base.
-pub fn corruption_wire_flip() -> Result<String, String> {
+pub fn corruption_wire_flip() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     for lba in 0..8 {
         w.write_tag(lba, 1).map_err(op_err)?;
@@ -317,7 +339,7 @@ pub fn corruption_wire_flip() -> Result<String, String> {
     if failures == 0 {
         return Err("wire bit flip produced no detected checksum failure".into());
     }
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Bit flips land on the wire *and* on a replica's disk. The wire flip
@@ -325,7 +347,7 @@ pub fn corruption_wire_flip() -> Result<String, String> {
 /// checksum — is caught by the scrubber's read-back digest probes and
 /// repaired through resync. The history oracle proves the corruption
 /// was never laundered into a "valid" state.
-pub fn corruption_scrub_repair() -> Result<String, String> {
+pub fn corruption_scrub_repair() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 2, cluster_config(1, 0), Duration::from_micros(200));
     for lba in 0..8 {
         w.write_tag(lba, 1).map_err(op_err)?;
@@ -357,14 +379,14 @@ pub fn corruption_scrub_repair() -> Result<String, String> {
     if snap.counters["scrub_repairs"] == 0 {
         return Err("no scrub repair recorded".into());
     }
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Engine pipeline: three bit flips land on the same frame (the first
 /// copy and two retransmissions). The lane's bounded retransmit absorbs
 /// all of them — the flush *succeeds*, replicas end bit-identical, and
 /// the counters show the corruption was detected, not ignored.
-pub fn corruption_wire_retransmit() -> Result<String, String> {
+pub fn corruption_wire_retransmit() -> Result<ScenarioOutcome, String> {
     // Closed-loop window: retransmission is only attempted when the
     // damaged frame is the sole in-flight one.
     let mut w = EngineWorld::new(EngineWorldConfig {
@@ -391,7 +413,7 @@ pub fn corruption_wire_retransmit() -> Result<String, String> {
     if snap.counters["retransmits"] == 0 {
         return Err("no retransmission recorded".into());
     }
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Checks one rebuild report against the repair-bandwidth bound: wire
@@ -414,7 +436,7 @@ fn check_rebuild_bound(who: &str, report: &prins_cluster::EcRebuildReport) -> Re
 /// repair-bandwidth bound, and afterwards every strip again equals the
 /// systematic encoding of the logical image — with every decoded block
 /// a state the history oracle has seen.
-pub fn ec_rebuild_one() -> Result<String, String> {
+pub fn ec_rebuild_one() -> Result<ScenarioOutcome, String> {
     let mut w = EcWorld::new(4, Duration::from_micros(200));
     let blocks = w.blocks();
     for lba in 0..blocks {
@@ -459,7 +481,7 @@ pub fn ec_rebuild_one() -> Result<String, String> {
         }
     }
     w.check_strips_encode_logical()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Two strip-holding nodes die — the full `m = 2` fault tolerance of
@@ -467,7 +489,7 @@ pub fn ec_rebuild_one() -> Result<String, String> {
 /// first rebuild runs with the other node still down (exactly `k`
 /// survivors reachable, stale strips excluded), the second restores
 /// full health, and both stay within the repair-bandwidth bound.
-pub fn ec_rebuild_two() -> Result<String, String> {
+pub fn ec_rebuild_two() -> Result<ScenarioOutcome, String> {
     let mut w = EcWorld::new(4, Duration::from_micros(200));
     let blocks = w.blocks();
     for lba in 0..blocks {
@@ -500,7 +522,7 @@ pub fn ec_rebuild_two() -> Result<String, String> {
         w.write_tag(lba, 3).map_err(op_err)?;
     }
     w.check_strips_encode_logical()?;
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// A live shard migration runs to cutover while the source group's
@@ -510,7 +532,7 @@ pub fn ec_rebuild_two() -> Result<String, String> {
 /// must hold throughout: no offloaded read observes stale content, and
 /// the cutover leaves the range owned by the target with every replica
 /// of every group on a historical state.
-pub fn migrate_under_faults() -> Result<String, String> {
+pub fn migrate_under_faults() -> Result<ScenarioOutcome, String> {
     // 16 blocks in 8-block slots: each slot's run shares an owner, so
     // a contiguous range is available to migrate.
     let mut w = ShardWorld::with_slots(
@@ -581,14 +603,14 @@ pub fn migrate_under_faults() -> Result<String, String> {
     if snap.counters["migration_bytes"] == 0 {
         return Err("live migration booked no migration bytes".into());
     }
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 /// Offloaded reads race a replica outage and rejoin: while the replica
 /// is lagging, offline, or still resyncing, the freshness guard must
 /// reject it as a read source (`read_rejected_stale`), and no read may
 /// ever return pre-rejoin bytes — the oracle checks every single read.
-pub fn read_offload_rejoin() -> Result<String, String> {
+pub fn read_offload_rejoin() -> Result<ScenarioOutcome, String> {
     let mut w = ClusterWorld::new(16, 3, cluster_config(1, 0), Duration::from_micros(200));
     let mut tag = 0u8;
     for lba in 0..16 {
@@ -642,7 +664,7 @@ pub fn read_offload_rejoin() -> Result<String, String> {
     if snap.counters["read_rejected_stale"] == 0 {
         return Err("outage and rejoin produced no guard rejections".into());
     }
-    Ok(w.registry().snapshot().event_summary_json())
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
 fn op_err(e: impl std::fmt::Display) -> String {
@@ -650,8 +672,9 @@ fn op_err(e: impl std::fmt::Display) -> String {
 }
 
 /// A named scenario: a zero-argument run returning the deterministic
-/// event-count summary on success, or the violated invariant.
-pub type ScenarioFn = fn() -> Result<String, String>;
+/// event-count and trace summaries on success, or the violated
+/// invariant.
+pub type ScenarioFn = fn() -> Result<ScenarioOutcome, String>;
 
 /// Every named scenario, in a stable order.
 pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
@@ -681,6 +704,17 @@ pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
 ///
 /// The invariant violation, or an unknown-name error.
 pub fn run_scenario(name: &str) -> Result<String, String> {
+    run_scenario_full(name).map(|o| o.events)
+}
+
+/// Runs one scenario by name, returning the full
+/// [`ScenarioOutcome`] — event-count summary plus the flight
+/// recorder's trace summary.
+///
+/// # Errors
+///
+/// The invariant violation, or an unknown-name error.
+pub fn run_scenario_full(name: &str) -> Result<ScenarioOutcome, String> {
     match SCENARIOS.iter().find(|(n, _)| *n == name) {
         Some((_, f)) => f(),
         None => Err(format!("unknown scenario '{name}'")),

@@ -22,7 +22,7 @@ use prins_cluster::{
 use prins_core::{EngineBuilder, PrinsEngine};
 use prins_ec::ReedSolomon;
 use prins_net::{SimLinkCtl, SimNet, SimTransport, Transport};
-use prins_obs::{EventKind, Registry};
+use prins_obs::{EventKind, Registry, TraceConfig, TraceSink};
 use prins_parity::ErasureCodec;
 use prins_repl::{
     encode_ack, encode_digest_ack, is_sealed, open_frame, AckPolicy, Applied, BatchFrame, Payload,
@@ -263,6 +263,7 @@ pub struct ClusterWorld {
     net: SimNet,
     cluster: ClusterGroup<MemDevice>,
     registry: Arc<Registry>,
+    trace: Arc<TraceSink>,
     ctls: Vec<SimLinkCtl>,
     primary_ends: Vec<SimTransport>,
     replica_devs: Vec<Arc<MemDevice>>,
@@ -294,10 +295,13 @@ impl ClusterWorld {
         let mut cluster = ClusterGroup::new(MemDevice::new(block_size, blocks), config, transports);
         let registry = Registry::new();
         cluster.attach_observer(Arc::clone(&registry), net.clock());
+        let trace = Arc::new(TraceSink::new(TraceConfig::default()));
+        cluster.attach_tracer(Arc::clone(&trace), 0, net.clock());
         Self {
             net,
             cluster,
             registry,
+            trace,
             ctls,
             primary_ends,
             replica_devs,
@@ -317,6 +321,12 @@ impl ClusterWorld {
     /// transitions, resync batches, ack RTTs).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The per-write trace sink (every world traces; virtual clock
+    /// reads are free, so event goldens are unaffected).
+    pub fn trace_sink(&self) -> &Arc<TraceSink> {
+        &self.trace
     }
 
     /// Fault controls for replica `idx`'s link.
@@ -539,6 +549,7 @@ pub struct ShardWorld {
     net: SimNet,
     sharded: ShardedCluster<MemDevice, RendezvousPlacement>,
     registry: Arc<Registry>,
+    trace: Arc<TraceSink>,
     /// `ctls[g][r]` is group g, replica r's link.
     ctls: Vec<Vec<SimLinkCtl>>,
     primary_ends: Vec<Vec<SimTransport>>,
@@ -607,10 +618,17 @@ impl ShardWorld {
         let placement = RendezvousPlacement::new(blocks, groups).with_slot_blocks(slot_blocks);
         let mut sharded = ShardedCluster::new(placement, cluster_groups);
         sharded.attach_observer(Arc::clone(&registry), net.clock());
+        // One shard id per group plus the migration namespace.
+        let trace = Arc::new(TraceSink::new(TraceConfig {
+            shards: groups + 1,
+            ..TraceConfig::default()
+        }));
+        sharded.attach_tracer(Arc::clone(&trace), net.clock());
         Self {
             net,
             sharded,
             registry,
+            trace,
             ctls,
             primary_ends,
             replica_devs,
@@ -629,6 +647,12 @@ impl ShardWorld {
     /// The shared metrics registry (all groups plus migration events).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The shared per-write trace sink (one shard id per group, one
+    /// more for migration batches).
+    pub fn trace_sink(&self) -> &Arc<TraceSink> {
+        &self.trace
     }
 
     /// Fault controls for group `g`, replica `r`'s link.
@@ -879,6 +903,7 @@ pub struct EngineWorld {
     net: SimNet,
     engine: PrinsEngine,
     registry: Arc<Registry>,
+    trace: Arc<TraceSink>,
     primary: Arc<MemDevice>,
     ctls: Vec<SimLinkCtl>,
     primary_ends: Vec<SimTransport>,
@@ -900,6 +925,7 @@ impl EngineWorld {
             .manual_stepping(true)
             .observe(Arc::clone(&registry))
             .clock(net.clock())
+            .flight_recorder(TraceConfig::default())
             .trace_sends(true)
             .coalesce(cfg.coalesce)
             .batch_frames(cfg.batch_frames)
@@ -918,10 +944,12 @@ impl EngineWorld {
             replica_eps.push(ep);
         }
         let engine = builder.build();
+        let trace = Arc::clone(engine.trace_sink().expect("flight recorder enabled above"));
         Self {
             net,
             engine,
             registry,
+            trace,
             primary,
             ctls,
             primary_ends,
@@ -951,6 +979,11 @@ impl EngineWorld {
     /// The metrics registry the engine records into.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The engine's per-write trace sink (flight recorder).
+    pub fn trace_sink(&self) -> &Arc<TraceSink> {
+        &self.trace
     }
 
     /// Writes a deterministic sparse block derived from `(lba, tag)`.
@@ -1138,6 +1171,7 @@ pub struct EcWorld {
     net: SimNet,
     group: EcGroup<MemDevice, ReedSolomon>,
     registry: Arc<Registry>,
+    trace: Arc<TraceSink>,
     ctls: Vec<SimLinkCtl>,
     node_devs: Vec<Arc<MemDevice>>,
     history: History,
@@ -1170,10 +1204,13 @@ impl EcWorld {
         let mut group = EcGroup::new(logical, codec, config, transports);
         let registry = Registry::new();
         group.attach_observer(Arc::clone(&registry), net.clock());
+        let trace = Arc::new(TraceSink::new(TraceConfig::default()));
+        group.attach_tracer(Arc::clone(&trace), 0, net.clock());
         Self {
             net,
             group,
             registry,
+            trace,
             ctls,
             node_devs,
             history: History::seed(blocks, block_size.bytes()),
@@ -1193,6 +1230,11 @@ impl EcWorld {
     /// parity-update and rebuild bytes, `ec-rebuild` events).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The per-write trace sink (strip fan-out traces).
+    pub fn trace_sink(&self) -> &Arc<TraceSink> {
+        &self.trace
     }
 
     /// The erasure-coded group under test.

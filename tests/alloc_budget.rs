@@ -58,18 +58,24 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// Writes + steps one round and returns the allocations it charged.
-fn measure(mode: ReplicationMode, writes: u64) -> u64 {
+/// With `traced`, the flight recorder runs at its default 1-in-64
+/// sampling — its fixed slot table and event arrays must add zero
+/// allocations to the steady-state loop.
+fn measure(mode: ReplicationMode, writes: u64, traced: bool) -> u64 {
     const BLOCKS: u64 = 8;
     let device = Arc::new(MemDevice::new(BlockSize::kb4(), BLOCKS));
     let sink = Box::new(SinkTransport::new());
     // The whole ack script exists before the measured region: warmup
     // plus measured writes, one per-write ack each, with headroom.
     sink.preload((0..2 * writes + 64).map(|_| encode_ack(ACK, 1)));
-    let engine = EngineBuilder::new(Arc::clone(&device) as Arc<dyn BlockDevice>)
+    let mut builder = EngineBuilder::new(Arc::clone(&device) as Arc<dyn BlockDevice>)
         .mode(mode)
         .replica(sink)
-        .manual_stepping(true)
-        .build();
+        .manual_stepping(true);
+    if traced {
+        builder = builder.flight_recorder(prins_obs::TraceConfig::default());
+    }
+    let engine = builder.build();
 
     let block = vec![0xA5u8; 4096];
     let mut payload = block.clone();
@@ -105,13 +111,15 @@ fn measure(mode: ReplicationMode, writes: u64) -> u64 {
 #[test]
 fn steady_state_write_path_stays_under_two_allocations_per_write() {
     const WRITES: u64 = 64;
-    for mode in [ReplicationMode::Traditional, ReplicationMode::Prins] {
-        let allocs = measure(mode, WRITES);
-        eprintln!("{mode:?}: {allocs} allocations / {WRITES} writes");
-        assert!(
-            allocs <= 2 * WRITES,
-            "{mode:?}: {allocs} allocations over {WRITES} writes \
-             exceeds the budget of 2 per write"
-        );
+    for traced in [false, true] {
+        for mode in [ReplicationMode::Traditional, ReplicationMode::Prins] {
+            let allocs = measure(mode, WRITES, traced);
+            eprintln!("{mode:?} (traced: {traced}): {allocs} allocations / {WRITES} writes");
+            assert!(
+                allocs <= 2 * WRITES,
+                "{mode:?} (traced: {traced}): {allocs} allocations over {WRITES} \
+                 writes exceeds the budget of 2 per write"
+            );
+        }
     }
 }
