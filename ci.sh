@@ -26,6 +26,9 @@ cargo clippy -p prins-buf -- -D warnings
 # And for the observability crate: the tracing fast path (Span drop,
 # TraceSink::event) sits on every write, so its lints gate alone too.
 cargo clippy -p prins-obs -- -D warnings
+# And for the policy engine: its classifier sits on the zero-copy
+# write path (region table, probe, decision logic), so it gates alone.
+cargo clippy -p prins-policy -- -D warnings
 cargo build --release
 cargo bench --workspace --no-run     # criterion benches must keep compiling
 # Cap test parallelism: the pipeline/cluster suites spawn their own
@@ -77,7 +80,19 @@ cargo run -q --release -p prins-sim --bin sim-replay -- scenario 'ec_rebuild_*' 
 # nondeterministic hop crept into the write path.
 cargo run -q --release -p prins-sim --bin sim-replay -- scenario migrate_under_faults --traces \
     | diff tests/trace_golden.json -
+# Adaptive-policy determinism gate: the policy engine drives the
+# foreground pipeline through a small-delta -> churn phase change with
+# inline assertions on phase commits, decision mix, and counterfactual
+# regret; its event-count summary must replay byte-identically.
+# Regenerate with the same command if the decision or phase logic
+# changed intentionally.
+cargo run -q --release -p prins-sim --bin sim-replay -- scenario adaptive_phase_shift --events \
+    | diff tests/adaptive_golden.txt -
 # Scale figure wiring smoke: the selection must parse without paying
 # for the measurement (the ≥2.5x read-speedup bound itself is asserted
 # by prins-bench's scale test in the workspace suite above).
 cargo run -q --release -p prins-bench --bin figures -- scale --no-run
+# Adaptive ablation wiring smoke: the `figures adaptive` selection must
+# parse (the adaptive <= best-static byte bounds are asserted by
+# prins-bench's release-gated test in the workspace suite above).
+cargo run -q --release -p prins-bench --bin figures -- adaptive --no-run

@@ -1,0 +1,244 @@
+//! Adaptive-policy ablation: the policy engine versus every static
+//! strategy, workload by workload.
+//!
+//! Each measurement runs one workload once and feeds every observed
+//! block write through the four static replicators *and* one
+//! [`AdaptiveReplicator`], accumulating the payload bytes each would
+//! ship. Because all five see the identical write stream, the
+//! comparison is exact — no run-to-run noise. The headline claim this
+//! reproduces: on every workload the adaptive policy stays within a
+//! rounding error of the *best* static strategy (which differs per
+//! workload), and on the zoned hostile mix it beats all four, because
+//! no single static choice is right in every zone.
+
+use std::sync::{Arc, Mutex};
+
+use prins_policy::{AdaptiveReplicator, CounterfactualMode, PolicyConfig};
+use prins_repl::{ReplicationMode, Replicator};
+use prins_workloads::{run, RunReport, Workload, WorkloadError};
+
+use crate::figures::FigureTable;
+use crate::TrafficConfig;
+
+/// The four static strategies the policy engine chooses among, in
+/// display order.
+const STATICS: [ReplicationMode; 4] = [
+    ReplicationMode::Traditional,
+    ReplicationMode::Compressed,
+    ReplicationMode::Prins,
+    ReplicationMode::PrinsCompressed,
+];
+
+/// Result of one adaptive-vs-static measurement.
+#[derive(Clone, Debug)]
+pub struct AdaptiveMeasurement {
+    /// Workload that ran.
+    pub workload: Workload,
+    /// Payload bytes per static strategy, in [`STATICS`] order
+    /// (traditional, compressed, prins, prins+lzss).
+    pub static_bytes: Vec<(ReplicationMode, u64)>,
+    /// Payload bytes the adaptive policy shipped for the same stream.
+    pub adaptive_bytes: u64,
+    /// Decision counts: (parity, parity+lzss, full, compressed).
+    pub picks: (u64, u64, u64, u64),
+    /// The underlying workload report.
+    pub report: RunReport,
+}
+
+impl AdaptiveMeasurement {
+    /// The cheapest static strategy and its payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no static strategy was measured (cannot happen via
+    /// [`measure_adaptive`]).
+    pub fn best_static(&self) -> (ReplicationMode, u64) {
+        self.static_bytes
+            .iter()
+            .copied()
+            .min_by_key(|(_, bytes)| *bytes)
+            .expect("at least one static strategy")
+    }
+
+    /// Bytes of a specific static strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` was not measured.
+    pub fn static_of(&self, mode: ReplicationMode) -> u64 {
+        self.static_bytes
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|(_, b)| *b)
+            .unwrap_or_else(|| panic!("mode {mode} was not measured"))
+    }
+}
+
+/// Runs `workload` once and measures adaptive-vs-static payload bytes
+/// for the identical write stream.
+///
+/// # Errors
+///
+/// Propagates workload failures.
+pub fn measure_adaptive(
+    workload: Workload,
+    config: &TrafficConfig,
+) -> Result<AdaptiveMeasurement, WorkloadError> {
+    let replicators: Vec<Box<dyn Replicator>> = STATICS.iter().map(|m| m.replicator()).collect();
+    // Counterfactual accounting off: this harness computes the statics
+    // exactly itself, so the estimate counters would be redundant work.
+    let adaptive = AdaptiveReplicator::new(PolicyConfig {
+        counterfactual: CounterfactualMode::Off,
+        ..PolicyConfig::default()
+    });
+
+    let totals: Arc<Mutex<(Vec<u64>, u64)>> = Arc::new(Mutex::new((vec![0u64; STATICS.len()], 0)));
+    let sink = Arc::clone(&totals);
+    let policy = Arc::new(adaptive);
+    let encoder = Arc::clone(&policy);
+    let observer = Box::new(move |_seq: u64, lba, old: &[u8], new: &[u8]| {
+        let mut totals = sink.lock().expect("ablation mutex");
+        for (replicator, total) in replicators.iter().zip(totals.0.iter_mut()) {
+            *total += replicator.encode_write(lba, old, new).len() as u64;
+        }
+        totals.1 += encoder.encode_write(lba, old, new).len() as u64;
+    });
+
+    let report = run(workload, &config.run_config(), Some(observer))?;
+    let (static_totals, adaptive_bytes) = Arc::try_unwrap(totals)
+        .expect("observer dropped")
+        .into_inner()
+        .expect("ablation mutex");
+    let counters = policy.counters();
+    Ok(AdaptiveMeasurement {
+        workload,
+        static_bytes: STATICS.iter().copied().zip(static_totals).collect(),
+        adaptive_bytes,
+        picks: (
+            counters.pick_parity.get(),
+            counters.pick_parity_lzss.get(),
+            counters.pick_full.get(),
+            counters.pick_compressed.get(),
+        ),
+        report,
+    })
+}
+
+/// The adaptive-policy ablation table: every workload (paper set plus
+/// the synthetic `text` / `hostile-mixed` stressors) at one block size,
+/// adaptive against all four statics.
+///
+/// # Errors
+///
+/// Propagates workload failures.
+pub fn adaptive_figure(ops: usize, bench_scale: bool) -> Result<FigureTable, WorkloadError> {
+    let block_size = prins_block::BlockSize::kb8();
+    let mut rows = Vec::new();
+    for workload in Workload::EXTENDED {
+        let mut config = if bench_scale {
+            TrafficConfig::bench(block_size, ops)
+        } else {
+            TrafficConfig::smoke(block_size)
+        };
+        config.ops = ops;
+        let m = measure_adaptive(workload, &config)?;
+        let (best_mode, best_bytes) = m.best_static();
+        let (parity, plzss, full, comp) = m.picks;
+        rows.push(vec![
+            workload.to_string(),
+            kb(m.static_of(ReplicationMode::Traditional)),
+            kb(m.static_of(ReplicationMode::Compressed)),
+            kb(m.static_of(ReplicationMode::Prins)),
+            kb(m.static_of(ReplicationMode::PrinsCompressed)),
+            kb(m.adaptive_bytes),
+            best_mode.to_string(),
+            format!("{:.3}x", m.adaptive_bytes as f64 / best_bytes.max(1) as f64),
+            format!("{parity}/{plzss}/{full}/{comp}"),
+        ]);
+    }
+    Ok(FigureTable {
+        title: format!(
+            "Adaptive policy ablation: payload KB vs static strategies, 8KB blocks ({ops} ops)"
+        ),
+        headers: [
+            "workload",
+            "full KB",
+            "comp KB",
+            "prins KB",
+            "p+lzss KB",
+            "adaptive KB",
+            "best static",
+            "adaptive/best",
+            "picks p/pl/f/c",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    })
+}
+
+fn kb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prins_block::BlockSize;
+
+    #[test]
+    fn hostile_mix_separates_the_statics() {
+        // Sanity check on the workload itself: the hostile mix must
+        // give each static strategy a zone it loses badly, otherwise
+        // the headline ablation is vacuous.
+        let m = measure_adaptive(
+            Workload::HostileMixed,
+            &TrafficConfig::smoke(BlockSize::kb4()),
+        )
+        .unwrap();
+        let (_, best) = m.best_static();
+        for (mode, bytes) in &m.static_bytes {
+            assert!(*bytes > 0, "{mode} measured nothing");
+        }
+        // Adaptive never loses to the best static by more than 1%.
+        assert!(
+            m.adaptive_bytes as f64 <= best as f64 * 1.01,
+            "adaptive {} vs best static {best}",
+            m.adaptive_bytes
+        );
+    }
+
+    /// The headline ablation claim, measured at smoke scale. The LZSS
+    /// passes make this too slow for the debug profile.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "release-gated: run with --release")]
+    fn adaptive_matches_best_static_everywhere_and_wins_on_hostile() {
+        for workload in Workload::EXTENDED {
+            let m = measure_adaptive(workload, &TrafficConfig::smoke(BlockSize::kb8())).unwrap();
+            let (best_mode, best) = m.best_static();
+            assert!(
+                m.adaptive_bytes as f64 <= best as f64 * 1.01,
+                "{workload}: adaptive {} > 1.01 x best static {best_mode} {best}",
+                m.adaptive_bytes
+            );
+            if workload == Workload::HostileMixed {
+                for (mode, bytes) in &m.static_bytes {
+                    assert!(
+                        m.adaptive_bytes < *bytes,
+                        "hostile-mixed: adaptive {} not strictly under {mode} {bytes}",
+                        m.adaptive_bytes
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_renders_every_workload() {
+        let t = adaptive_figure(6, false).unwrap();
+        assert_eq!(t.rows.len(), Workload::EXTENDED.len());
+        let text = t.to_string();
+        assert!(text.contains("hostile-mixed"), "{text}");
+        assert!(text.contains("adaptive/best"), "{text}");
+    }
+}

@@ -11,6 +11,7 @@
 //! figures obs                 # metrics snapshot of a simulated TPC-C mirror
 //! figures trace               # tail-latency attribution under a 10x-slow link
 //! figures scale               # scale-out read throughput sweep vs. MVA prediction
+//! figures adaptive            # adaptive policy vs every static strategy
 //! figures --smoke all         # tiny databases (CI-friendly)
 //! figures scale --no-run      # validate the selection without running it
 //! ```
@@ -18,8 +19,8 @@
 use std::process::ExitCode;
 
 use prins_bench::{
-    ec_experiment, fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw,
-    fig7_fs_micro, fig8_response_t1, fig9_response_t3, measure_traffic, obs_experiment,
+    adaptive_figure, ec_experiment, fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres,
+    fig6_tpcw, fig7_fs_micro, fig8_response_t1, fig9_response_t3, measure_traffic, obs_experiment,
     overhead_experiment, pipeline_experiment, pipeline_figure, resync_figure, scale_experiment,
     trace_experiment, write_rate_experiment, TrafficConfig,
 };
@@ -67,6 +68,7 @@ fn main() -> ExitCode {
         "obs",
         "trace",
         "scale",
+        "adaptive",
     ];
     if no_run {
         // Smoke mode: validate the selection against the wiring above
@@ -166,6 +168,10 @@ fn main() -> ExitCode {
         if want("scale") {
             ran_any = true;
             println!("{}\n", scale_experiment(ops, bench_scale)?);
+        }
+        if want("adaptive") {
+            ran_any = true;
+            println!("{}", adaptive_figure(ops, bench_scale)?);
         }
         Ok(())
     })();

@@ -27,6 +27,7 @@
 //! assert!(prins * 2 < trad, "PRINS must beat traditional");
 //! ```
 
+mod adaptive;
 mod ec;
 mod figures;
 mod kernels;
@@ -37,6 +38,7 @@ mod scale;
 mod tailtrace;
 mod traffic;
 
+pub use adaptive::{adaptive_figure, measure_adaptive, AdaptiveMeasurement};
 pub use ec::{ec_experiment, EcReport};
 pub use figures::{
     fig10_router_saturation, fig4_tpcc_oracle, fig5_tpcc_postgres, fig6_tpcw, fig7_fs_micro,

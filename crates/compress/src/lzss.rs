@@ -21,6 +21,16 @@ const MAX_MATCH: usize = 1 << 16;
 const HASH_BITS: usize = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
 
+/// Upper bound on `expected_len` accepted by [`Lzss::decompress`].
+///
+/// Wire frames carry length claims the decoder must not trust: a corrupt
+/// or hostile header must never translate into an attacker-chosen
+/// allocation. The budget is far above the largest block the replication
+/// stack ships (64 KB) and far below anything that could hurt; claims
+/// beyond it are rejected as [`CompressError::BadToken`] before any
+/// buffer is reserved.
+pub const MAX_DECODE_LEN: usize = 1 << 20;
+
 fn encode_varint(out: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
@@ -126,7 +136,19 @@ impl Lzss {
                     }
                 }
             }
-            cand = prev[c % self.window.max(1)];
+            // Chains are built by pushing strictly increasing positions,
+            // so a well-formed chain is strictly decreasing when walked.
+            // The `prev` table is a ring indexed by `pos % window`; a slot
+            // could only be clobbered by a position at least one full
+            // window later, which the `cand >= min_pos` guard already
+            // excludes — but terminate explicitly on any non-decreasing
+            // link so a corrupted slot ends the chain instead of
+            // teleporting the search to an unrelated position.
+            let next = prev[c % self.window];
+            if next >= cand {
+                break;
+            }
+            cand = next;
             chain += 1;
         }
         if best_len >= MIN_MATCH {
@@ -196,7 +218,13 @@ impl Codec for Lzss {
     }
 
     fn decompress(&self, data: &[u8], expected_len: usize) -> Result<Vec<u8>, CompressError> {
-        let mut out = Vec::with_capacity(expected_len);
+        if expected_len > MAX_DECODE_LEN {
+            return Err(CompressError::BadToken);
+        }
+        // Reserve no more than the stream could plausibly produce; a
+        // short corrupt stream claiming a large `expected_len` grows the
+        // buffer only as far as its tokens actually validate.
+        let mut out = Vec::with_capacity(expected_len.min(data.len().saturating_mul(8)));
         let mut pos = 0usize;
         while pos < data.len() {
             let tok = decode_varint(data, &mut pos)?;
@@ -209,6 +237,12 @@ impl Codec for Lzss {
                 if pos + len > data.len() {
                     return Err(CompressError::Truncated);
                 }
+                if len > expected_len - out.len() {
+                    return Err(CompressError::LengthMismatch {
+                        produced: out.len().saturating_add(len),
+                        expected: expected_len,
+                    });
+                }
                 out.extend_from_slice(&data[pos..pos + len]);
                 pos += len;
             } else {
@@ -219,18 +253,20 @@ impl Codec for Lzss {
                         available: out.len(),
                     });
                 }
+                // Check the output budget before copying: a hostile
+                // match length must not grow the buffer past the claim.
+                if len > expected_len - out.len() {
+                    return Err(CompressError::LengthMismatch {
+                        produced: out.len().saturating_add(len),
+                        expected: expected_len,
+                    });
+                }
                 // Overlapping copies are the LZ idiom for runs.
                 let start = out.len() - dist;
                 for i in 0..len {
                     let b = out[start + i];
                     out.push(b);
                 }
-            }
-            if out.len() > expected_len {
-                return Err(CompressError::LengthMismatch {
-                    produced: out.len(),
-                    expected: expected_len,
-                });
             }
         }
         if out.len() != expected_len {
@@ -324,6 +360,92 @@ mod tests {
         roundtrip(&small, &data);
     }
 
+    /// Exhaustive greedy reference encoder: at every position it scans
+    /// the whole window nearest-first for the longest match, exactly the
+    /// policy the hash-chain search implements with unbounded depth.
+    fn oracle_compress(data: &[u8], window: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut literal_start = 0usize;
+        let mut pos = 0usize;
+        let flush = |out: &mut Vec<u8>, start: usize, end: usize| {
+            let mut s = start;
+            while s < end {
+                let len = (end - s).min(1 << 20);
+                encode_varint(out, (len as u64) << 1);
+                out.extend_from_slice(&data[s..s + len]);
+                s += len;
+            }
+        };
+        while pos < data.len() {
+            let mut best_len = MIN_MATCH - 1;
+            let mut best_dist = 0usize;
+            if pos + MIN_MATCH <= data.len() {
+                let max_len = (data.len() - pos).min(MAX_MATCH);
+                let lo = pos.saturating_sub(window);
+                for c in (lo..pos).rev() {
+                    let mut len = 0usize;
+                    while len < max_len && data[c + len] == data[pos + len] {
+                        len += 1;
+                    }
+                    if len > best_len {
+                        best_len = len;
+                        best_dist = pos - c;
+                        if len == max_len {
+                            break;
+                        }
+                    }
+                }
+            }
+            if best_len >= MIN_MATCH {
+                flush(&mut out, literal_start, pos);
+                encode_varint(&mut out, ((best_len as u64) << 1) | 1);
+                encode_varint(&mut out, best_dist as u64);
+                pos += best_len;
+                literal_start = pos;
+            } else {
+                pos += 1;
+            }
+        }
+        flush(&mut out, literal_start, data.len());
+        out
+    }
+
+    #[test]
+    fn decompress_rejects_claim_over_budget() {
+        let c = Lzss::default();
+        let data = vec![3u8; 64];
+        let packed = c.compress(&data);
+        assert!(matches!(
+            c.decompress(&packed, MAX_DECODE_LEN + 1),
+            Err(CompressError::BadToken)
+        ));
+        // A tiny corrupt stream claiming a huge (but in-budget) length
+        // must fail cleanly, not materialize the claim.
+        let mut stream = Vec::new();
+        encode_varint(&mut stream, ((MAX_DECODE_LEN as u64) << 1) | 1); // match
+        encode_varint(&mut stream, 1); // dist into empty output
+        assert!(matches!(
+            c.decompress(&stream, MAX_DECODE_LEN),
+            Err(CompressError::BadBackreference { .. })
+        ));
+    }
+
+    #[test]
+    fn decompress_rejects_match_past_claimed_len() {
+        // One literal byte, then a match that runs past `expected_len`:
+        // the budget check must fire before the copy loop runs.
+        let mut stream = Vec::new();
+        encode_varint(&mut stream, 4 << 1); // flag bit clear: literal run of 4
+        stream.extend_from_slice(b"abab");
+        encode_varint(&mut stream, ((1u64 << 19) << 1) | 1);
+        encode_varint(&mut stream, 2);
+        let c = Lzss::default();
+        assert!(matches!(
+            c.decompress(&stream, 64),
+            Err(CompressError::LengthMismatch { .. })
+        ));
+    }
+
     #[test]
     fn decompress_rejects_truncated_stream() {
         let c = Lzss::default();
@@ -407,6 +529,43 @@ mod tests {
             roundtrip(&Lzss::default(), &data);
             roundtrip(&Lzss::fast(), &data);
             roundtrip(&Lzss::new(512, 4), &data);
+        }
+
+        /// With chain depth >= window the hash-chain search must visit
+        /// every candidate the brute-force scan does (a match of
+        /// MIN_MATCH bytes implies an equal hash4, so the candidate is
+        /// on the walked chain), and both pick the longest match with
+        /// nearest-wins tie-breaking — so the token streams must agree
+        /// byte for byte. Inputs run to 8x the window, forcing the
+        /// `prev` ring through many wraps: a corrupted chain would show
+        /// up as a worse (different) token stream.
+        #[test]
+        fn prop_deep_chain_matches_brute_force_oracle(seed in any::<u64>(), n in 1usize..2048) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut data = Vec::with_capacity(n);
+            while data.len() < n {
+                let run = rng.random_range(1..=24usize).min(n - data.len());
+                let byte = rng.random_range(0..6u8);
+                data.extend(std::iter::repeat_n(byte, run));
+            }
+            let codec = Lzss::new(256, 512);
+            let packed = codec.compress(&data);
+            let oracle = oracle_compress(&data, codec.window());
+            prop_assert_eq!(&packed, &oracle);
+            prop_assert_eq!(codec.decompress(&packed, data.len()).unwrap(), data);
+        }
+
+        /// Decode of arbitrary bytes under an arbitrary in-budget claim
+        /// never panics and never produces more than the claim.
+        #[test]
+        fn prop_hostile_stream_decode_is_total(
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+            claim in 0usize..(MAX_DECODE_LEN + 4),
+        ) {
+            let c = Lzss::default();
+            if let Ok(out) = c.decompress(&data, claim) {
+                prop_assert_eq!(out.len(), claim);
+            }
         }
     }
 }

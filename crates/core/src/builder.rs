@@ -5,9 +5,10 @@ use std::time::Duration;
 
 use prins_block::BlockDevice;
 use prins_net::{Clock, Transport, WallClock};
-use prins_repl::{AckPolicy, ReplError, ReplicationGroup, ReplicationMode};
+use prins_policy::{AdaptiveReplicator, PolicyConfig, WorkloadPhase};
+use prins_repl::{AckPolicy, ReplError, ReplicationGroup, ReplicationMode, Replicator};
 
-use crate::pipeline::PipelineConfig;
+use crate::pipeline::{PipelineConfig, PipelineTuning};
 use crate::PrinsEngine;
 
 /// Configures and starts a [`PrinsEngine`].
@@ -39,6 +40,8 @@ use crate::PrinsEngine;
 pub struct EngineBuilder {
     device: Arc<dyn BlockDevice>,
     mode: ReplicationMode,
+    replicator: Option<Arc<dyn Replicator>>,
+    adaptive: Option<PolicyConfig>,
     replicas: Vec<Box<dyn Transport>>,
     ack_policy: AckPolicy,
     config: PipelineConfig,
@@ -53,6 +56,8 @@ impl EngineBuilder {
         Self {
             device,
             mode: ReplicationMode::Prins,
+            replicator: None,
+            adaptive: None,
             replicas: Vec::new(),
             ack_policy: AckPolicy::PerWrite,
             config: PipelineConfig::default(),
@@ -65,6 +70,28 @@ impl EngineBuilder {
     /// Selects the replication strategy (default: [`ReplicationMode::Prins`]).
     pub fn mode(mut self, mode: ReplicationMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Overrides the replicator instance: every write is encoded by
+    /// `replicator` instead of the static strategy named by
+    /// [`mode`](Self::mode). Payload tags are self-describing, so any
+    /// mix of strategies applies cleanly at the replica.
+    pub fn replicator(mut self, replicator: Arc<dyn Replicator>) -> Self {
+        self.replicator = Some(replicator);
+        self
+    }
+
+    /// Drives replication with the adaptive policy engine
+    /// ([`AdaptiveReplicator`]): per-region strategy selection plus live
+    /// retuning of [`batch_frames`](Self::batch_frames) and
+    /// [`coalesce`](Self::coalesce) on workload-phase transitions (the
+    /// values configured here become the `Mixed`-phase baseline). With
+    /// [`observe`](Self::observe) set, decision and counterfactual
+    /// counters register under `policy_*`. Overrides
+    /// [`mode`](Self::mode) and [`replicator`](Self::replicator).
+    pub fn adaptive(mut self, config: PolicyConfig) -> Self {
+        self.adaptive = Some(config);
         self
     }
 
@@ -175,6 +202,72 @@ impl EngineBuilder {
         config
     }
 
+    /// Starts the engine with the resolved replicator; wires the
+    /// adaptive policy's phase hook to the live pipeline tuning.
+    #[allow(clippy::too_many_arguments)]
+    fn start_engine(
+        device: Arc<dyn BlockDevice>,
+        mode: ReplicationMode,
+        replicator: Option<Arc<dyn Replicator>>,
+        adaptive: Option<Arc<AdaptiveReplicator>>,
+        transports: Vec<Box<dyn Transport>>,
+        config: PipelineConfig,
+        clock: Arc<dyn Clock>,
+        registry: Option<Arc<prins_obs::Registry>>,
+        trace: Option<prins_obs::TraceConfig>,
+    ) -> PrinsEngine {
+        let replicator = adaptive
+            .clone()
+            .map(|a| a as Arc<dyn Replicator>)
+            .or(replicator);
+        let base_batch = config.batch_frames.max(1);
+        let base_coalesce = config.coalesce;
+        let mut engine = PrinsEngine::start(
+            device,
+            mode,
+            replicator,
+            transports,
+            config,
+            clock,
+            registry,
+            trace.map(|cfg| Arc::new(prins_obs::TraceSink::new(cfg))),
+        );
+        if let Some(adaptive) = adaptive {
+            let tuning: Arc<PipelineTuning> = Arc::clone(engine.tuning());
+            adaptive.set_phase_hook(move |phase| match phase {
+                // Tiny parity payloads: amortize the per-frame seal and
+                // ack round-trip over a deep batch.
+                WorkloadPhase::SmallDelta => {
+                    tuning.set_batch_frames(base_batch.max(8));
+                    tuning.set_coalesce(base_coalesce);
+                }
+                // Back to whatever the builder configured.
+                WorkloadPhase::Mixed => {
+                    tuning.set_batch_frames(base_batch);
+                    tuning.set_coalesce(base_coalesce);
+                }
+                // Near-full frames gain little from batching, but
+                // folding repeated rewrites of one block saves whole
+                // block images.
+                WorkloadPhase::Churn => {
+                    tuning.set_batch_frames(base_batch.min(2));
+                    tuning.set_coalesce(true);
+                }
+            });
+            engine.adaptive = Some(adaptive);
+        }
+        engine
+    }
+
+    fn build_adaptive(&self) -> Option<Arc<AdaptiveReplicator>> {
+        self.adaptive.map(|cfg| {
+            Arc::new(match &self.registry {
+                Some(registry) => AdaptiveReplicator::with_registry(cfg, registry),
+                None => AdaptiveReplicator::new(cfg),
+            })
+        })
+    }
+
     /// Pushes a full image of the local device to every replica before
     /// starting (the paper's initial sync), then builds the engine.
     ///
@@ -187,6 +280,7 @@ impl EngineBuilder {
     /// Propagates sync failures; no engine is started in that case.
     pub fn build_with_initial_sync(self) -> Result<PrinsEngine, ReplError> {
         let config = self.resolved_config();
+        let adaptive = self.build_adaptive();
         let clock = self
             .clock
             .unwrap_or_else(|| Arc::new(WallClock::new()) as Arc<dyn Clock>);
@@ -194,15 +288,16 @@ impl EngineBuilder {
             .with_ack_timeout(config.ack_timeout)
             .with_ack_policy(AckPolicy::Window(config.ack_window));
         group.initial_sync(&self.device)?;
-        Ok(PrinsEngine::start(
+        Ok(Self::start_engine(
             self.device,
             self.mode,
+            self.replicator,
+            adaptive,
             group.into_transports(),
             config,
             clock,
             self.registry,
-            self.trace
-                .map(|cfg| Arc::new(prins_obs::TraceSink::new(cfg))),
+            self.trace,
         ))
     }
 
@@ -210,18 +305,20 @@ impl EngineBuilder {
     /// hold a copy of the device, e.g. fresh all-zero volumes).
     pub fn build(self) -> PrinsEngine {
         let config = self.resolved_config();
+        let adaptive = self.build_adaptive();
         let clock = self
             .clock
             .unwrap_or_else(|| Arc::new(WallClock::new()) as Arc<dyn Clock>);
-        PrinsEngine::start(
+        Self::start_engine(
             self.device,
             self.mode,
+            self.replicator,
+            adaptive,
             self.replicas,
             config,
             clock,
             self.registry,
-            self.trace
-                .map(|cfg| Arc::new(prins_obs::TraceSink::new(cfg))),
+            self.trace,
         )
     }
 }

@@ -11,7 +11,7 @@ use prins_net::{Clock, Transport};
 use prins_repl::{ReplicationMode, Replicator};
 
 use crate::obs::PipeObs;
-use crate::pipeline::{Pipeline, PipelineConfig, Shared};
+use crate::pipeline::{Pipeline, PipelineConfig, PipelineTuning, Shared};
 use crate::{EngineStats, LaneStats};
 
 /// The PRINS-engine: a [`BlockDevice`] wrapper that replicates every
@@ -43,6 +43,11 @@ pub struct PrinsEngine {
     /// against the same old image — and the replica's XOR chain would
     /// diverge.
     write_stripes: Vec<Mutex<()>>,
+    /// Live pipeline knobs, shared with every stage that reads them.
+    tuning: Arc<PipelineTuning>,
+    /// The adaptive policy engine, when built with
+    /// [`EngineBuilder::adaptive`](crate::EngineBuilder::adaptive).
+    pub(crate) adaptive: Option<Arc<prins_policy::AdaptiveReplicator>>,
 }
 
 impl PrinsEngine {
@@ -50,6 +55,7 @@ impl PrinsEngine {
     pub(crate) fn start(
         device: Arc<dyn BlockDevice>,
         mode: ReplicationMode,
+        replicator: Option<Arc<dyn Replicator>>,
         transports: Vec<Box<dyn Transport>>,
         config: PipelineConfig,
         clock: Arc<dyn Clock>,
@@ -61,9 +67,13 @@ impl PrinsEngine {
             trace,
             ..Shared::default()
         });
-        let replicator: Arc<dyn Replicator> = Arc::from(mode.replicator());
+        // A custom replicator (e.g. prins-policy's adaptive one)
+        // overrides the static strategy the mode names.
+        let replicator: Arc<dyn Replicator> =
+            replicator.unwrap_or_else(|| Arc::from(mode.replicator()));
         let pool =
             BufPool::for_block_size(device.geometry().block_size().bytes(), config.batch_frames);
+        let tuning = PipelineTuning::from_config(&config);
         let pipeline = Pipeline::start(
             replicator,
             transports,
@@ -71,6 +81,7 @@ impl PrinsEngine {
             &config,
             Arc::clone(&clock),
             pool.clone(),
+            Arc::clone(&tuning),
         );
         if let Some(obs) = &shared.obs {
             // The collector closes over a Weak: the registry outliving
@@ -95,7 +106,23 @@ impl PrinsEngine {
             clock,
             pool,
             write_stripes: (0..64).map(|_| Mutex::new(())).collect(),
+            tuning,
+            adaptive: None,
         }
+    }
+
+    /// The live pipeline knobs (batching depth, coalescing). Safe to
+    /// retune from any thread while the engine runs; the adaptive
+    /// policy's phase hook points here.
+    pub fn tuning(&self) -> &Arc<PipelineTuning> {
+        &self.tuning
+    }
+
+    /// The adaptive policy engine (decision counters, counterfactuals,
+    /// current workload phase), when built with
+    /// [`EngineBuilder::adaptive`](crate::EngineBuilder::adaptive).
+    pub fn adaptive(&self) -> Option<&Arc<prins_policy::AdaptiveReplicator>> {
+        self.adaptive.as_ref()
     }
 
     /// The metrics registry the engine records into, if one was

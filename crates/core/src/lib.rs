@@ -85,6 +85,7 @@ mod stats;
 
 pub use builder::EngineBuilder;
 pub use engine::PrinsEngine;
+pub use pipeline::PipelineTuning;
 pub use replica::ReplicaEngine;
 pub use stats::{EngineStats, LaneStats};
 

@@ -56,7 +56,7 @@
 //! the same functions the threaded loops run.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -109,6 +109,57 @@ impl Default for PipelineConfig {
             trace_sends: false,
             manual: false,
         }
+    }
+}
+
+/// The live-tunable subset of [`PipelineConfig`]: knobs that are safe
+/// to flip while the pipeline runs, read fresh by the stage that uses
+/// them on every admission or frame.
+///
+/// The adaptive policy engine retunes these on workload-phase
+/// transitions — deep batching while writes are tiny parity deltas,
+/// aggressive coalescing while full blocks churn. Both knobs are
+/// per-decision, not per-run, state:
+///
+/// * `coalesce` is read once per [`Pipeline::admit`]. Toggling it off
+///   mid-run leaves stale `by_lba` entries behind, which is safe —
+///   `claim_job` removes an entry unconditionally when its job drains,
+///   and a stale entry can only cause one extra (correct) fold.
+/// * `batch_frames` is read once per lane frame, so a change applies
+///   from the next frame on. Wire format is unaffected: a frame
+///   carrying one payload is not wrapped in a batch envelope.
+pub struct PipelineTuning {
+    batch_frames: AtomicUsize,
+    coalesce: AtomicBool,
+}
+
+impl PipelineTuning {
+    pub(crate) fn from_config(config: &PipelineConfig) -> Arc<Self> {
+        Arc::new(Self {
+            batch_frames: AtomicUsize::new(config.batch_frames.max(1)),
+            coalesce: AtomicBool::new(config.coalesce),
+        })
+    }
+
+    /// Maximum payloads packed into one wire frame (clamped to ≥ 1).
+    pub fn set_batch_frames(&self, frames: usize) {
+        self.batch_frames.store(frames.max(1), Ordering::Relaxed);
+    }
+
+    /// The batching depth in effect.
+    pub fn batch_frames(&self) -> usize {
+        self.batch_frames.load(Ordering::Relaxed)
+    }
+
+    /// Whether new admissions fold into still-queued writes to the same
+    /// LBA.
+    pub fn set_coalesce(&self, on: bool) {
+        self.coalesce.store(on, Ordering::Relaxed);
+    }
+
+    /// The coalescing mode in effect.
+    pub fn coalesce(&self) -> bool {
+        self.coalesce.load(Ordering::Relaxed)
     }
 }
 
@@ -379,7 +430,7 @@ struct Stepped {
 
 pub(crate) struct Pipeline {
     inner: Arc<Inner>,
-    coalesce: bool,
+    tuning: Arc<PipelineTuning>,
     encode_handles: Mutex<Vec<JoinHandle<()>>>,
     lane_handles: Mutex<Option<Vec<JoinHandle<()>>>>,
     stepped: Option<Stepped>,
@@ -393,6 +444,7 @@ impl Pipeline {
         config: &PipelineConfig,
         clock: Arc<dyn Clock>,
         pool: BufPool,
+        tuning: Arc<PipelineTuning>,
     ) -> Self {
         // In manual mode a bounded lane queue would deadlock the single
         // driving thread, and backpressure is meaningless anyway.
@@ -427,7 +479,7 @@ impl Pipeline {
         if config.manual {
             return Self {
                 inner,
-                coalesce: config.coalesce,
+                tuning,
                 encode_handles: Mutex::new(Vec::new()),
                 lane_handles: Mutex::new(None),
                 stepped: Some(Stepped {
@@ -465,17 +517,29 @@ impl Pipeline {
             let cfg = config.clone();
             let clock = Arc::clone(&inner.clock);
             let pool = inner.pool.clone();
+            let tuning = Arc::clone(&tuning);
             lane_handles.push(
                 std::thread::Builder::new()
                     .name(format!("prins-sender-{idx}"))
-                    .spawn(move || run_lane(idx, &*transport, &lane, &shared, &cfg, &*clock, &pool))
+                    .spawn(move || {
+                        run_lane(
+                            idx,
+                            &*transport,
+                            &lane,
+                            &shared,
+                            &cfg,
+                            &*clock,
+                            &pool,
+                            &tuning,
+                        )
+                    })
                     .expect("spawn prins sender lane"),
             );
         }
 
         Self {
             inner,
-            coalesce: config.coalesce,
+            tuning,
             encode_handles: Mutex::new(encode_handles),
             lane_handles: Mutex::new(Some(lane_handles)),
             stepped: None,
@@ -519,6 +583,7 @@ impl Pipeline {
                         &stepped.cfg,
                         &*self.inner.clock,
                         &self.inner.pool,
+                        self.tuning.batch_frames(),
                         &mut rt.outstanding,
                         seq,
                         lba,
@@ -564,11 +629,13 @@ impl Pipeline {
         let obs = self.inner.shared.obs.as_ref();
         let trace = self.inner.shared.trace.as_ref();
         let new_len = new.len();
+        // Read the live flag once so one admission sees one mode.
+        let coalesce = self.tuning.coalesce();
         let mut st = self.inner.admit.lock().unwrap();
         if st.closed {
             return Err(ReplError::Net(prins_net::NetError::Disconnected));
         }
-        if self.coalesce {
+        if coalesce {
             if let Some(&seq) = st.by_lba.get(&lba.0) {
                 let front_seq = st.queue.front().expect("by_lba entry implies queue").seq;
                 let job = &mut st.queue[(seq - front_seq) as usize];
@@ -594,7 +661,7 @@ impl Pipeline {
         }
         let seq = st.seq_alloc;
         st.seq_alloc += 1;
-        if self.coalesce {
+        if coalesce {
             st.by_lba.insert(lba.0, seq);
         }
         let admitted_at = if obs.is_some() || trace.is_some() {
@@ -850,6 +917,7 @@ fn lane_handle_payload(
     cfg: &PipelineConfig,
     clock: &dyn Clock,
     pool: &BufPool,
+    batch_frames: usize,
     outstanding: &mut VecDeque<InFlight>,
     seq: u64,
     lba: Lba,
@@ -887,7 +955,7 @@ fn lane_handle_payload(
     let mut range = SeqRange::single(seq);
     let mut total_writes = writes;
     let mut extra: Vec<PooledBytes> = Vec::new();
-    while extra.len() + 1 < cfg.batch_frames {
+    while extra.len() + 1 < batch_frames {
         match lane.try_pop_payload() {
             Some(LaneMsg::Payload {
                 seq,
@@ -1021,6 +1089,7 @@ fn lane_handle_payload(
 
 /// Sender-lane thread: batches queued payloads into frames, sends them
 /// and retires acknowledgements within the configured window.
+#[allow(clippy::too_many_arguments)]
 fn run_lane(
     idx: usize,
     transport: &dyn Transport,
@@ -1029,6 +1098,7 @@ fn run_lane(
     cfg: &PipelineConfig,
     clock: &dyn Clock,
     pool: &BufPool,
+    tuning: &PipelineTuning,
 ) {
     // The in-flight (sent, unacknowledged) frames.
     let mut outstanding: VecDeque<InFlight> = VecDeque::new();
@@ -1056,6 +1126,7 @@ fn run_lane(
                 cfg,
                 clock,
                 pool,
+                tuning.batch_frames(),
                 &mut outstanding,
                 seq,
                 lba,
@@ -1373,6 +1444,89 @@ mod tests {
         assert!(stats.queue_depth_hwm > 0);
         assert!(net.clock().now() > 0, "virtual time should have advanced");
 
+        engine.shutdown().unwrap();
+        for dev in &replica_devs {
+            assert!(verify_consistent(&*primary, &**dev).unwrap());
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_replicates_correctly_and_retunes_the_pipeline() {
+        // A phased workload through the adaptive policy engine: tiny
+        // deltas (parity), then random full-block churn (full images).
+        // Replicas must end bit-identical — the policy mixes wire tags
+        // freely and the applier takes them all — and the committed
+        // phase transitions must retune the live pipeline knobs.
+        let net = SimNet::new();
+        let (transports, _ctls, replica_devs) =
+            sim_replicas(&net, 2, 8, Duration::from_micros(300));
+        let primary = Arc::new(MemDevice::new(BlockSize::kb4(), 8));
+        let registry = prins_obs::Registry::new();
+        let mut builder = EngineBuilder::new(Arc::clone(&primary) as Arc<dyn BlockDevice>)
+            .adaptive(prins_policy::PolicyConfig::default())
+            .manual_stepping(true)
+            .clock(net.clock())
+            .observe(Arc::clone(&registry))
+            .ack_policy(AckPolicy::Window(8));
+        for transport in transports {
+            builder = builder.replica(transport);
+        }
+        let engine = builder.build();
+        assert_eq!(engine.tuning().batch_frames(), 1);
+        assert!(!engine.tuning().coalesce());
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        // Phase 1: 128 one-byte deltas — two detector windows of
+        // parity-family picks commit SmallDelta and deepen batching.
+        for i in 0..128u64 {
+            let lba = Lba(i % 8);
+            let mut block = engine.read_block_vec(lba).unwrap();
+            block[(i as usize * 31) % 4096] ^= 0x5a;
+            engine.write_block(lba, &block).unwrap();
+            if i % 16 == 0 {
+                engine.step();
+            }
+        }
+        engine.flush().unwrap();
+        let adaptive = engine.adaptive().expect("built with .adaptive()");
+        assert_eq!(
+            adaptive.phase(),
+            prins_policy::WorkloadPhase::SmallDelta,
+            "sustained tiny deltas must commit the small-delta phase"
+        );
+        assert_eq!(engine.tuning().batch_frames(), 8, "deep batching in effect");
+
+        // Phase 2: 128 random full rewrites — churn commits, batching
+        // shrinks back and coalescing turns on.
+        for i in 0..128u64 {
+            let mut block = vec![0u8; 4096];
+            rng.fill_bytes(&mut block);
+            engine.write_block(Lba(i % 8), &block).unwrap();
+            if i % 16 == 0 {
+                engine.step();
+            }
+        }
+        engine.flush().unwrap();
+        assert_eq!(adaptive.phase(), prins_policy::WorkloadPhase::Churn);
+        assert_eq!(engine.tuning().batch_frames(), 1);
+        assert!(engine.tuning().coalesce(), "churn phase enables coalescing");
+
+        let counters = adaptive.counters();
+        assert!(
+            counters.pick_parity.get() >= 120,
+            "parity picks: {}",
+            counters.pick_parity.get()
+        );
+        assert!(counters.pick_full.get() + counters.pick_compressed.get() >= 100);
+        assert_eq!(registry.counter("policy_phase_switches").get(), 2);
+        // Coalescing may fold churn writes, so decided writes can be
+        // fewer than admitted — but never more.
+        let decided = registry.counter("policy_writes").get();
+        assert!(decided > 0 && decided <= 256, "decided {decided}");
+
+        let stats = engine.stats();
+        assert_eq!(stats.writes, 256);
+        assert_eq!(stats.replication_errors, 0);
         engine.shutdown().unwrap();
         for dev in &replica_devs {
             assert!(verify_consistent(&*primary, &**dev).unwrap());

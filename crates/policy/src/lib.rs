@@ -1,0 +1,153 @@
+//! Adaptive replication policy engine.
+//!
+//! The four static strategies in `prins-repl` each dominate on some
+//! workload region and lose on another:
+//!
+//! * **Parity** wins when writes touch few bytes of incompressible data
+//!   (OLTP row updates on packed binary pages);
+//! * **ParityCompressed** wins when the parity itself carries redundancy
+//!   (text, sparse structures);
+//! * **Compressed** wins when (nearly) the whole block changes but the
+//!   new content compresses (log appends, text churn) — the one case the
+//!   PRINS fallback ships a *raw* full image;
+//! * **Full** wins when the whole block changes and the content is
+//!   incompressible (encrypted or already-compressed data) — compression
+//!   attempts only burn CPU there.
+//!
+//! No static pick is best everywhere, and real devices mix all four
+//! behaviors across their address space. [`AdaptiveReplicator`] learns
+//! the mix online, per LBA region, from signals that are all O(block)
+//! scans or cheaper:
+//!
+//! * the **exact parity wire length** from
+//!   [`SparseCodec::delta_wire_info`](prins_parity::SparseCodec::delta_wire_info)
+//!   (scan-only, no allocation) decides parity-vs-full ground truth for
+//!   *this* write before anything is encoded;
+//! * **EWMA compressibility estimates** per region, seeded by a cheap
+//!   stack-only 4-gram [probe](probe::probe_compressibility_pm) and
+//!   thereafter corrected with exact ratios observed whenever a
+//!   compressing strategy is chosen;
+//! * periodic **exploration** re-tries the compressing variant so a
+//!   region whose content drifts from incompressible to compressible is
+//!   re-detected. Exploration (and any mispredicted pick) is byte-free:
+//!   every compressing branch rescues itself to the smallest plain
+//!   encoding of this write when its first choice loses, so estimate
+//!   errors cost CPU, never wire bytes.
+//!
+//! Every decision also books the **counterfactual cost**: the bytes each
+//! *other* strategy would have shipped, so `prins-obs` counters expose
+//! `adaptive vs best-static` regret without re-running the workload.
+//! A global [`PhaseDetector`](WorkloadPhase) classifies the recent write
+//! mix (small-delta / mixed / churn) and fires a hook the engine uses to
+//! retune batching and coalescing aggressiveness live.
+//!
+//! # Example
+//!
+//! ```
+//! use prins_block::Lba;
+//! use prins_policy::{AdaptiveReplicator, PolicyConfig};
+//! use prins_repl::Replicator;
+//!
+//! let adaptive = AdaptiveReplicator::new(PolicyConfig::default());
+//! let old = vec![0u8; 4096];
+//! let mut new = old.clone();
+//! new[7] ^= 0x5a; // tiny delta: parity is the obvious winner
+//! let wire = adaptive.encode_write(Lba(3), &old, &new);
+//! assert!(wire.len() < 32);
+//! assert_eq!(adaptive.counters().pick_parity.get(), 1);
+//! ```
+
+mod adaptive;
+mod counters;
+mod probe;
+mod region;
+
+pub use adaptive::{AdaptiveReplicator, PhaseDetector, WorkloadPhase};
+pub use counters::{CounterfactualMode, PolicyCounters};
+pub use probe::probe_compressibility_pm;
+pub use region::{ewma_step, RegionTable};
+
+/// The four wire strategies the policy engine picks among, mirroring
+/// [`prins_repl::ReplicationMode`] one-to-one. Kept as a separate enum
+/// so `prins-repl` stays independent of this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Ship the full new block (wire tag 0).
+    Full,
+    /// Ship the LZSS-compressed full block (wire tag 1).
+    Compressed,
+    /// Ship the zero-run-encoded parity (wire tag 2).
+    Parity,
+    /// Ship the LZSS-compressed parity (wire tag 3; the encoder falls
+    /// back to plain parity or a raw full image when smaller).
+    ParityCompressed,
+}
+
+impl Strategy {
+    /// Short name for reports and counter labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Full => "full",
+            Strategy::Compressed => "compressed",
+            Strategy::Parity => "parity",
+            Strategy::ParityCompressed => "parity+lzss",
+        }
+    }
+
+    /// True for the two parity-family strategies (small-delta shaped).
+    pub fn is_parity_family(self) -> bool {
+        matches!(self, Strategy::Parity | Strategy::ParityCompressed)
+    }
+}
+
+/// Tuning knobs for [`AdaptiveReplicator`]. `Default` is the
+/// configuration every experiment in EXPERIMENTS.md uses.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyConfig {
+    /// LBAs per classification region, as a shift (`6` → 64 blocks).
+    pub region_shift: u32,
+    /// Region-table slots; rounded up to a power of two. Direct-mapped:
+    /// colliding regions take over the slot and reseed from the probe.
+    pub regions: usize,
+    /// EWMA smoothing, as a shift (`3` → new = old + (sample-old)/8).
+    pub ewma_shift: u32,
+    /// Force the compressing variant every N-th write per region so a
+    /// drifting region is re-detected. `0` disables exploration.
+    pub explore_interval: u32,
+    /// Below this many wire bytes, compression cannot win (token
+    /// overhead dominates) — skip it without consulting any estimate.
+    pub min_compress_len: usize,
+    /// A compressing variant is picked only when its estimated payload
+    /// is at or below this per-mille fraction of the plain (parity or
+    /// full) image — 970 demands a ≥3% saving, so marginal content
+    /// cannot flap onto a CPU-burning pick.
+    pub compress_threshold_pm: u32,
+    /// Parity wires at least this long skip the estimates and run the
+    /// full compression chain, shipping the exact minimum. Region
+    /// EWMAs average over many small writes and mispredict exactly the
+    /// rare heavy-tail writes that dominate shipped bytes; compressing
+    /// a multi-KB payload costs little next to shipping it, while the
+    /// classifier's CPU savings live in the small writes below this
+    /// bar, which stay fused. `0` forces exact treatment everywhere.
+    pub exact_trial_len: usize,
+    /// Writes per phase-detection window.
+    pub phase_window: u32,
+    /// How decision counterfactuals are accounted.
+    pub counterfactual: CounterfactualMode,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self {
+            region_shift: 6,
+            regions: 1024,
+            ewma_shift: 3,
+            explore_interval: 64,
+            min_compress_len: 24,
+            compress_threshold_pm: 970,
+            exact_trial_len: 1024,
+            phase_window: 64,
+            counterfactual: CounterfactualMode::Estimate,
+        }
+    }
+}

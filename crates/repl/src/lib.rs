@@ -62,7 +62,7 @@ pub use group::{
     run_replica, run_replica_applier, verify_consistent, AckPolicy, ReplicationGroup, ACK, NAK,
 };
 pub use mode::ReplicationMode;
-pub use payload::{BatchFrame, Payload, PayloadBody, BATCH_TAG, STRIP_DELTA_TAG};
+pub use payload::{BatchFrame, Payload, PayloadBody, BATCH_TAG, MAX_WIRE_LEN, STRIP_DELTA_TAG};
 pub use range::SeqRange;
 pub use seal::{
     decode_ack, decode_digest_request, decode_read_ack, decode_read_request, decode_strip_ack,

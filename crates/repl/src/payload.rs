@@ -38,6 +38,17 @@ use prins_parity::{decode_varint, encode_varint};
 
 use crate::ReplError;
 
+/// Upper bound on any length claim decoded from the wire
+/// (`block_len`, `sparse_len`).
+///
+/// These varints are attacker-controlled: a frame claiming a
+/// multi-gigabyte uncompressed size must be rejected at parse time,
+/// before the claim can reach an allocator (the LZSS decoder enforces
+/// the same budget as defense in depth). The budget is
+/// [`prins_compress::MAX_DECODE_LEN`] — far above the largest block the
+/// stack ships (64 KB), far below harm.
+pub const MAX_WIRE_LEN: usize = prins_compress::MAX_DECODE_LEN;
+
 /// Decoded body of a replication payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PayloadBody {
@@ -140,6 +151,11 @@ impl Payload {
             1 => {
                 let (block_len, used) = decode_varint(rest)
                     .ok_or_else(|| ReplError::Malformed("truncated block_len".into()))?;
+                if block_len > MAX_WIRE_LEN as u64 {
+                    return Err(ReplError::Malformed(format!(
+                        "block_len {block_len} exceeds budget {MAX_WIRE_LEN}"
+                    )));
+                }
                 PayloadBody::Compressed {
                     block_len: block_len as usize,
                     data: rest[used..].to_vec(),
@@ -149,6 +165,11 @@ impl Payload {
             3 => {
                 let (sparse_len, used) = decode_varint(rest)
                     .ok_or_else(|| ReplError::Malformed("truncated sparse_len".into()))?;
+                if sparse_len > MAX_WIRE_LEN as u64 {
+                    return Err(ReplError::Malformed(format!(
+                        "sparse_len {sparse_len} exceeds budget {MAX_WIRE_LEN}"
+                    )));
+                }
                 PayloadBody::ParityCompressed {
                     sparse_len: sparse_len as usize,
                     data: rest[used..].to_vec(),

@@ -132,6 +132,18 @@ impl PrinsReplicator {
     pub fn codec(&self) -> SparseCodec {
         self.codec
     }
+
+    /// The single decision point for the full-image fallback, shared by
+    /// [`encode_write`](Replicator::encode_write) and
+    /// [`encode_write_into`](Replicator::encode_write_into) so the two
+    /// paths cannot drift: ship a full image when the encoded parity
+    /// would be at least as large as the block. Decided from a scan-only
+    /// pass ([`SparseCodec::delta_wire_info`], no allocation); the exact
+    /// sparse wire length rides along so callers can reuse the scan.
+    pub fn full_image_fallback(&self, old: &[u8], new: &[u8]) -> (bool, usize) {
+        let (_, wire) = self.codec.delta_wire_info(old, new);
+        (wire >= new.len(), wire)
+    }
 }
 
 impl Default for PrinsReplicator {
@@ -142,20 +154,22 @@ impl Default for PrinsReplicator {
 
 impl Replicator for PrinsReplicator {
     fn encode_write(&self, lba: Lba, old: &[u8], new: &[u8]) -> Vec<u8> {
-        let parity = self.ec.delta(old, new);
-        let sparse = self.codec.encode(&parity).to_bytes();
         // Guard: a pathological write that changes (nearly) the whole
         // block would make the encoded parity *larger* than the block
         // (offsets + lengths on top of the data). Fall back to a full
         // image — the replica accepts both forms, so PRINS is never
         // worse than traditional replication on any single write.
-        if sparse.len() >= new.len() {
+        let (fallback, wire) = self.full_image_fallback(old, new);
+        if fallback {
             return Payload {
                 lba,
                 body: PayloadBody::Full(new.to_vec()),
             }
             .to_bytes();
         }
+        let parity = self.ec.delta(old, new);
+        let sparse = self.codec.encode(&parity).to_bytes();
+        debug_assert_eq!(sparse.len(), wire, "delta_wire_info must be exact");
         let body = if self.compress_parity {
             let compressed = self.lzss.compress(&sparse);
             if compressed.len() < sparse.len() {
@@ -183,8 +197,8 @@ impl Replicator for PrinsReplicator {
         // Decide sparse-vs-full from a scan-only pass, then serialize the
         // winner straight into `out` — the dense parity block and the
         // intermediate sparse buffer of `encode_write` never exist.
-        let (_, wire) = self.codec.delta_wire_info(old, new);
-        if wire >= new.len() {
+        let (fallback, _) = self.full_image_fallback(old, new);
+        if fallback {
             out.push(0); // PayloadBody::Full tag
             prins_parity::encode_varint(out, lba.index());
             out.extend_from_slice(new);

@@ -667,6 +667,94 @@ pub fn read_offload_rejoin() -> Result<ScenarioOutcome, String> {
     Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
 }
 
+/// The adaptive policy engine rides the foreground pipeline through a
+/// workload phase change: an OLTP-shaped small-delta stream (parity
+/// picks, deep batching) flips into incompressible churn (full-image
+/// picks). Both phase transitions must commit, decisions must track
+/// each phase's shape, counterfactual accounting must stay sane
+/// (regret a small fraction of shipped bytes), and the ordinary engine
+/// invariant set — bit-identity after a clean flush, per-LBA order,
+/// byte conservation, obs cross-checks — must hold with the policy
+/// engine driving encoding and retuning the pipeline live.
+pub fn adaptive_phase_shift() -> Result<ScenarioOutcome, String> {
+    use prins_policy::WorkloadPhase;
+
+    let mut w = EngineWorld::new(EngineWorldConfig {
+        blocks: 8,
+        ack_window: 8,
+        adaptive: true,
+        ..Default::default()
+    });
+    // Small-delta phase: three 64-decision windows of ~2-byte deltas.
+    for round in 0..24u8 {
+        for lba in 0..8 {
+            w.write_tag(lba, round + 1)?;
+        }
+    }
+    w.flush()?;
+    {
+        let policy = w.engine().adaptive().ok_or("engine lost its policy")?;
+        if policy.phase() != WorkloadPhase::SmallDelta {
+            return Err(format!(
+                "small-delta stream classified as {}",
+                policy.phase().name()
+            ));
+        }
+        let parity = policy.counters().pick_parity.get();
+        if parity < 180 {
+            return Err(format!("only {parity} of 192 small deltas picked parity"));
+        }
+    }
+    // Churn phase: every byte of every block changes, incompressibly.
+    for round in 0..24u8 {
+        for lba in 0..8 {
+            w.write_fill(lba, round + 1)?;
+        }
+    }
+    w.flush()?;
+    {
+        let policy = w.engine().adaptive().ok_or("engine lost its policy")?;
+        if policy.phase() != WorkloadPhase::Churn {
+            return Err(format!(
+                "churn stream classified as {}",
+                policy.phase().name()
+            ));
+        }
+        let c = policy.counters();
+        if c.pick_full.get() < 180 {
+            return Err(format!(
+                "only {} of 192 churn writes picked full images",
+                c.pick_full.get()
+            ));
+        }
+        if c.phase_switches.get() < 2 {
+            return Err(format!(
+                "{} phase switches committed; small-delta and churn expected",
+                c.phase_switches.get()
+            ));
+        }
+        // Counterfactual sanity: with a parity-dominated first half,
+        // shipping full images everywhere (traditional) must cost
+        // strictly more than what the policy shipped, and regret
+        // against the per-write oracle stays a sliver of the total.
+        let shipped = c.shipped_bytes.get();
+        if c.cf_traditional_bytes.get() <= shipped {
+            return Err("traditional counterfactual not above adaptive shipped bytes".into());
+        }
+        if c.regret_bytes.get() * 10 > shipped {
+            return Err(format!(
+                "regret {} bytes exceeds 10% of shipped {shipped}",
+                c.regret_bytes.get()
+            ));
+        }
+    }
+    w.check_identity()?;
+    w.check_order()?;
+    w.check_conservation()?;
+    w.check_obs()?;
+    Ok(ScenarioOutcome::collect(w.registry(), w.trace_sink()))
+}
+
 fn op_err(e: impl std::fmt::Display) -> String {
     format!("unexpected operation failure: {e}")
 }
@@ -696,6 +784,7 @@ pub const SCENARIOS: &[(&str, ScenarioFn)] = &[
     ("ec_rebuild_two", ec_rebuild_two),
     ("migrate_under_faults", migrate_under_faults),
     ("read_offload_rejoin", read_offload_rejoin),
+    ("adaptive_phase_shift", adaptive_phase_shift),
 ];
 
 /// Runs one scenario by name, returning its event-count summary.

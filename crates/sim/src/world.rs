@@ -876,6 +876,10 @@ pub struct EngineWorldConfig {
     pub ack_window: usize,
     /// Symmetric per-frame link delay (virtual).
     pub delay: Duration,
+    /// Drive replication with the adaptive policy engine (default
+    /// config) instead of plain PRINS; `coalesce`/`batch_frames` above
+    /// become the `Mixed`-phase baseline it retunes from.
+    pub adaptive: bool,
 }
 
 impl Default for EngineWorldConfig {
@@ -887,6 +891,7 @@ impl Default for EngineWorldConfig {
             batch_frames: 1,
             ack_window: 4,
             delay: Duration::from_micros(100),
+            adaptive: false,
         }
     }
 }
@@ -931,6 +936,9 @@ impl EngineWorld {
             .batch_frames(cfg.batch_frames)
             .ack_policy(AckPolicy::Window(cfg.ack_window))
             .ack_timeout(Duration::from_millis(50));
+        if cfg.adaptive {
+            builder = builder.adaptive(prins_policy::PolicyConfig::default());
+        }
         let mut ctls = Vec::new();
         let mut primary_ends = Vec::new();
         let mut replica_devs = Vec::new();
@@ -992,6 +1000,26 @@ impl EngineWorld {
         data[..8].copy_from_slice(&lba.to_le_bytes());
         data[8] = tag;
         data[9] = tag.wrapping_mul(31).wrapping_add(7);
+        self.engine
+            .write_block(Lba(lba), &data)
+            .map_err(|e| format!("write lba {lba}: {e}"))?;
+        self.history.record(lba, content_hash(&data));
+        Ok(())
+    }
+
+    /// Writes a dense block derived from `(lba, tag)`: every byte
+    /// changes between tags and the xorshift stream defeats both the
+    /// compressibility probe and LZSS — the churn shape, as opposed to
+    /// [`write_tag`](Self::write_tag)'s small deltas.
+    pub fn write_fill(&mut self, lba: u64, tag: u8) -> Result<(), String> {
+        let mut data = vec![0u8; self.block_size];
+        let mut state = ((lba << 8) | u64::from(tag)).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for b in data.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *b = (state >> 32) as u8;
+        }
         self.engine
             .write_block(Lba(lba), &data)
             .map_err(|e| format!("write lba {lba}: {e}"))?;

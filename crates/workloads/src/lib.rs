@@ -47,6 +47,7 @@
 mod fsmicro;
 mod report;
 mod runner;
+mod synth;
 mod text;
 mod tpcc;
 mod tpcw;
@@ -55,6 +56,7 @@ mod trace;
 pub use fsmicro::{FsMicro, FsMicroConfig};
 pub use report::RunReport;
 pub use runner::{run, RunConfig, ScalePreset, Workload, WorkloadError};
+pub use synth::{HostileMix, TextStore};
 pub use text::TpccRand;
 pub use tpcc::{TpccDatabase, TpccDriver, TpccScale, TxnKind, TxnMix};
 pub use tpcw::{TpcwDriver, TpcwScale};

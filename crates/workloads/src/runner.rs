@@ -15,10 +15,12 @@ use prins_parity::DeltaStats;
 
 use crate::fsmicro::{FsMicro, FsMicroConfig};
 use crate::report::RunReport;
+use crate::synth::{HostileMix, TextStore};
 use crate::tpcc::{TpccDatabase, TpccDriver, TpccScale};
 use crate::tpcw::{TpcwDriver, TpcwScale};
 
-/// The four workloads of the paper's evaluation.
+/// The four workloads of the paper's evaluation, plus two synthetic
+/// ablation workloads for the adaptive policy engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// TPC-C on the Oracle page profile (Figure 4).
@@ -29,15 +31,32 @@ pub enum Workload {
     TpcwMysql,
     /// The Ext2 tar micro-benchmark (Figure 7).
     FsMicro,
+    /// Whole-document prose rewrites: dense but compressible writes,
+    /// the static `Compressed` strategy's home turf.
+    Text,
+    /// Zoned adversarial mix (sparse-binary / rewrite-text /
+    /// rewrite-binary): no static strategy is optimal in every zone.
+    HostileMixed,
 }
 
 impl Workload {
-    /// All workloads in figure order.
+    /// The paper's workloads in figure order.
     pub const ALL: [Workload; 4] = [
         Workload::TpccOracle,
         Workload::TpccPostgres,
         Workload::TpcwMysql,
         Workload::FsMicro,
+    ];
+
+    /// [`ALL`](Self::ALL) plus the synthetic ablation workloads — the
+    /// set the adaptive-policy ablation sweeps.
+    pub const EXTENDED: [Workload; 6] = [
+        Workload::TpccOracle,
+        Workload::TpccPostgres,
+        Workload::TpcwMysql,
+        Workload::FsMicro,
+        Workload::Text,
+        Workload::HostileMixed,
     ];
 
     /// Display name ("tpcc-oracle", …).
@@ -47,6 +66,8 @@ impl Workload {
             Workload::TpccPostgres => "tpcc-postgres",
             Workload::TpcwMysql => "tpcw-mysql",
             Workload::FsMicro => "fs-micro",
+            Workload::Text => "text",
+            Workload::HostileMixed => "hostile-mixed",
         }
     }
 }
@@ -251,6 +272,29 @@ pub fn run(
             micro.run(rounds, &mut rng)?;
             ops_done = micro.rounds_run() as u64;
         }
+        Workload::Text => {
+            let docs = synth_zone_blocks(config);
+            let mut store =
+                TextStore::setup(Arc::clone(&device) as Arc<dyn BlockDevice>, docs, &mut rng)?;
+            device.reset_stats();
+            device.set_observer(composite);
+            started = Instant::now();
+            store.run(config.ops, &mut rng)?;
+            ops_done = store.ops_run();
+        }
+        Workload::HostileMixed => {
+            let zone_blocks = synth_zone_blocks(config);
+            let mut mix = HostileMix::setup(
+                Arc::clone(&device) as Arc<dyn BlockDevice>,
+                zone_blocks,
+                &mut rng,
+            )?;
+            device.reset_stats();
+            device.set_observer(composite);
+            started = Instant::now();
+            mix.run(config.ops, &mut rng)?;
+            ops_done = mix.ops_run();
+        }
     }
     let duration = started.elapsed();
     device.clear_observer();
@@ -283,6 +327,11 @@ fn tpcc_setup(workload: Workload, config: &RunConfig) -> (DbProfile, TpccScale) 
 }
 
 fn device_blocks(workload: Workload, config: &RunConfig) -> u64 {
+    if matches!(workload, Workload::Text | Workload::HostileMixed) {
+        // Synthetic drivers address blocks directly; size the device to
+        // exactly three zones (TextStore uses the first zone's worth).
+        return synth_zone_blocks(config) * 3;
+    }
     let bytes: u64 = match (workload, config.scale) {
         (Workload::FsMicro, ScalePreset::Smoke) => 32 << 20,
         (Workload::FsMicro, ScalePreset::Bench) => 128 << 20,
@@ -290,6 +339,21 @@ fn device_blocks(workload: Workload, config: &RunConfig) -> u64 {
         (_, ScalePreset::Bench) => 512 << 20,
     };
     bytes / config.block_size.bytes() as u64
+}
+
+/// Blocks per zone for the synthetic workloads (documents for
+/// [`Workload::Text`], one third of the device for
+/// [`Workload::HostileMixed`]) — in blocks, not bytes, so the working
+/// set keeps the same *write count* shape across block sizes. Kept at
+/// 64+ blocks so each hostile zone spans at least one whole
+/// classification region of a default-configured policy engine; zones
+/// narrower than a region would blend in one slot and stop measuring
+/// per-region adaptation.
+fn synth_zone_blocks(config: &RunConfig) -> u64 {
+    match config.scale {
+        ScalePreset::Smoke => 64,
+        ScalePreset::Bench => 128,
+    }
 }
 
 /// DBMS cache size in page frames: a fixed byte budget so the cache
@@ -310,7 +374,7 @@ mod tests {
 
     #[test]
     fn every_workload_runs_at_smoke_scale() {
-        for workload in Workload::ALL {
+        for workload in Workload::EXTENDED {
             let report = run(workload, &RunConfig::smoke(BlockSize::kb4()), None).unwrap();
             assert!(report.device_writes > 0, "{workload}: {report}");
             assert!(report.ops > 0, "{workload}");

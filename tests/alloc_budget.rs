@@ -62,23 +62,39 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 /// sampling — its fixed slot table and event arrays must add zero
 /// allocations to the steady-state loop.
 fn measure(mode: ReplicationMode, writes: u64, traced: bool) -> u64 {
+    measure_with(writes, traced, vec![0xA5u8; 4096], |builder| {
+        builder.mode(mode)
+    })
+}
+
+/// Like [`measure`], with an arbitrary builder configuration and
+/// initial block content — the adaptive policy engine rides through
+/// here and must obey the same budget as the static strategies (its
+/// classifier is atomics and a stack-only probe; decisions that stay
+/// in the parity/full families never touch the compressor).
+fn measure_with(
+    writes: u64,
+    traced: bool,
+    payload: Vec<u8>,
+    configure: impl FnOnce(EngineBuilder) -> EngineBuilder,
+) -> u64 {
     const BLOCKS: u64 = 8;
     let device = Arc::new(MemDevice::new(BlockSize::kb4(), BLOCKS));
     let sink = Box::new(SinkTransport::new());
     // The whole ack script exists before the measured region: warmup
     // plus measured writes, one per-write ack each, with headroom.
     sink.preload((0..2 * writes + 64).map(|_| encode_ack(ACK, 1)));
-    let mut builder = EngineBuilder::new(Arc::clone(&device) as Arc<dyn BlockDevice>)
-        .mode(mode)
-        .replica(sink)
-        .manual_stepping(true);
+    let mut builder = configure(EngineBuilder::new(
+        Arc::clone(&device) as Arc<dyn BlockDevice>
+    ))
+    .replica(sink)
+    .manual_stepping(true);
     if traced {
         builder = builder.flight_recorder(prins_obs::TraceConfig::default());
     }
     let engine = builder.build();
 
-    let block = vec![0xA5u8; 4096];
-    let mut payload = block.clone();
+    let mut payload = payload;
 
     // Warmup: populate the pool's freelists, the lane queues and the
     // reorder map so every container reaches steady-state capacity.
@@ -121,5 +137,27 @@ fn steady_state_write_path_stays_under_two_allocations_per_write() {
                  writes exceeds the budget of 2 per write"
             );
         }
+        // The adaptive policy engine: classification (region EWMAs,
+        // compressibility probe, counterfactual estimates, phase
+        // detection) must be free on the hot path. `min_compress_len`
+        // covers this workload's tiny parity wires, so every decision
+        // stays on the fused parity path — compression allocates only
+        // when the policy deliberately trades an allocation for fewer
+        // wire bytes, which this knob rules out up front. The loop even
+        // crosses a phase commit (decision 128 = 2 × the 64-write
+        // window), so the hook firing is inside the budget too.
+        let policy = prins_policy::PolicyConfig {
+            min_compress_len: 128,
+            ..prins_policy::PolicyConfig::default()
+        };
+        let allocs = measure_with(WRITES, traced, vec![0xA5u8; 4096], |builder| {
+            builder.adaptive(policy)
+        });
+        eprintln!("Adaptive (traced: {traced}): {allocs} allocations / {WRITES} writes");
+        assert!(
+            allocs <= 2 * WRITES,
+            "Adaptive (traced: {traced}): {allocs} allocations over {WRITES} \
+             writes exceeds the budget of 2 per write"
+        );
     }
 }
